@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module reproduces one table or figure of the paper:
+it (re)computes the experiment via the cached suites in
+``repro.experiments``, prints the paper-style rows, writes them to
+``benchmarks/results/``, and times a representative operation with
+pytest-benchmark.
+
+First run trains all models (roughly 15-25 minutes on one CPU core);
+subsequent runs reuse the disk cache under ``.exp_cache``.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import (
+    ExperimentCache,
+    ImageExperimentConfig,
+    ServingExperimentConfig,
+    TextExperimentConfig,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def cache():
+    return ExperimentCache()
+
+
+@pytest.fixture(scope="session")
+def image_cfg():
+    return ImageExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def text_cfg():
+    return TextExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def serving_cfg():
+    return ServingExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a reproduced artifact and persist it under results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        path = os.path.join(RESULTS_DIR, name + ".txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+
+    return _emit

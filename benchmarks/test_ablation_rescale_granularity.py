@@ -1,0 +1,86 @@
+"""Ablations — output rescaling and slice granularity.
+
+* Rescaling: sliced dense layers multiply by ``full_in / active_in`` so
+  pre-activation scale is width-independent; dropping it should not help.
+* Granularity: more groups G gives finer cost control; accuracy at the
+  shared rates should be roughly stable across G (the paper fixes the
+  granularity per dataset without tuning).
+"""
+
+from repro.experiments.ablation_suite import (
+    granularity_ablation,
+    incremental_ablation,
+    rescale_ablation,
+)
+from repro.utils import format_table
+
+
+def test_ablation_rescale(cache, emit, benchmark):
+    result = rescale_ablation(cache)
+    rates = sorted(result["rates"], reverse=True)
+    rows = [[r,
+             round(100 * result["variants"]["rescale"][str(r)], 2),
+             round(100 * result["variants"]["no_rescale"][str(r)], 2)]
+            for r in rates]
+    emit("ablation_rescale", format_table(
+        ["rate", "with rescale", "without rescale"], rows,
+        title="Ablation: output rescaling for sliced dense layers, "
+              "accuracy (%)"))
+
+    # Both variants learn; rescaling does not hurt at the base rate.
+    small = str(min(result["rates"]))
+    assert result["variants"]["rescale"][small] > 0.4
+    assert result["variants"]["rescale"][small] >= \
+        result["variants"]["no_rescale"][small] - 0.1
+
+    benchmark.pedantic(lambda: rescale_ablation(cache), rounds=3,
+                       iterations=1)
+
+
+def test_ablation_granularity(image_cfg, cache, emit, benchmark):
+    result = granularity_ablation(image_cfg, cache)
+    rates = sorted(result["rates"], reverse=True)
+    groups = sorted(result["by_groups"], key=int)
+    rows = []
+    for rate in rates:
+        rows.append([rate] + [
+            round(100 * result["by_groups"][g][str(rate)], 2)
+            for g in groups
+        ])
+    emit("ablation_granularity", format_table(
+        ["rate"] + [f"G={g}" for g in groups], rows,
+        title="Ablation: slice-group count G, accuracy (%)"))
+
+    # Accuracy at the full rate is stable across granularities.
+    full = [result["by_groups"][g]["1.0"] for g in groups]
+    assert max(full) - min(full) < 0.25
+    # Every granularity learns at the smallest shared rate.
+    small = str(min(result["rates"]))
+    for g in groups:
+        assert result["by_groups"][g][small] > 1.2 / image_cfg.num_classes
+
+    benchmark.pedantic(lambda: granularity_ablation(image_cfg, cache),
+                       rounds=3, iterations=1)
+
+
+def test_ablation_incremental_reuse(cache, emit, benchmark):
+    result = incremental_ablation(cache)
+    rows = []
+    for pair, stats in result["pairs"].items():
+        saved = 1 - stats["incremental_madds"] / stats["from_scratch_madds"]
+        rows.append([pair, stats["incremental_madds"],
+                     stats["from_scratch_madds"], f"{100 * saved:.1f}%",
+                     f"{stats['max_abs_error']:.2e}"])
+    emit("ablation_incremental", format_table(
+        ["widening", "incremental madds", "from-scratch madds", "saved",
+         "max |error|"],
+        rows, title="Ablation: Sec 3.5 incremental widening"))
+
+    for pair, stats in result["pairs"].items():
+        # Reuse always saves exactly the narrow pass's cost...
+        assert stats["incremental_madds"] < stats["from_scratch_madds"]
+        # ...and, with prefix inputs, is numerically exact.
+        assert stats["max_abs_error"] < 1e-3
+
+    benchmark.pedantic(lambda: incremental_ablation(cache), rounds=5,
+                       iterations=1)

@@ -1,0 +1,111 @@
+"""Sec. 4.1 application — dynamic-workload serving under a latency SLO.
+
+Paper shapes on a 16x-volatile trace: the elastic slice-rate policy
+serves everything within the SLO with graceful accuracy degradation; the
+fixed full-width policy sheds a large fraction of peak traffic; the fixed
+narrow policy meets the SLO but wastes accuracy off-peak.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.serving_suite import (
+    adaptive_serving_experiment,
+    serving_experiment,
+)
+from repro.serving import (
+    SliceRateController,
+    constant_rate,
+    generate_arrivals,
+    simulate_serving,
+)
+from repro.utils import format_table
+
+
+def test_dynamic_workload_serving(image_cfg, serving_cfg, cache, emit,
+                                  benchmark):
+    result = serving_experiment(image_cfg, serving_cfg, cache)
+
+    rows = []
+    for name, stats in result["policies"].items():
+        rows.append([
+            name,
+            f"{100 * stats['drop_fraction']:.2f}%",
+            stats["slo_violations"],
+            f"{100 * stats['mean_accuracy']:.2f}%",
+            round(stats["mean_rate"], 3),
+            f"{100 * stats['utilization']:.1f}%",
+        ])
+    emit("app_serving", format_table(
+        ["policy", "dropped", "SLO violations", "mean accuracy",
+         "mean rate", "utilization"],
+        rows,
+        title=f"Sec 4.1 application: serving under a {result['volatility']:.1f}x "
+              f"volatile workload ({result['arrivals']} queries)"))
+
+    policies = result["policies"]
+    # 1. The trace really is high-volatility (paper: up to 16x).
+    assert result["volatility"] > 10.0
+    # 2. The elastic policy drops nothing and never violates the SLO.
+    assert policies["model_slicing"]["drop_fraction"] == 0.0
+    assert policies["model_slicing"]["slo_violations"] == 0
+    # 3. The fixed full-width policy sheds load at peak.
+    assert policies["fixed_full"]["drop_fraction"] > 0.1
+    # 4. Elastic beats both fixed policies on delivered accuracy.
+    assert policies["model_slicing"]["mean_accuracy"] > \
+        policies["fixed_full"]["mean_accuracy"]
+    assert policies["model_slicing"]["mean_accuracy"] > \
+        policies["fixed_small"]["mean_accuracy"]
+    # 5. Elastic degrades (mean rate < 1) rather than dropping.
+    assert policies["model_slicing"]["mean_rate"] < 1.0
+
+    # Benchmark: simulating a 2000-query trace through the controller.
+    arrivals = generate_arrivals(constant_rate(200.0), 10.0,
+                                 np.random.default_rng(0))
+    controller = SliceRateController(
+        [0.25, 0.5, 0.75, 1.0], serving_cfg.full_latency_per_sample,
+        serving_cfg.latency_slo)
+    accuracy = {0.25: 0.7, 0.5: 0.8, 0.75: 0.85, 1.0: 0.9}
+    benchmark.pedantic(
+        lambda: simulate_serving(arrivals, controller,
+                                 serving_cfg.full_latency_per_sample,
+                                 serving_cfg.latency_slo, accuracy, 10.0),
+        rounds=5, iterations=1,
+    )
+
+
+def test_adaptive_controller_converges(image_cfg, serving_cfg, cache, emit,
+                                        benchmark):
+    """Extension: the self-calibrating controller recovers from a 4x
+    optimistic latency estimate and matches the oracle's SLO record."""
+    result = adaptive_serving_experiment(image_cfg, serving_cfg, cache)
+    rows = [[
+        f"{result['misestimate']}x optimistic",
+        f"{result['initial_estimate'] * 1e3:.3f}ms",
+        f"{result['true_latency'] * 1e3:.3f}ms",
+        f"{result['final_estimate'] * 1e3:.3f}ms",
+        result["early_violations"],
+        result["oracle_violations"],
+    ]]
+    emit("app_serving_adaptive", format_table(
+        ["start", "initial t", "true t", "converged t",
+         "violations (adaptive)", "violations (oracle)"],
+        rows, title="Adaptive controller: online latency calibration"))
+
+    # The estimate converges to the true latency...
+    assert result["final_estimate"] == pytest.approx(
+        result["true_latency"], rel=0.1)
+    # ...after a bounded early transient; the trajectory is monotone-ish
+    # toward the truth.
+    trajectory = result["estimate_trajectory"]
+    assert abs(trajectory[-1] - result["true_latency"]) < \
+        abs(trajectory[0] - result["true_latency"])
+
+    from repro.serving.controller import AdaptiveSliceRateController
+    controller = AdaptiveSliceRateController(
+        [0.25, 0.5, 1.0], 0.001, serving_cfg.latency_slo)
+    benchmark.pedantic(
+        lambda: [controller.observe(32, controller.choose(32) or 0.25,
+                                    0.0005) for _ in range(100)],
+        rounds=5, iterations=1,
+    )

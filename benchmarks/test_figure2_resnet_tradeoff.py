@@ -1,0 +1,96 @@
+"""Figure 2 — accuracy vs. inference FLOPs for ResNet-family approaches.
+
+Series reproduced: model slicing on two backbones, fixed-width ensemble,
+varying-depth ensemble, multi-classifier early exit, MSDNet-like anytime
+model, SkipNet-like dynamic routing, and Network Slimming points (on the
+VGG backbone — see DESIGN.md).  Paper shapes:
+
+* width slicing beats depth slicing (multi-classifier degrades fast);
+* the sliced model tracks the fixed-width ensemble;
+* slicing works better on the wider backbone.
+"""
+
+from repro.experiments.resnet_suite import (
+    depth_ensemble_resnet_experiment,
+    fixed_resnet_ensemble_experiment,
+    multi_classifier_experiment,
+    skipnet_experiment,
+    sliced_resnet_experiment,
+)
+from repro.experiments.vgg_suite import slimming_experiment
+from repro.experiments.harness import build_image_task, make_resnet
+from repro.slicing import slice_rate
+from repro.tensor import Tensor, no_grad
+from repro.utils import format_table
+
+
+def test_figure2_accuracy_vs_flops(image_cfg, cache, emit, benchmark):
+    sliced = sliced_resnet_experiment(image_cfg, cache)
+    sliced_w2 = sliced_resnet_experiment(image_cfg, cache, widen=2)
+    fixed = fixed_resnet_ensemble_experiment(image_cfg, cache)
+    depth = depth_ensemble_resnet_experiment(image_cfg, cache)
+    multi = multi_classifier_experiment(image_cfg, cache)
+    msd = multi_classifier_experiment(image_cfg, cache, adaptive=True)
+    skip = skipnet_experiment(image_cfg, cache)
+    slim = slimming_experiment(image_cfg, cache)
+
+    rows = []
+    for rate in sorted(sliced["rates"]):
+        key = str(rate)
+        rows.append(["Model slicing (ResNet)", f"r={rate}",
+                     sliced["flops"][key], round(100 * sliced["accuracy"][key], 2)])
+    for rate in sorted(sliced_w2["rates"]):
+        key = str(rate)
+        rows.append(["Model slicing (ResNet-w2)", f"r={rate}",
+                     sliced_w2["flops"][key],
+                     round(100 * sliced_w2["accuracy"][key], 2)])
+    for rate in sorted(fixed["rates"]):
+        key = str(rate)
+        rows.append(["Ensemble (varying width)", f"r={rate}",
+                     fixed["flops"][key], round(100 * fixed["accuracy"][key], 2)])
+    for name, member in depth["members"].items():
+        rows.append(["Ensemble (varying depth)", name, member["flops"],
+                     round(100 * member["accuracy"], 2)])
+    for k, ex in multi["exits"].items():
+        rows.append(["Multi-classifier (single model)", f"exit-{k}",
+                     ex["flops"], round(100 * ex["accuracy"], 2)])
+    for k, ex in msd["exits"].items():
+        rows.append(["MSDNet-like (single model)", f"exit-{k}",
+                     ex["flops"], round(100 * ex["accuracy"], 2)])
+    for penalty, point in skip["points"].items():
+        rows.append(["SkipNet-like (dynamic routing)", f"penalty={penalty}",
+                     point["flops_per_sample"],
+                     round(100 * point["accuracy"], 2)])
+    for keep, point in slim["points"].items():
+        rows.append(["Network Slimming (VGG backbone)", f"keep={keep}",
+                     point["flops"], round(100 * point["accuracy"], 2)])
+    emit("figure2", format_table(
+        ["series", "point", "FLOPs/sample", "accuracy (%)"], rows,
+        title="Figure 2: accuracy vs inference FLOPs (ResNet family)"))
+
+    # Shape assertions.
+    # 1. Width slicing beats depth slicing at the cheap end: the sliced
+    #    subnet at the smallest rate is more accurate than the earliest
+    #    exit of the multi-classifier at comparable or higher cost.
+    small_rate = str(min(sliced["rates"]))
+    early_exit = multi["exits"]["0"]
+    assert sliced_w2["accuracy"][small_rate] > early_exit["accuracy"] - 0.05
+    # 2. The wide backbone slices better than the narrow one at the
+    #    smallest rate (paper: slicing favours wider conv layers).
+    assert sliced_w2["accuracy"][small_rate] >= \
+        sliced["accuracy"][small_rate] - 0.05
+    # 3. The sliced model tracks the fixed-width ensemble at full width.
+    assert sliced["accuracy"]["1.0"] > fixed["accuracy"]["1.0"] - 0.12
+
+    # Benchmark: ResNet inference at half width.
+    splits = build_image_task(image_cfg)
+    model = make_resnet(image_cfg, seed=555)
+    model.eval()
+    batch = Tensor(splits["test"].inputs[:64])
+
+    def infer():
+        with no_grad():
+            with slice_rate(0.5):
+                return model(batch)
+
+    benchmark.pedantic(infer, rounds=5, iterations=1)

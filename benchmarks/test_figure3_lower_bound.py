@@ -1,0 +1,64 @@
+"""Figure 3 — impact of the training lower bound on VGG.
+
+Paper shapes: accuracy degrades gently down to the trained lower bound
+and collapses below it; each model is best in the neighbourhood of its
+own lower bound.
+"""
+
+from repro.experiments.vgg_suite import lower_bound_experiment
+from repro.experiments.harness import build_image_task, make_vgg
+from repro.slicing import slice_rate
+from repro.tensor import Tensor, no_grad
+from repro.utils import format_table
+
+
+def test_figure3_lower_bound_sweep(image_cfg, cache, emit, benchmark):
+    result = lower_bound_experiment(image_cfg, cache)
+    eval_rates = sorted(result["eval_rates"], reverse=True)
+    lbs = sorted(result["by_lower_bound"], key=float)
+
+    headers = ["rate"] + [f"lb={lb}" for lb in lbs]
+    rows = []
+    for rate in eval_rates:
+        row = [rate]
+        for lb in lbs:
+            acc = result["by_lower_bound"][lb][str(rate)]
+            row.append(f"{100 * (1 - acc):.1f}")
+        rows.append(row)
+    emit("figure3", format_table(
+        headers, rows,
+        title="Figure 3: test error (%) vs slice rate for each training "
+              "lower bound"))
+
+    # Shape assertions.
+    # 1. Above its own lb every model degrades gently: error at its lb is
+    #    within a modest band of its full-width error.
+    by_lb = result["by_lower_bound"]
+    for lb in lbs:
+        if float(lb) >= 1.0:
+            continue
+        acc_at_lb = by_lb[lb][lb]
+        acc_full = by_lb[lb]["1.0"]
+        assert acc_at_lb > 1.2 / image_cfg.num_classes, \
+            f"lb={lb} failed to learn its base net"
+        assert acc_full > acc_at_lb - 0.1
+    # 2. Below the lb accuracy collapses: evaluate the lb=0.5 model at
+    #    0.25 and compare with the lb=0.25 model at 0.25.
+    if "0.5" in by_lb and "0.25" in by_lb:
+        assert by_lb["0.25"]["0.25"] > by_lb["0.5"]["0.25"] + 0.1
+    # 3. The conventionally trained model (lb=1.0) collapses away from 1.0.
+    if "1.0" in by_lb:
+        assert by_lb["1.0"]["0.5"] < by_lb["1.0"]["1.0"] - 0.2
+
+    # Benchmark: inference at the configured lower bound.
+    splits = build_image_task(image_cfg)
+    model = make_vgg(image_cfg, seed=444)
+    model.eval()
+    batch = Tensor(splits["test"].inputs[:64])
+
+    def infer():
+        with no_grad():
+            with slice_rate(image_cfg.lower_bound):
+                return model(batch)
+
+    benchmark.pedantic(infer, rounds=5, iterations=1)

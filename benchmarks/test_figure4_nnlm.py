@@ -1,0 +1,64 @@
+"""Figure 4 — NNLM perplexity vs. slice rate (the Table 2 data as curves).
+
+Paper shapes: the conventionally trained model's curve explodes as the
+rate shrinks; the sliced model's curve stays close to the fixed-model
+ensemble across the whole grid.
+"""
+
+from repro.experiments.nnlm_suite import (
+    build_text_task,
+    make_nnlm,
+    nnlm_experiment,
+)
+from repro.slicing import slice_rate
+from repro.tensor import no_grad
+from repro.utils import format_table
+
+
+def test_figure4_nnlm_curves(text_cfg, cache, emit, benchmark):
+    result = nnlm_experiment(text_cfg, cache)
+    rates = sorted(result["rates"], reverse=True)
+    rows = []
+    for rate in rates:
+        key = str(rate)
+        rows.append([
+            rate,
+            round(result["ppl_direct"][key], 1),
+            round(result["ppl_sliced"][key], 1),
+            round(result["ppl_fixed"][key], 1),
+        ])
+    emit("figure4", format_table(
+        ["rate", "r1=1.0 (single model)",
+         f"r1={result['lower_bound']} (single model)",
+         "Ensemble (varying width)"],
+        rows, title="Figure 4: NNLM perplexity vs slice rate"))
+
+    # Shape assertions.
+    direct = {float(r): v for r, v in result["ppl_direct"].items()}
+    sliced = {float(r): v for r, v in result["ppl_sliced"].items()}
+    fixed = {float(r): v for r, v in result["ppl_fixed"].items()}
+    lb = result["lower_bound"]
+    # 1. The direct-slicing curve is monotonically worse as r shrinks and
+    #    explodes relative to its full-width perplexity.
+    assert direct[lb] > 1.5 * direct[1.0]
+    # 2. The sliced curve stays within a modest factor of the fixed
+    #    ensemble at every trained rate.
+    for rate in sliced:
+        if rate >= lb:
+            assert sliced[rate] < fixed[rate] * 1.6, rate
+    # 3. Sliced is dramatically better than direct at the lower bound.
+    assert sliced[lb] < direct[lb]
+
+    # Benchmark: one forward window of the LM at the base rate.
+    streams = build_text_task(text_cfg)
+    model = make_nnlm(text_cfg, seed=31)
+    model.eval()
+    window = streams["test"][:text_cfg.bptt * text_cfg.batch_size]
+    tokens = window.reshape(text_cfg.batch_size, -1).T
+
+    def infer():
+        with no_grad():
+            with slice_rate(result["lower_bound"]):
+                return model(tokens)
+
+    benchmark.pedantic(infer, rounds=5, iterations=1)

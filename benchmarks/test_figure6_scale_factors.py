@@ -1,0 +1,71 @@
+"""Figure 6 — evolution of GN scale factors per channel group.
+
+Paper shape: a stratified pattern emerges over training — the base
+groups (G1-G3) learn the largest scale factors, later groups
+progressively smaller ones — evidence of group residual learning.
+"""
+
+import numpy as np
+
+from repro.experiments.vgg_suite import sliced_vgg_experiment
+from repro.models import SlicedVGG
+from repro.utils import format_table, heatmap
+
+
+def test_figure6_scale_factor_stratification(image_cfg, cache, emit,
+                                             benchmark):
+    result = sliced_vgg_experiment(image_cfg, cache)
+    history = result["gn_scale_history"]
+
+    tables = []
+    for probe, epochs in history.items():
+        final = np.asarray(epochs[-1])
+        first = np.asarray(epochs[0])
+        rows = [[f"G{g + 1}", round(float(first[g]), 3),
+                 round(float(final[g]), 3)]
+                for g in range(len(final))]
+        tables.append(format_table(
+            ["group", "epoch 0 mean |gamma|", "final mean |gamma|"], rows,
+            title=f"Figure 6 (probe layer {probe}): GN scale factors by "
+                  "channel group"))
+        # The paper's heatmap: groups (rows) over epochs (columns).
+        matrix = np.asarray(epochs).T
+        tables.append(heatmap(
+            matrix,
+            row_labels=[f"G{g + 1}" for g in range(matrix.shape[0])],
+            col_labels=[str(e) for e in range(matrix.shape[1])],
+            title=f"Figure 6 heatmap (probe layer {probe}): "
+                  "|gamma| by group x epoch"))
+    emit("figure6", "\n\n".join(tables))
+
+    # Shape assertion: in the probed layers, the mean |gamma| of the base
+    # half of the groups exceeds the mean of the last groups at the end
+    # of training (the stratification of Figure 6).
+    stratified = 0
+    for probe, epochs in history.items():
+        final = np.asarray(epochs[-1])
+        half = len(final) // 2
+        if final[:half].mean() > final[half:].mean():
+            stratified += 1
+    assert stratified >= 1, "no probed layer shows group stratification"
+
+    # The trend should strengthen over training in at least one probe:
+    # the base-vs-tail gap at the end exceeds the gap at epoch 0.
+    gaps = []
+    for probe, epochs in history.items():
+        first = np.asarray(epochs[0])
+        final = np.asarray(epochs[-1])
+        half = len(final) // 2
+        gaps.append((final[:half].mean() - final[half:].mean())
+                    - (first[:half].mean() - first[half:].mean()))
+    assert max(gaps) > 0
+
+    # Benchmark: reading the telemetry off a model (cheap, but it is the
+    # operation Figure 6 is built from).
+    model = SlicedVGG.cifar_mini(num_classes=image_cfg.num_classes,
+                                 width=image_cfg.vgg_width)
+    layers = model.group_norm_layers()
+    benchmark.pedantic(
+        lambda: [layer.group_scale_means() for layer in layers],
+        rounds=10, iterations=1,
+    )

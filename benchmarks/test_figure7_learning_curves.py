@@ -1,0 +1,69 @@
+"""Figure 7 — learning curves of the sliced subnets vs. the fixed model.
+
+Paper shapes: larger subnets' error drops faster; smaller subnets follow
+(knowledge distillation); the full sliced subnet approaches the
+individually trained full model.
+"""
+
+import numpy as np
+
+from repro.experiments.vgg_suite import (
+    fixed_vgg_ensemble_experiment,
+    sliced_vgg_experiment,
+)
+from repro.experiments.harness import build_image_task, make_vgg
+from repro.data import DataLoader
+from repro.optim import SGD
+from repro.slicing import FixedScheme, SliceTrainer
+from repro.utils import curve_panel, format_table
+
+
+def test_figure7_learning_curves(image_cfg, cache, emit, benchmark):
+    sliced = sliced_vgg_experiment(image_cfg, cache)
+    fixed = fixed_vgg_ensemble_experiment(image_cfg, cache)
+
+    curve = sliced["learning_curve"]
+    rates = sorted((float(r) for r in curve[0]["eval_error"]), reverse=True)
+    headers = ["epoch"] + [f"Subnet-{r}" for r in rates] + ["Full fixed"]
+    fixed_curve = {rec["epoch"]: rec for rec in fixed["learning_curve_full"]}
+    rows = []
+    for rec in curve:
+        row = [rec["epoch"]]
+        for rate in rates:
+            row.append(round(100 * rec["eval_error"][str(rate)], 1))
+        fixed_rec = fixed_curve.get(rec["epoch"])
+        row.append(round(100 * fixed_rec["eval_error"]["1.0"], 1)
+                   if fixed_rec else "-")
+        rows.append(row)
+    series = {
+        f"Subnet-{rate}": [rec["eval_error"][str(rate)] for rec in curve]
+        for rate in rates
+    }
+    emit("figure7", format_table(
+        headers, rows, title="Figure 7: test error (%) per epoch")
+        + "\n\n" + curve_panel(series, title="Figure 7 curves (test error)"))
+
+    # Shape assertions.
+    final = curve[-1]["eval_error"]
+    first = curve[0]["eval_error"]
+    # 1. Every subnet improves over training.
+    for rate in rates:
+        assert final[str(rate)] < first[str(rate)], rate
+    # 2. The largest subnet ends at the lowest (or tied-lowest) error
+    #    among the tracked subnets, the smallest at the highest.
+    assert final[str(max(rates))] <= final[str(min(rates))]
+    # 3. Larger subnets lead mid-training: at the mid epoch the full
+    #    subnet's error is below the smallest subnet's.
+    mid = curve[len(curve) // 2]["eval_error"]
+    assert mid[str(max(rates))] <= mid[str(min(rates))] + 0.05
+
+    # Benchmark: one evaluation epoch of the full fixed model (the other
+    # curve in the figure).
+    splits = build_image_task(image_cfg)
+    model = make_vgg(image_cfg, seed=222)
+    trainer = SliceTrainer(model, FixedScheme(1.0),
+                           SGD(model.parameters(), lr=image_cfg.lr),
+                           rng=np.random.default_rng(0))
+    loader = DataLoader(splits["test"], image_cfg.eval_batch_size)
+    benchmark.pedantic(lambda: trainer.evaluate(loader, rates=[1.0]),
+                       rounds=3, iterations=1)

@@ -1,0 +1,74 @@
+"""Table 1 — slice-rate scheduling schemes (VGG on the image task).
+
+Paper shapes that reproduce at this scale: weighted random sampling beats
+uniform sampling, and statically anchoring the base and full networks
+(R-min / R-max / R-min-max) rescues the subnets that purely random
+scheduling starves.  One paper sub-finding does NOT transfer: with our
+gradient averaging (DESIGN.md §2b) static scheduling no longer lags at
+small rates — it simply spends the most compute per batch; see
+EXPERIMENTS.md for the discussion.
+"""
+
+import numpy as np
+
+from repro.experiments.vgg_suite import scheduling_experiment
+from repro.experiments.harness import build_image_task, make_vgg
+from repro.slicing import RandomScheme, SliceTrainer
+from repro.optim import SGD
+from repro.utils import format_table
+
+SCHEME_ORDER = ["Fixed", "R-uniform-2", "R-weighted-2", "R-weighted-3",
+                "Static", "R-min", "R-max", "R-min-max", "Slimmable"]
+
+
+def test_table1_scheduling_schemes(image_cfg, cache, emit, benchmark):
+    result = scheduling_experiment(image_cfg, cache)
+    rates = sorted(result["rates"], reverse=True)
+    headers = ["rate"] + SCHEME_ORDER
+    rows = []
+    for rate in rates:
+        row = [rate]
+        for scheme in SCHEME_ORDER:
+            acc = result["schemes"].get(scheme, {}).get(str(rate))
+            row.append(round(100 * acc, 2) if acc is not None else "-")
+        rows.append(row)
+    emit("table1", format_table(
+        headers, rows,
+        title="Table 1: accuracy (%) per slice rate under each "
+              "scheduling scheme"))
+
+    # Shape assertions (paper's qualitative findings that survive the
+    # scale change; see EXPERIMENTS.md for the static-scheduling caveat).
+    schemes = result["schemes"]
+    smallest = str(min(result["rates"]))
+    largest = str(max(result["rates"]))
+    # 1. Weighted sampling beats uniform sampling (the paper's primary
+    #    Table 1 finding) — decisively so with 3 samples per pass.
+    for rate in result["rates"]:
+        assert schemes["R-weighted-3"][str(rate)] >= \
+            schemes["R-uniform-2"][str(rate)], rate
+    # 2. Anchoring the base and full networks (R-min-max) rescues the
+    #    small-rate accuracy that purely random scheduling loses.
+    assert schemes["R-min-max"][smallest] > \
+        schemes["R-uniform-2"][smallest] + 0.2
+    # 3. Every scheme that statically includes the base net learns it.
+    for name in ("R-min-max", "Static", "Slimmable"):
+        assert schemes[name][smallest] > 0.5, name
+    # 4. Full-net accuracy of the anchored schemes approaches the
+    #    individually trained fixed model.
+    assert schemes["R-min-max"][largest] > schemes["Fixed"][largest] - 0.1
+
+    # Benchmark: one Algorithm-1 training step under R-weighted-3.
+    splits = build_image_task(image_cfg)
+    model = make_vgg(image_cfg, seed=999)
+    trainer = SliceTrainer(
+        model,
+        RandomScheme.weighted_min_max(image_cfg.coarse_rates, num_samples=3),
+        SGD(model.parameters(), lr=image_cfg.lr),
+        rng=np.random.default_rng(0),
+    )
+    inputs = splits["train"].inputs[:image_cfg.batch_size]
+    targets = splits["train"].targets[:image_cfg.batch_size]
+    benchmark.pedantic(
+        lambda: trainer.train_batch(inputs, targets), rounds=3, iterations=1,
+    )

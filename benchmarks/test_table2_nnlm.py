@@ -1,0 +1,88 @@
+"""Table 2 — NNLM perplexity on the text corpus per slice rate.
+
+Paper shape to reproduce:
+
+* ``NNLM-1.0`` (conventional training, direct slicing) blows up as the
+  rate shrinks;
+* ``NNLM-<lb>`` (model slicing) degrades gently and tracks the fixed
+  ensemble;
+* the remaining computation column ``Ct`` scales ~quadratically.
+"""
+
+from repro.experiments.nnlm_suite import (
+    build_text_task,
+    evaluate_ppl,
+    make_nnlm,
+    nnlm_experiment,
+)
+from repro.utils import format_table
+
+
+def test_table2_nnlm_perplexity(text_cfg, cache, emit, benchmark):
+    result = nnlm_experiment(text_cfg, cache)
+    rates = sorted(result["rates"], reverse=True)
+    full_flops = result["flops"][str(1.0)]
+    rows = []
+    for rate in rates:
+        key = str(rate)
+        rows.append([
+            rate,
+            f"{100 * result['flops'][key] / full_flops:.2f}%",
+            round(result["ppl_direct"][key], 2),
+            round(result["ppl_sliced"][key], 2),
+            round(result["ppl_fixed"][key], 2),
+        ])
+    emit("table2", format_table(
+        ["rate", "Ct", "NNLM-1.0", f"NNLM-{result['lower_bound']}",
+         "NNLM-fixed"],
+        rows,
+        title="Table 2: remaining computation and NNLM perplexity per "
+              "slice rate"))
+
+    # Shape assertions.
+    lb = str(result["lower_bound"])
+    smallest_trained = lb
+    # Direct slicing collapses: far worse than sliced training at lb.
+    assert result["ppl_direct"][smallest_trained] > \
+        2.0 * result["ppl_sliced"][smallest_trained]
+    # The sliced full net is comparable to the fixed full model.  (The
+    # paper reports the sliced full net at or slightly above the fixed
+    # model; at our training budget it lands within a ~25% band.)
+    assert result["ppl_sliced"]["1.0"] < result["ppl_fixed"]["1.0"] * 1.25
+    # Computation shrinks super-linearly (quadratic LSTM term plus the
+    # linear sliced-input decoder term): Ct(0.5) well below 50%.
+    assert result["flops"]["0.5"] / full_flops < 0.45
+
+    # Benchmark: one evaluation pass of the sliced model at the base rate.
+    streams = build_text_task(text_cfg)
+    model = make_nnlm(text_cfg, seed=1234)
+    benchmark.pedantic(
+        lambda: evaluate_ppl(model, streams["valid"], text_cfg,
+                             result["lower_bound"]),
+        rounds=3, iterations=1,
+    )
+
+
+def test_table2_inference_cost_scales_with_rate(text_cfg, cache, emit,
+                                                benchmark):
+    result = nnlm_experiment(text_cfg, cache)
+    flops = {float(r): f for r, f in result["flops"].items()}
+    full = flops[1.0]
+    for rate, value in flops.items():
+        # Within [r^2/2, 2 r^2 + embedding/decoder linear terms].
+        assert value <= full
+        if rate <= 0.5:
+            assert value / full <= rate * 1.1
+
+    # Benchmark: the instrumented FLOPs measurement itself (one window).
+    import numpy as np
+
+    from repro.metrics import measured_flops
+
+    model = make_nnlm(text_cfg, seed=77)
+    benchmark.pedantic(
+        lambda: measured_flops(
+            model, (text_cfg.bptt, 1), rate=0.5,
+            input_builder=lambda shape: np.zeros(shape, dtype=np.int64)),
+        rounds=5, iterations=1,
+    )

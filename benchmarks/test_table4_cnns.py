@@ -1,0 +1,112 @@
+"""Table 4 — remaining cost (Ct/Mt) and accuracy per slice rate for CNNs.
+
+Rows reproduced (CPU-scale): direct slicing (lb=1.0), the fixed-model
+ensemble, and slicing-trained VGG and ResNet models.  Paper shapes:
+
+* the lb-1.0 row collapses away from r=1.0;
+* the sliced rows track the fixed ensemble within a small gap;
+* Ct and Mt scale ~quadratically with r (exact by construction here,
+  and *measured*, not computed from a formula).
+"""
+
+from repro.experiments.resnet_suite import sliced_resnet_experiment
+from repro.experiments.vgg_suite import (
+    direct_slicing_experiment,
+    fixed_vgg_ensemble_experiment,
+    sliced_vgg_experiment,
+)
+from repro.experiments.harness import build_image_task, make_vgg
+from repro.slicing import slice_rate
+from repro.tensor import Tensor, no_grad
+from repro.utils import format_table
+
+
+def test_table4_cnn_accuracy_vs_rate(image_cfg, cache, emit, benchmark):
+    sliced = sliced_vgg_experiment(image_cfg, cache)
+    fixed = fixed_vgg_ensemble_experiment(image_cfg, cache)
+    direct = direct_slicing_experiment(image_cfg, cache)
+    resnet = sliced_resnet_experiment(image_cfg, cache)
+    resnet_wide = sliced_resnet_experiment(image_cfg, cache, widen=2)
+
+    rates = sorted(sliced["rates"], reverse=True)
+    rows = []
+    for rate in rates:
+        key = str(rate)
+        cost = sliced["costs"][key]
+        rows.append([
+            rate,
+            f"{100 * cost['flops_fraction']:.2f}%",
+            f"{100 * cost['params_fraction']:.2f}%",
+            round(100 * direct["accuracy"][key], 2),
+            round(100 * fixed["accuracy"][key], 2),
+            round(100 * sliced["accuracy"][key], 2),
+            round(100 * resnet["accuracy"][key], 2),
+            round(100 * resnet_wide["accuracy"][key], 2),
+        ])
+    emit("table4", format_table(
+        ["rate", "Ct", "Mt", "VGG-lb-1.0", "VGG-fixed", "VGG-sliced",
+         "ResNet-sliced", "ResNet-w2-sliced"],
+        rows,
+        title="Table 4: remaining FLOPs/params and accuracy (%) per "
+              "slice rate"))
+
+    # Shape assertions.
+    smallest = str(min(sliced["rates"]))
+    # 1. Direct slicing collapses at the smallest rate; sliced training
+    #    stays close to the individually trained fixed model.
+    assert direct["accuracy"][smallest] < sliced["accuracy"][smallest] - 0.15
+    # The gap to the individually trained narrow member is the paper's
+    # own narrow-layer effect (its ResNet-164 discussion): wider layers
+    # slice tighter — the ResNet-w2 column closes it (asserted in the
+    # Figure 2 bench).  At this scale the VGG's 4-channel base stays
+    # within a 0.2 band of its dedicated counterpart.
+    assert sliced["accuracy"][smallest] > fixed["accuracy"][smallest] - 0.2
+    # 2. Full-width sliced model is comparable to the fixed full model.
+    assert sliced["accuracy"]["1.0"] > fixed["accuracy"]["1.0"] - 0.12
+    # 3. Measured cost scales ~quadratically.
+    assert sliced["costs"]["0.5"]["flops_fraction"] < 0.35
+    assert sliced["costs"]["0.25"]["flops_fraction"] < 0.12
+    # 4. Accuracy is (weakly) monotone in width for the sliced model,
+    #    allowing small noise between adjacent rates.
+    accs = [sliced["accuracy"][str(r)] for r in sorted(sliced["rates"])]
+    assert accs[-1] > accs[0]
+
+    # Benchmark: real inference latency of the sliced model per rate —
+    # the quantity Table 4's Ct column promises to cut.
+    splits = build_image_task(image_cfg)
+    model = make_vgg(image_cfg, seed=777)
+    model.eval()
+    batch = Tensor(splits["test"].inputs[:64])
+
+    def infer_half():
+        with no_grad():
+            with slice_rate(0.5):
+                return model(batch)
+
+    benchmark.pedantic(infer_half, rounds=5, iterations=1)
+
+
+def test_table4_latency_tracks_rate(image_cfg, benchmark):
+    """Wall-clock forward time shrinks with the slice rate."""
+    import time
+
+    splits = build_image_task(image_cfg)
+    model = make_vgg(image_cfg, seed=778)
+    model.eval()
+    batch = Tensor(splits["test"].inputs[:128])
+
+    def timed(rate, repeats=3):
+        with no_grad():
+            with slice_rate(rate):
+                model(batch)  # warm-up
+                start = time.perf_counter()
+                for _ in range(repeats):
+                    model(batch)
+                return (time.perf_counter() - start) / repeats
+
+    t_full = timed(1.0)
+    t_quarter = timed(0.25)
+    assert t_quarter < t_full
+
+    benchmark.pedantic(lambda: timed(0.25, repeats=1), rounds=3,
+                       iterations=1)

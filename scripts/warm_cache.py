@@ -1,0 +1,76 @@
+"""Warm the experiment cache: train everything the benches need.
+
+Run once before ``pytest benchmarks/`` for a faster first benchmark run,
+or let the benches train lazily — the disk cache is shared either way.
+
+    python scripts/warm_cache.py
+"""
+
+import time
+
+from repro.experiments import (
+    ExperimentCache,
+    ImageExperimentConfig,
+    ServingExperimentConfig,
+    TextExperimentConfig,
+    ablation_suite,
+    cascade_suite,
+    nnlm_suite,
+    resnet_suite,
+    serving_suite,
+    vgg_suite,
+)
+
+
+def main() -> None:
+    cache = ExperimentCache()
+    icfg = ImageExperimentConfig()
+    tcfg = TextExperimentConfig()
+    scfg = ServingExperimentConfig()
+
+    steps = [
+        ("vgg_sliced", lambda: vgg_suite.sliced_vgg_experiment(icfg, cache)),
+        ("vgg_fixed",
+         lambda: vgg_suite.fixed_vgg_ensemble_experiment(icfg, cache)),
+        ("vgg_direct",
+         lambda: vgg_suite.direct_slicing_experiment(icfg, cache)),
+        ("nnlm", lambda: nnlm_suite.nnlm_experiment(tcfg, cache)),
+        ("resnet_sliced",
+         lambda: resnet_suite.sliced_resnet_experiment(icfg, cache)),
+        ("resnet_sliced_w2",
+         lambda: resnet_suite.sliced_resnet_experiment(icfg, cache, widen=2)),
+        ("resnet_fixed",
+         lambda: resnet_suite.fixed_resnet_ensemble_experiment(icfg, cache)),
+        ("resnet_depth",
+         lambda: resnet_suite.depth_ensemble_resnet_experiment(icfg, cache)),
+        ("resnet_mc",
+         lambda: resnet_suite.multi_classifier_experiment(icfg, cache)),
+        ("resnet_msd",
+         lambda: resnet_suite.multi_classifier_experiment(icfg, cache,
+                                                          adaptive=True)),
+        ("resnet_skip",
+         lambda: resnet_suite.skipnet_experiment(icfg, cache)),
+        ("vgg_sched", lambda: vgg_suite.scheduling_experiment(icfg, cache)),
+        ("vgg_lb", lambda: vgg_suite.lower_bound_experiment(icfg, cache)),
+        ("vgg_depth",
+         lambda: vgg_suite.depth_ensemble_experiment(icfg, cache)),
+        ("vgg_slim", lambda: vgg_suite.slimming_experiment(icfg, cache)),
+        ("cascade", lambda: cascade_suite.cascade_experiment(icfg, cache)),
+        ("serving",
+         lambda: serving_suite.serving_experiment(icfg, scfg, cache)),
+        ("abl_norm",
+         lambda: ablation_suite.normalization_ablation(icfg, cache)),
+        ("abl_gran",
+         lambda: ablation_suite.granularity_ablation(icfg, cache)),
+        ("abl_rescale", lambda: ablation_suite.rescale_ablation(cache)),
+        ("abl_inc", lambda: ablation_suite.incremental_ablation(cache)),
+    ]
+    for name, step in steps:
+        start = time.time()
+        step()
+        print(f"DONE {name} in {time.time() - start:.1f}s", flush=True)
+    print("ALL DONE", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — a reproduction of *Model Slicing* (Cai et al., PVLDB 2019).
+
+Model slicing trains one neural network that is executable at many widths:
+a single scalar *slice rate* ``r`` selects a prefix of channel/neuron groups
+in every layer, so inference cost scales roughly with ``r**2``.  This
+package provides:
+
+* ``repro.tensor`` — a numpy reverse-mode autograd engine;
+* ``repro.nn`` — a neural-network layer library;
+* ``repro.slicing`` — the paper's contribution: sliceable layers,
+  slice-rate scheduling schemes, the Algorithm-1 trainer, and budget→rate
+  mapping;
+* ``repro.models`` / ``repro.baselines`` — VGG / ResNet / NNLM plus every
+  baseline the paper compares against;
+* ``repro.data`` — synthetic CIFAR-like and PTB-like datasets;
+* ``repro.serving`` / ``repro.ranking`` — the two example applications
+  (dynamic-workload degradation, cascade ranking);
+* ``repro.metrics`` — accuracy, perplexity, FLOPs accounting, prediction
+  consistency.
+
+Quickstart::
+
+    from repro import SlicedVGG, SliceTrainer, slice_rate
+    model = SlicedVGG.cifar_mini(num_classes=8)
+    trainer = SliceTrainer(model, rates=[0.375, 0.5, 0.75, 1.0])
+    ...
+    with slice_rate(0.5):          # half-width inference, ~25% FLOPs
+        logits = model(images)
+"""
+
+from .version import __version__
+from . import errors
+from .tensor import Tensor, no_grad
+from .slicing import (
+    SliceContext,
+    slice_rate,
+    SliceTrainer,
+    rate_for_budget,
+    FixedScheme,
+    RandomScheme,
+    StaticScheme,
+    RandomStaticScheme,
+)
+from .models import MLP, NNLM, SlicedResNet, SlicedVGG
+
+__all__ = [
+    "__version__",
+    "errors",
+    "Tensor",
+    "no_grad",
+    "SliceContext",
+    "slice_rate",
+    "SliceTrainer",
+    "rate_for_budget",
+    "FixedScheme",
+    "RandomScheme",
+    "StaticScheme",
+    "RandomStaticScheme",
+    "MLP",
+    "NNLM",
+    "SlicedResNet",
+    "SlicedVGG",
+]

@@ -1,0 +1,12 @@
+"""Anytime prediction: progressive subnet widening with computation reuse.
+
+Note the semantics (Sec. 3.5 of the paper): refinement reuses the
+previous pass's base-block products, so for networks deeper than one
+layer the widened activations are *approximate* — the paper's
+``y~a ~= ya`` — converging to the from-scratch result as training drives
+later groups toward residual corrections.
+"""
+
+from .engine import AnytimeMLP, AnytimeStep, anytime_accuracy_curve
+
+__all__ = ["AnytimeMLP", "AnytimeStep", "anytime_accuracy_curve"]

@@ -1,0 +1,29 @@
+"""Baselines the paper compares model slicing against.
+
+* fixed-width / varying-depth ensembles (Figures 2, 4, 5; Tables 2, 4);
+* multi-classifier early exit and an MSDNet-like anytime variant (Fig. 2);
+* SkipNet-like dynamic block skipping (Fig. 2);
+* Network Slimming structured channel pruning (Fig. 2);
+* SlimmableNet static-scheduling + multi-BN training (Table 1).
+"""
+
+from .ensembles import FixedWidthEnsemble, VaryingDepthEnsemble
+from .multi_classifier import MSDNetLike, MultiClassifierResNet
+from .skipnet import SkipNetLike
+from .slimming import PrunedVGG, l1_scale_penalty, prune_vgg, sparsity_loss_fn
+from .slimmable import slimmable_resnet, slimmable_trainer, slimmable_vgg
+
+__all__ = [
+    "FixedWidthEnsemble",
+    "VaryingDepthEnsemble",
+    "MultiClassifierResNet",
+    "MSDNetLike",
+    "SkipNetLike",
+    "PrunedVGG",
+    "l1_scale_penalty",
+    "prune_vgg",
+    "sparsity_loss_fn",
+    "slimmable_resnet",
+    "slimmable_trainer",
+    "slimmable_vgg",
+]

@@ -1,0 +1,117 @@
+"""Fixed-model ensemble baselines.
+
+The paper's strongest baseline (Figures 2, 4, 5; the ``*-fixed-models``
+rows of Tables 2 and 4): an ensemble of *individually trained* networks of
+varying width (or depth), each deployed when its cost fits the budget.
+Model slicing's claim is that one sliced model matches this ensemble while
+storing and scheduling a single set of weights.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..nn.module import Module
+from ..optim import SGD
+from ..slicing.context import slice_rate
+from ..slicing.schemes import FixedScheme
+from ..slicing.trainer import SliceTrainer
+
+
+class FixedWidthEnsemble:
+    """Independently trained models, one per slice rate.
+
+    Each member is a sliceable model *trained at a single fixed rate* —
+    exactly the paper's "fixed models" baseline: the rate-``r`` member is
+    architecturally identical to ``Subnet-r`` of the sliced model, but its
+    weights are its own.
+    """
+
+    def __init__(self, model_factory: Callable[[int], Module],
+                 rates: Sequence[float]):
+        if not rates:
+            raise ConfigError("ensemble needs at least one rate")
+        self.rates = sorted(float(r) for r in rates)
+        self.model_factory = model_factory
+        self.members: dict[float, Module] = {}
+        self.trainers: dict[float, SliceTrainer] = {}
+
+    def train(self, make_optimizer: Callable[[Module], SGD],
+              train_loader_fn, epochs: int,
+              lr_schedule_factory=None, seed: int = 0) -> None:
+        """Train every member on identical data."""
+        for i, rate in enumerate(self.rates):
+            model = self.model_factory(seed + i)
+            optimizer = make_optimizer(model)
+            trainer = SliceTrainer(
+                model, FixedScheme(rate), optimizer,
+                rng=np.random.default_rng(seed + 100 + i),
+            )
+            schedule = (lr_schedule_factory(optimizer)
+                        if lr_schedule_factory is not None else None)
+            trainer.fit(train_loader_fn, epochs=epochs, lr_schedule=schedule)
+            self.members[rate] = model
+            self.trainers[rate] = trainer
+
+    def evaluate(self, eval_loader_fn) -> dict[float, dict[str, float]]:
+        """Accuracy of each member at its own training rate."""
+        results = {}
+        for rate, trainer in self.trainers.items():
+            results[rate] = trainer.evaluate(eval_loader_fn(), rates=[rate])[rate]
+        return results
+
+    def member_for_budget(self, budget: float, full_cost: float) -> float:
+        """Rate of the widest member fitting ``budget`` (Eq. 3 dispatch)."""
+        from ..slicing.budget import rate_for_budget
+
+        return rate_for_budget(budget, full_cost, self.rates)
+
+    def predict(self, rate: float, inputs) -> np.ndarray:
+        """Logits of the rate-``rate`` member."""
+        from ..tensor import Tensor, no_grad
+
+        model = self.members[rate]
+        model.eval()
+        with no_grad():
+            with slice_rate(rate):
+                return model(Tensor(inputs)).data
+
+
+class VaryingDepthEnsemble:
+    """Independently trained models of varying *depth* (same width).
+
+    The weaker ensemble of Figures 2 and 5 — the paper uses it to show
+    that width slicing beats depth slicing.
+    """
+
+    def __init__(self, model_factories: dict[str, Callable[[int], Module]]):
+        if not model_factories:
+            raise ConfigError("ensemble needs at least one member factory")
+        self.model_factories = dict(model_factories)
+        self.members: dict[str, Module] = {}
+        self.trainers: dict[str, SliceTrainer] = {}
+
+    def train(self, make_optimizer: Callable[[Module], SGD],
+              train_loader_fn, epochs: int,
+              lr_schedule_factory=None, seed: int = 0) -> None:
+        for i, (name, factory) in enumerate(self.model_factories.items()):
+            model = factory(seed + i)
+            optimizer = make_optimizer(model)
+            trainer = SliceTrainer(
+                model, FixedScheme(1.0), optimizer,
+                rng=np.random.default_rng(seed + 100 + i),
+            )
+            schedule = (lr_schedule_factory(optimizer)
+                        if lr_schedule_factory is not None else None)
+            trainer.fit(train_loader_fn, epochs=epochs, lr_schedule=schedule)
+            self.members[name] = model
+            self.trainers[name] = trainer
+
+    def evaluate(self, eval_loader_fn) -> dict[str, dict[str, float]]:
+        return {
+            name: trainer.evaluate(eval_loader_fn(), rates=[1.0])[1.0]
+            for name, trainer in self.trainers.items()
+        }

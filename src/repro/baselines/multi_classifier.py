@@ -1,0 +1,107 @@
+"""Multi-classifier (early-exit) baselines.
+
+Two related baselines from the paper's Figure 2:
+
+* ``MultiClassifierResNet`` — "ResNet with Multi-Classifiers (single
+  model)": auxiliary classifier heads after each stage; inference can
+  early-exit at any head, trading depth for cost.  The paper uses its
+  rapid accuracy loss to argue width slicing beats depth slicing.
+* ``MSDNetLike`` — an MSDNet-flavoured anytime model: the same early-exit
+  structure trained with adaptive loss balancing so intermediate exits are
+  first-class citizens (closer to [22]'s training recipe than the plain
+  joint loss).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..models.resnet import SlicedResNet
+from ..nn.module import Module, ModuleList
+from ..nn.pooling import GlobalAvgPool2d
+from ..slicing.layers import SlicedLinear
+from ..tensor import Tensor, cross_entropy
+
+
+class MultiClassifierResNet(Module):
+    """A ResNet backbone with an exit head after every stage.
+
+    ``forward`` returns the logits of every exit; ``forward_exit(k)``
+    computes only up to exit ``k`` (so the FLOPs saving is real).
+    """
+
+    def __init__(self, backbone: SlicedResNet,
+                 loss_weights: Sequence[float] | None = None, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.backbone = backbone
+        self.pool = GlobalAvgPool2d()
+        self.exits = ModuleList()
+        boundaries = np.cumsum(backbone.blocks_per_stage) - 1
+        self._exit_blocks = list(boundaries)
+        for stage in range(len(backbone.blocks_per_stage)):
+            channels = (backbone.base_channels * backbone.widen
+                        * (2 ** stage) * 4)
+            head = SlicedLinear(channels, backbone.num_classes,
+                                slice_input=True, slice_output=False,
+                                rescale=True, rng=rng)
+            self.exits.append(head)
+        count = len(self._exit_blocks)
+        if loss_weights is None:
+            loss_weights = [1.0] * count
+        self.loss_weights = list(loss_weights)
+
+    @property
+    def num_exits(self) -> int:
+        return len(self._exit_blocks)
+
+    def forward(self, x: Tensor) -> list[Tensor]:
+        outputs = []
+        x = self.backbone.stem(x)
+        exit_idx = 0
+        for i, block in enumerate(self.backbone.blocks):
+            x = block(x)
+            if exit_idx < len(self._exit_blocks) \
+                    and i == self._exit_blocks[exit_idx]:
+                pooled = self.pool(x)
+                outputs.append(self.exits[exit_idx](pooled))
+                exit_idx += 1
+        return outputs
+
+    def forward_exit(self, x: Tensor, exit_index: int) -> Tensor:
+        """Compute only the prefix of the network up to ``exit_index``."""
+        x = self.backbone.stem(x)
+        last_block = self._exit_blocks[exit_index]
+        for i, block in enumerate(self.backbone.blocks):
+            x = block(x)
+            if i == last_block:
+                break
+        return self.exits[exit_index](self.pool(x))
+
+    def joint_loss(self, exit_logits: list[Tensor],
+                   targets: np.ndarray) -> Tensor:
+        """Weighted sum of the per-exit cross-entropies."""
+        total = None
+        for weight, logits in zip(self.loss_weights, exit_logits):
+            term = cross_entropy(logits, targets) * weight
+            total = term if total is None else total + term
+        return total
+
+
+class MSDNetLike(MultiClassifierResNet):
+    """Early-exit network trained with adaptive loss balancing.
+
+    Follows the ANNs [21] / MSDNet [22] recipe of re-weighting exit losses
+    so that earlier exits, which would otherwise be dominated by the final
+    head, keep improving: each exit's weight is the inverse of its recent
+    training loss (normalized), refreshed by the training harness via
+    :meth:`update_weights`.
+    """
+
+    def update_weights(self, recent_losses: Sequence[float]) -> None:
+        """Adapt exit weights to the inverse of recent per-exit losses."""
+        losses = np.asarray(recent_losses, dtype=np.float64)
+        inv = 1.0 / np.maximum(losses, 1e-6)
+        self.loss_weights = list(len(losses) * inv / inv.sum())

@@ -1,0 +1,128 @@
+"""SkipNet-like dynamic block skipping (baseline of Figure 2).
+
+SkipNet [48] learns per-block gates that decide, per input, whether to
+execute or bypass each residual block.  We reproduce the mechanism with a
+differentiable relaxation suited to a numpy substrate: each block has a
+tiny gate network over globally-pooled features; training uses the soft
+gate value with an L1 sparsity penalty (the compute target), and inference
+thresholds the gate to a hard skip, so the FLOPs saving is real.
+
+The paper's point about this baseline is that its cost control is
+*emergent* rather than prescribed — the realized FLOPs depend on the input
+distribution and the penalty weight, not on a dial — which is exactly the
+behaviour this implementation exhibits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.resnet import SlicedResNet
+from ..nn.linear import Linear
+from ..nn.module import Module, ModuleList
+from ..nn.pooling import GlobalAvgPool2d
+from ..tensor import Tensor, cross_entropy
+
+
+class SkipGate(Module):
+    """Per-block gate: pooled features -> scalar execute-probability."""
+
+    def __init__(self, channels: int, rng: np.random.Generator):
+        super().__init__()
+        self.pool = GlobalAvgPool2d()
+        self.fc = Linear(channels, 1, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.fc(self.pool(x)).sigmoid()
+
+
+class AlwaysExecute(Module):
+    """Placeholder gate for blocks that must always run (shape changes)."""
+
+    def forward(self, *args, **kwargs):
+        raise RuntimeError("AlwaysExecute must not be called")
+
+
+class SkipNetLike(Module):
+    """ResNet whose shape-preserving blocks can be skipped per input.
+
+    Parameters
+    ----------
+    backbone:
+        A :class:`SlicedResNet`, used at full width (SkipNet does not
+        slice channels).
+    skip_penalty:
+        Weight of the mean-gate penalty; larger values push the model to
+        skip more blocks (lower average FLOPs, lower accuracy).
+    threshold:
+        Hard-gate threshold at inference.
+    """
+
+    def __init__(self, backbone: SlicedResNet, skip_penalty: float = 0.05,
+                 threshold: float = 0.5, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.backbone = backbone
+        self.skip_penalty = skip_penalty
+        self.threshold = threshold
+        self.gates = ModuleList()
+        for block in backbone.blocks:
+            if block.shortcut is None:
+                self.gates.append(SkipGate(block.in_channels, rng))
+            else:
+                self.gates.append(AlwaysExecute())
+
+    def forward(self, x: Tensor, hard: bool | None = None
+                ) -> tuple[Tensor, list]:
+        """Return ``(logits, gates)``.
+
+        With soft gating (training) ``gates`` holds the gate *tensors*
+        (for the penalty term); with hard gating (inference) it holds the
+        realized execute decisions as floats, and skipped blocks genuinely
+        cost nothing.
+        """
+        hard = (not self.training) if hard is None else hard
+        gates: list = []
+        x = self.backbone.stem(x)
+        for block, gate in zip(self.backbone.blocks, self.gates):
+            if isinstance(gate, AlwaysExecute):
+                x = block(x)
+                gates.append(1.0 if hard else None)
+                continue
+            g = gate(x)
+            if hard:
+                execute = float(g.data.mean()) >= self.threshold
+                gates.append(1.0 if execute else 0.0)
+                if execute:
+                    x = block(x)
+            else:
+                gates.append(g)
+                residual = block(x) - x
+                x = x + residual * g.reshape(g.shape[0], 1, 1, 1)
+        x = self.backbone.final_norm(x).relu()
+        x = self.backbone.global_pool(x)
+        return self.backbone.head(x), gates
+
+    def loss(self, inputs: Tensor, targets: np.ndarray) -> Tensor:
+        """Cross-entropy plus the execute-penalty on the soft gates."""
+        logits, gates = self.forward(inputs, hard=False)
+        task = cross_entropy(logits, targets)
+        soft = [g for g in gates if isinstance(g, Tensor)]
+        if not soft:
+            return task
+        penalty = soft[0].mean()
+        for g in soft[1:]:
+            penalty = penalty + g.mean()
+        return task + penalty * (self.skip_penalty / len(soft))
+
+    def execution_fraction(self, inputs: Tensor) -> float:
+        """Fraction of gated blocks executed on ``inputs`` (hard mode)."""
+        was_training = self.training
+        self.eval()
+        try:
+            _, gates = self.forward(inputs, hard=True)
+        finally:
+            self.train(was_training)
+        decisions = [g for g, gate in zip(gates, self.gates)
+                     if isinstance(gate, SkipGate)]
+        return float(np.mean(decisions)) if decisions else 1.0

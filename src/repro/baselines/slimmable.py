@@ -1,0 +1,51 @@
+"""SlimmableNet baseline (Yu et al. [52]; Table 1's ``Slimmable`` column).
+
+SlimmableNet trains one network executable at a fixed set of widths by
+(1) scheduling *all* candidate widths on every batch (static scheduling)
+and (2) giving each width its own batch-norm layer (multi-BN).  Both
+ingredients already exist in this library, so the baseline is a thin
+factory: a model built with ``norm="multi_bn"`` plus a
+:class:`~repro.slicing.schemes.StaticScheme`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..models.resnet import SlicedResNet
+from ..models.vgg import SlicedVGG
+from ..optim import SGD
+from ..slicing.schemes import StaticScheme
+from ..slicing.trainer import SliceTrainer
+
+
+def slimmable_vgg(plan_or_mini: str = "mini", rates: Sequence[float] = (),
+                  num_classes: int = 8, width: int = 16,
+                  seed: int = 0) -> SlicedVGG:
+    """A VGG configured the SlimmableNet way (multi-BN)."""
+    if plan_or_mini != "mini":
+        raise ValueError("only the CPU-scale 'mini' configuration is provided")
+    return SlicedVGG.cifar_mini(num_classes=num_classes, width=width,
+                                norm="multi_bn", rates=list(rates), seed=seed)
+
+
+def slimmable_resnet(rates: Sequence[float], num_classes: int = 8,
+                     blocks: int = 2, base_channels: int = 8,
+                     seed: int = 0) -> SlicedResNet:
+    """A ResNet configured the SlimmableNet way (multi-BN)."""
+    return SlicedResNet.cifar_mini(num_classes=num_classes, blocks=blocks,
+                                   base_channels=base_channels,
+                                   norm="multi_bn", rates=list(rates),
+                                   seed=seed)
+
+
+def slimmable_trainer(model, rates: Sequence[float], lr: float,
+                      momentum: float = 0.9, weight_decay: float = 1e-4,
+                      seed: int = 0) -> SliceTrainer:
+    """A :class:`SliceTrainer` using SlimmableNet's static scheduling."""
+    optimizer = SGD(model.parameters(), lr=lr, momentum=momentum,
+                    weight_decay=weight_decay)
+    return SliceTrainer(model, StaticScheme(list(rates)), optimizer,
+                        rng=np.random.default_rng(seed))

@@ -1,0 +1,153 @@
+"""Network Slimming baseline (Liu et al. [35]; Figure 2 of the paper).
+
+Pipeline faithfully reproduced at group granularity:
+
+1. train the full network with an L1 sparsity penalty on the
+   normalization scale factors (gamma);
+2. rank channel groups globally by mean ``|gamma|`` and prune the lowest
+   ones (keeping at least one group per layer);
+3. materialize a physically smaller network with the surviving groups'
+   weights gathered in, and fine-tune it.
+
+The resulting model is efficient but *static*: each target budget needs
+its own prune+fine-tune cycle, and there is no inference-time cost
+control — the limitation the paper contrasts against model slicing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..models.vgg import SlicedVGG
+from ..nn.conv import Conv2d
+from ..nn.linear import Linear
+from ..nn.module import Module
+from ..nn.norm import GroupNorm
+from ..nn.pooling import GlobalAvgPool2d, MaxPool2d
+from ..slicing.layers import SlicedConv2d, SlicedGroupNorm
+from ..tensor import Tensor, cross_entropy
+
+
+def l1_scale_penalty(model: Module) -> Tensor:
+    """Sum of ``|gamma|`` over all sliced group-norm layers."""
+    total = None
+    for module in model.modules():
+        if isinstance(module, SlicedGroupNorm):
+            term = module.weight.abs().sum()
+            total = term if total is None else total + term
+    if total is None:
+        raise ConfigError("model has no SlicedGroupNorm layers to penalize")
+    return total
+
+
+def sparsity_loss_fn(model: Module, l1_weight: float):
+    """Loss function for the sparsity-training phase of slimming."""
+
+    def loss_fn(logits: Tensor, targets: np.ndarray) -> Tensor:
+        return cross_entropy(logits, targets) \
+            + l1_scale_penalty(model) * l1_weight
+
+    return loss_fn
+
+
+class PrunedVGG(Module):
+    """A physically compacted VGG built from surviving channel groups."""
+
+    def __init__(self, conv_specs: list[dict], pools_after: set[int],
+                 head_in: int, num_classes: int):
+        super().__init__()
+        self._ops: list[tuple[str, Module]] = []
+        for i, spec in enumerate(conv_specs):
+            conv = Conv2d(spec["in"], spec["out"], 3, padding=1, bias=False,
+                          rng=np.random.default_rng(0))
+            conv.weight.data[...] = spec["weight"]
+            self.register_module(f"conv{i}", conv)
+            self._ops.append(("conv", conv))
+            norm = GroupNorm(spec["groups"], spec["out"])
+            norm.weight.data[...] = spec["gamma"]
+            norm.bias.data[...] = spec["beta"]
+            self.register_module(f"norm{i}", norm)
+            self._ops.append(("norm", norm))
+            if i in pools_after:
+                pool = MaxPool2d(2)
+                self.register_module(f"pool{i}", pool)
+                self._ops.append(("pool", pool))
+        self.global_pool = GlobalAvgPool2d()
+        self.head = Linear(head_in, num_classes,
+                           rng=np.random.default_rng(1))
+
+    def forward(self, x: Tensor) -> Tensor:
+        for kind, op in self._ops:
+            x = op(x)
+            if kind == "norm":
+                x = x.relu()
+        return self.head(self.global_pool(x))
+
+
+def prune_vgg(model: SlicedVGG, keep_fraction: float) -> PrunedVGG:
+    """Prune a sparsity-trained :class:`SlicedVGG` at group granularity.
+
+    Groups are ranked globally by mean ``|gamma|``; the lowest
+    ``1 - keep_fraction`` of all groups are removed, with a one-group
+    floor per layer.
+    """
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ConfigError(f"keep_fraction must be in (0, 1], got {keep_fraction}")
+    convs = [op for kind, op in model._ops if kind == "conv"]
+    norms = [op for kind, op in model._ops if kind == "norm"]
+    if not all(isinstance(n, SlicedGroupNorm) for n in norms):
+        raise ConfigError("prune_vgg expects a group-norm SlicedVGG")
+
+    # Global ranking of (layer, group) by mean |gamma|.
+    scored: list[tuple[float, int, int]] = []
+    for layer_idx, norm in enumerate(norms):
+        means = norm.group_scale_means()
+        for group_idx, score in enumerate(means):
+            scored.append((float(score), layer_idx, group_idx))
+    keep_count = max(len(norms), int(round(keep_fraction * len(scored))))
+    scored.sort(reverse=True)
+    kept: dict[int, set[int]] = {i: set() for i in range(len(norms))}
+    for score, layer_idx, group_idx in scored[:keep_count]:
+        kept[layer_idx].add(group_idx)
+    for layer_idx, norm in enumerate(norms):  # one-group floor
+        if not kept[layer_idx]:
+            best = int(np.argmax(norm.group_scale_means()))
+            kept[layer_idx].add(best)
+
+    # Gather surviving channels layer by layer.
+    conv_specs: list[dict] = []
+    pools_after: set[int] = set()
+    conv_index = -1
+    previous_channels: np.ndarray | None = None  # surviving input channels
+    for kind, op in model._ops:
+        if kind == "conv":
+            conv_index += 1
+            conv: SlicedConv2d = op
+            norm: SlicedGroupNorm = norms[conv_index]
+            groups = sorted(kept[conv_index])
+            gsize = norm.group_size
+            out_idx = np.concatenate(
+                [np.arange(g * gsize, (g + 1) * gsize) for g in groups]
+            )
+            in_idx = (previous_channels if previous_channels is not None
+                      else np.arange(conv.in_channels))
+            weight = conv.weight.data[np.ix_(out_idx, in_idx)]
+            conv_specs.append({
+                "in": len(in_idx),
+                "out": len(out_idx),
+                "groups": len(groups),
+                "weight": weight,
+                "gamma": norm.weight.data[out_idx],
+                "beta": norm.bias.data[out_idx],
+            })
+            previous_channels = out_idx
+        elif kind == "pool":
+            pools_after.add(conv_index)
+
+    pruned = PrunedVGG(conv_specs, pools_after, len(previous_channels),
+                       model.num_classes)
+    # The head keeps the surviving input columns of the original head.
+    pruned.head.weight.data[...] = model.head.weight.data[:, previous_channels]
+    pruned.head.bias.data[...] = model.head.bias.data
+    return pruned

@@ -1,0 +1,185 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``info``
+    Print library version and the standard experiment configuration.
+``demo``
+    Train a small sliced model and print its accuracy per rate.
+``reproduce ARTIFACT``
+    Compute one of the paper's tables/figures via the cached experiment
+    suites and print the paper-style rows (same output as the matching
+    benchmark, without pytest).
+``serve-demo``
+    Run the Sec. 4.1 dynamic-workload serving simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import __version__
+
+
+def _cmd_info(args) -> int:
+    from .experiments import ImageExperimentConfig, TextExperimentConfig
+
+    print(f"repro {__version__} — Model Slicing (Cai et al., PVLDB 2019)")
+    print("\nimage experiment protocol:")
+    for key, value in vars(ImageExperimentConfig()).items():
+        print(f"  {key} = {value}")
+    print("\ntext experiment protocol:")
+    for key, value in vars(TextExperimentConfig()).items():
+        print(f"  {key} = {value}")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    import numpy as np
+
+    from .data import ArrayDataset, DataLoader
+    from .models import MLP
+    from .optim import SGD
+    from .slicing import RandomStaticScheme, SliceTrainer
+
+    rng = np.random.default_rng(args.seed)
+    weights = rng.normal(size=(16, 4))
+    inputs = rng.normal(size=(1536, 16)).astype(np.float32)
+    labels = (inputs @ weights).argmax(axis=1)
+    train = ArrayDataset(inputs[:1024], labels[:1024])
+    test = ArrayDataset(inputs[1024:], labels[1024:])
+
+    rates = [0.25, 0.5, 0.75, 1.0]
+    model = MLP(16, [64, 64], 4, seed=args.seed)
+    trainer = SliceTrainer(model, RandomStaticScheme(rates, num_random=1),
+                           SGD(model.parameters(), lr=0.05, momentum=0.9),
+                           rng=rng)
+    print(f"training a sliced MLP for {args.epochs} epochs ...")
+    trainer.fit(lambda: DataLoader(train, 64, shuffle=True,
+                                   rng=np.random.default_rng(args.seed + 1)),
+                epochs=args.epochs)
+    results = trainer.evaluate(DataLoader(test, 256), rates=rates)
+    for rate in rates:
+        print(f"  Subnet-{rate}: accuracy {results[rate]['accuracy']:.3f}")
+    return 0
+
+
+ARTIFACTS = {
+    "table1": ("vgg_suite", "scheduling_experiment"),
+    "table2": ("nnlm_suite", "nnlm_experiment"),
+    "table4": ("vgg_suite", "sliced_vgg_experiment"),
+    "table5": ("cascade_suite", "cascade_experiment"),
+    "figure2": ("resnet_suite", "sliced_resnet_experiment"),
+    "figure3": ("vgg_suite", "lower_bound_experiment"),
+    "figure4": ("nnlm_suite", "nnlm_experiment"),
+    "figure5": ("vgg_suite", "sliced_vgg_experiment"),
+    "serving": ("serving_suite", "serving_experiment"),
+}
+
+
+def _cmd_reproduce(args) -> int:
+    import importlib
+    import json
+
+    from .experiments import (
+        ExperimentCache,
+        ImageExperimentConfig,
+        ServingExperimentConfig,
+        TextExperimentConfig,
+    )
+
+    if args.artifact not in ARTIFACTS:
+        print(f"unknown artifact {args.artifact!r}; choose from "
+              f"{sorted(ARTIFACTS)}", file=sys.stderr)
+        return 2
+    module_name, func_name = ARTIFACTS[args.artifact]
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    func = getattr(module, func_name)
+    cache = ExperimentCache()
+    if module_name == "nnlm_suite":
+        result = func(TextExperimentConfig(), cache)
+    elif module_name == "serving_suite":
+        result = func(ImageExperimentConfig(), ServingExperimentConfig(),
+                      cache)
+    else:
+        result = func(ImageExperimentConfig(), cache)
+    print(json.dumps(result, indent=1))
+    return 0
+
+
+def _cmd_serve_demo(args) -> int:
+    import numpy as np
+
+    from .serving import (
+        FixedRateController,
+        SliceRateController,
+        diurnal_rate,
+        generate_arrivals,
+        simulate_serving,
+    )
+
+    rates = [0.25, 0.5, 0.75, 1.0]
+    accuracy = {0.25: 0.62, 0.5: 0.85, 0.75: 0.91, 1.0: 0.94}
+    intensity = diurnal_rate(args.base_rate, args.peak_ratio, 60.0)
+    arrivals = generate_arrivals(intensity, args.duration,
+                                 np.random.default_rng(args.seed))
+    print(f"{len(arrivals)} queries over {args.duration}s, "
+          f"{args.peak_ratio}x volatility\n")
+    controllers = {
+        "model slicing": SliceRateController(rates, 0.002, 0.1),
+        "fixed full": FixedRateController(1.0, 0.002, 0.1),
+        "fixed small": FixedRateController(0.25, 0.002, 0.1),
+    }
+    for name, controller in controllers.items():
+        report = simulate_serving(arrivals, controller, 0.002, 0.1,
+                                  accuracy, args.duration)
+        print(f"{name:<14} dropped={report.drop_fraction:.2%} "
+              f"slo_miss={report.slo_violations} "
+              f"accuracy={report.mean_accuracy:.3f} "
+              f"mean_rate={report.mean_rate:.3f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Model Slicing reproduction (Cai et al., PVLDB 2019)",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="print version and experiment protocols")
+
+    demo = sub.add_parser("demo", help="train a small sliced model")
+    demo.add_argument("--epochs", type=int, default=20)
+    demo.add_argument("--seed", type=int, default=0)
+
+    rep = sub.add_parser("reproduce",
+                         help="compute a paper artifact (JSON output)")
+    rep.add_argument("artifact", choices=sorted(ARTIFACTS))
+
+    serve = sub.add_parser("serve-demo",
+                           help="run the Sec 4.1 serving simulation")
+    serve.add_argument("--base-rate", type=float, default=100.0)
+    serve.add_argument("--peak-ratio", type=float, default=16.0)
+    serve.add_argument("--duration", type=float, default=120.0)
+    serve.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "demo": _cmd_demo,
+        "reproduce": _cmd_reproduce,
+        "serve-demo": _cmd_serve_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

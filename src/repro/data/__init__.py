@@ -1,0 +1,18 @@
+"""Data substrate: loaders, synthetic image and text datasets."""
+
+from .datasets import ArrayDataset, DataLoader
+from .synthetic_images import SyntheticImageTask
+from .synthetic_text import SyntheticTextCorpus, batchify, bptt_windows
+from .augment import normalize, pad_crop, pad_crop_flip
+
+__all__ = [
+    "ArrayDataset",
+    "DataLoader",
+    "SyntheticImageTask",
+    "SyntheticTextCorpus",
+    "batchify",
+    "bptt_windows",
+    "normalize",
+    "pad_crop",
+    "pad_crop_flip",
+]

@@ -1,0 +1,85 @@
+"""Dataset and loader abstractions."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..errors import DataError
+
+
+class ArrayDataset:
+    """An in-memory supervised dataset of ``(inputs, targets)`` arrays."""
+
+    def __init__(self, inputs: np.ndarray, targets: np.ndarray):
+        if len(inputs) != len(targets):
+            raise DataError(
+                f"inputs ({len(inputs)}) and targets ({len(targets)}) differ"
+            )
+        if len(inputs) == 0:
+            raise DataError("dataset must not be empty")
+        self.inputs = inputs
+        self.targets = targets
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        """A new dataset restricted to ``indices``."""
+        return ArrayDataset(self.inputs[indices], self.targets[indices])
+
+    def split(self, fraction: float, rng: np.random.Generator
+              ) -> tuple["ArrayDataset", "ArrayDataset"]:
+        """Random split into ``(fraction, 1 - fraction)`` parts."""
+        if not 0 < fraction < 1:
+            raise DataError(f"split fraction must be in (0, 1), got {fraction}")
+        order = rng.permutation(len(self))
+        cut = int(round(fraction * len(self)))
+        if cut == 0 or cut == len(self):
+            raise DataError("split produced an empty part")
+        return self.subset(order[:cut]), self.subset(order[cut:])
+
+
+class DataLoader:
+    """Mini-batch iterator over an :class:`ArrayDataset`.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to iterate.
+    batch_size:
+        Samples per batch (the final partial batch is kept).
+    shuffle:
+        Whether to reshuffle on every iteration.
+    transform:
+        Optional ``transform(inputs, rng) -> inputs`` applied per batch
+        (data augmentation).
+    rng:
+        Generator used for shuffling and the transform.
+    """
+
+    def __init__(self, dataset: ArrayDataset, batch_size: int,
+                 shuffle: bool = False,
+                 transform: Callable | None = None,
+                 rng: np.random.Generator | None = None):
+        if batch_size <= 0:
+            raise DataError(f"batch_size must be positive, got {batch_size}")
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.transform = transform
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def __len__(self) -> int:
+        return (len(self.dataset) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = len(self.dataset)
+        order = self.rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            idx = order[start:start + self.batch_size]
+            inputs = self.dataset.inputs[idx]
+            if self.transform is not None:
+                inputs = self.transform(inputs, self.rng)
+            yield inputs, self.dataset.targets[idx]

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without also swallowing programming
+errors such as ``TypeError``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError):
+    """An operation received tensors with incompatible shapes."""
+
+
+class GradError(ReproError):
+    """Autograd misuse, e.g. backward on a tensor that has no graph."""
+
+
+class SliceRateError(ReproError):
+    """An invalid slice rate or slice-rate list was supplied."""
+
+
+class SchedulingError(ReproError):
+    """A slice-rate scheduling scheme was misconfigured."""
+
+
+class BudgetError(ReproError):
+    """A resource budget cannot be satisfied by any valid slice rate."""
+
+
+class ConfigError(ReproError):
+    """A model or component was constructed with invalid configuration."""
+
+
+class DataError(ReproError):
+    """A dataset or loader was asked for something it cannot provide."""
+
+
+class ServingError(ReproError):
+    """The serving simulator or controller hit an invalid state."""

@@ -1,0 +1,41 @@
+"""Experiment suites reproducing every table and figure of the paper.
+
+Each suite function is deterministic, returns a JSON-serializable dict,
+and caches its result on disk (see :class:`~repro.experiments.cache.ExperimentCache`),
+because several artifacts share trained models.  The benchmark harness
+under ``benchmarks/`` consumes these and prints the paper-style rows.
+"""
+
+from .cache import ExperimentCache
+from .config import (
+    RATE_GRID_4,
+    RATE_GRID_8,
+    ImageExperimentConfig,
+    ServingExperimentConfig,
+    TextExperimentConfig,
+)
+from . import (
+    ablation_suite,
+    cascade_suite,
+    harness,
+    nnlm_suite,
+    resnet_suite,
+    serving_suite,
+    vgg_suite,
+)
+
+__all__ = [
+    "ExperimentCache",
+    "ImageExperimentConfig",
+    "TextExperimentConfig",
+    "ServingExperimentConfig",
+    "RATE_GRID_4",
+    "RATE_GRID_8",
+    "harness",
+    "ablation_suite",
+    "vgg_suite",
+    "resnet_suite",
+    "nnlm_suite",
+    "cascade_suite",
+    "serving_suite",
+]

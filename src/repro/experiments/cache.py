@@ -1,0 +1,81 @@
+"""Disk cache for experiment artifacts.
+
+Training even the CPU-scale models takes tens of seconds, and several
+tables/figures share the same trained models, so every experiment result
+(a JSON-serializable dict) is cached on disk under a stable key.  Delete
+the cache directory (``.exp_cache`` by default) to force recomputation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Callable
+
+_DEFAULT_ROOT = os.environ.get(
+    "REPRO_CACHE_DIR",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))), ".exp_cache"),
+)
+
+
+class ExperimentCache:
+    """A trivially simple key -> JSON store."""
+
+    def __init__(self, root: str | None = None):
+        self.root = root if root is not None else _DEFAULT_ROOT
+
+    def path(self, key: str) -> str:
+        safe = key.replace("/", "_")
+        return os.path.join(self.root, safe + ".json")
+
+    def get(self, key: str):
+        """The cached value for ``key``, or None."""
+        path = self.path(key)
+        if not os.path.exists(path):
+            return None
+        with open(path) as handle:
+            return json.load(handle)
+
+    def put(self, key: str, value) -> None:
+        """Store a JSON-serializable ``value`` under ``key``."""
+        os.makedirs(self.root, exist_ok=True)
+        path = self.path(key)
+        with open(path, "w") as handle:
+            json.dump(value, handle, indent=1, default=_jsonify)
+
+    def get_or_compute(self, key: str, compute: Callable[[], object]):
+        """Return the cached value, computing and storing it if absent."""
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        value = compute()
+        self.put(key, value)
+        return self.get(key)
+
+
+def experiment_key(name: str, *configs) -> str:
+    """Cache key for an experiment: the name plus a config fingerprint.
+
+    Any change to any field of the governing config(s) invalidates the
+    cached artifact, so stale results can never be served after a
+    protocol change.
+    """
+    payload = [dataclasses.asdict(cfg) for cfg in configs]
+    blob = json.dumps(payload, sort_keys=True, default=_jsonify)
+    digest = hashlib.sha1(blob.encode()).hexdigest()[:10]
+    return f"{name}-{digest}"
+
+
+def _jsonify(value):
+    import numpy as np
+
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"cannot serialize {type(value)}")

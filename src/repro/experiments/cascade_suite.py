@@ -1,0 +1,64 @@
+"""Cascade ranking experiment — Table 5.
+
+Pure post-processing of the cached VGG predictions: the cascade's
+per-stage precision and aggregate recall only depend on each stage's
+predicted labels, which the VGG suite already produced for both the sliced
+model's subnets and the independently trained fixed models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cache import ExperimentCache, experiment_key
+from .config import ImageExperimentConfig
+from .vgg_suite import fixed_vgg_ensemble_experiment, sliced_vgg_experiment
+
+#: The six stage widths of the paper's Table 5.
+STAGE_RATES = [0.375, 0.5, 0.625, 0.75, 0.875, 1.0]
+
+
+def _cascade_rows(predictions: dict[str, list[int]], labels: np.ndarray,
+                  rates: list[float]) -> list[dict]:
+    correct_so_far = np.ones(len(labels), dtype=bool)
+    rows = []
+    for rate in rates:
+        preds = np.asarray(predictions[str(rate)])
+        correct = preds == labels
+        correct_so_far &= correct
+        rows.append({
+            "rate": rate,
+            "precision": float(correct.mean()),
+            "aggregate_recall": float(correct_so_far.mean()),
+        })
+    return rows
+
+
+def cascade_experiment(cfg: ImageExperimentConfig,
+                       cache: ExperimentCache) -> dict:
+    """Six-stage cascade: sliced subnets vs. independent fixed models."""
+
+    def compute() -> dict:
+        sliced = sliced_vgg_experiment(cfg, cache)
+        fixed = fixed_vgg_ensemble_experiment(cfg, cache)
+        labels = np.asarray(sliced["labels"])
+        rates = [r for r in STAGE_RATES if str(r) in sliced["predictions"]]
+        costs = sliced["costs"]
+        rows_sliced = _cascade_rows(sliced["predictions"], labels, rates)
+        rows_fixed = _cascade_rows(fixed["predictions"], labels, rates)
+        for row in rows_sliced + rows_fixed:
+            cost = costs[str(row["rate"])]
+            row["flops"] = cost["flops"]
+            row["params"] = cost["params"]
+        # Deployment cost: the fixed cascade stores every member; the
+        # sliced cascade stores one full model.
+        total_fixed_params = sum(costs[str(r)]["params"] for r in rates)
+        return {
+            "rates": rates,
+            "model_slicing": rows_sliced,
+            "cascade_model": rows_fixed,
+            "sliced_total_params": costs[str(max(rates))]["params"],
+            "fixed_total_params": total_fixed_params,
+        }
+
+    return cache.get_or_compute(experiment_key("cascade_table5", cfg), compute)

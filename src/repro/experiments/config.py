@@ -1,0 +1,88 @@
+"""Standard experiment configurations.
+
+One source of truth for the CPU-scale experiment protocol.  The paper's
+protocol (300 epochs of VGG-13 on CIFAR-10, 100 epochs of ResNet-50 on
+ImageNet, ...) is scaled to a single CPU core: the same training scheme,
+schedulers and rate grids, applied to mini architectures on the seeded
+synthetic datasets (see DESIGN.md for the substitution rationale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: The paper's 1/8-granularity rate grid from lb=0.25 to the full net.
+RATE_GRID_8 = [0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0]
+#: The coarse grid used by Table 1 and the scheduling study.
+RATE_GRID_4 = [0.25, 0.5, 0.75, 1.0]
+
+
+@dataclass
+class ImageExperimentConfig:
+    """Protocol for the CNN experiments (Tables 1, 4; Figures 2, 3, 5-8)."""
+
+    num_classes: int = 8
+    image_size: int = 16
+    noise: float = 1.0
+    components: int = 6
+    data_seed: int = 7
+    train_size: int = 1200
+    test_size: int = 600
+    batch_size: int = 64
+    eval_batch_size: int = 256
+    epochs: int = 24
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    vgg_width: int = 16
+    resnet_blocks: int = 2
+    resnet_base_channels: int = 8
+    #: Sliced-ResNet training LR.  Gradient averaging across scheduled
+    #: subnets shrinks the effective step, and the residual topology
+    #: tolerates (and needs) a larger base LR than the plain VGG.
+    resnet_sliced_lr: float = 0.15
+    rates: list[float] = field(default_factory=lambda: list(RATE_GRID_8))
+    coarse_rates: list[float] = field(default_factory=lambda: list(RATE_GRID_4))
+    lower_bound: float = 0.25
+    seed: int = 0
+
+
+@dataclass
+class TextExperimentConfig:
+    """Protocol for the NNLM experiments (Table 2, Figure 4)."""
+
+    vocab_size: int = 150
+    num_states: int = 8
+    train_tokens: int = 16000
+    valid_tokens: int = 3000
+    test_tokens: int = 3000
+    data_seed: int = 11
+    embed_dim: int = 48
+    hidden_size: int = 48
+    num_layers: int = 2
+    dropout: float = 0.2
+    batch_size: int = 16
+    bptt: int = 20
+    epochs: int = 8
+    lr: float = 4.0
+    grad_clip: float = 0.25
+    rates: list[float] = field(default_factory=lambda: list(RATE_GRID_8))
+    lower_bound: float = 0.375
+    seed: int = 0
+
+
+@dataclass
+class ServingExperimentConfig:
+    """Protocol for the dynamic-workload serving study (Sec. 4.1)."""
+
+    latency_slo: float = 0.1
+    full_latency_per_sample: float = 0.002
+    base_rate: float = 100.0
+    peak_ratio: float = 16.0
+    period: float = 60.0
+    duration: float = 120.0
+    spike_start: float = 30.0
+    spike_duration: float = 10.0
+    spike_factor: float = 2.0
+    seed: int = 3

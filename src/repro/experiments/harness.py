@@ -1,0 +1,142 @@
+"""Shared harness for the experiment suites.
+
+Builds the standard datasets, loaders, models and training runs used by
+the table/figure reproductions.  Every function is deterministic given the
+config seeds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..data import ArrayDataset, DataLoader, SyntheticImageTask, pad_crop
+from ..models import SlicedResNet, SlicedVGG
+from ..nn.module import Module
+from ..optim import SGD, MultiStepLR
+from ..slicing import (
+    FixedScheme,
+    RandomStaticScheme,
+    Scheme,
+    SliceTrainer,
+    slice_rate,
+)
+from ..tensor import Tensor, no_grad
+from .config import ImageExperimentConfig
+
+
+def build_image_task(cfg: ImageExperimentConfig) -> dict[str, ArrayDataset]:
+    """The standard synthetic image splits for a config."""
+    task = SyntheticImageTask(
+        num_classes=cfg.num_classes, image_size=cfg.image_size,
+        noise=cfg.noise, components=cfg.components, seed=cfg.data_seed,
+    )
+    return task.build(train_size=cfg.train_size, test_size=cfg.test_size)
+
+
+def train_loader_fn(cfg: ImageExperimentConfig, splits,
+                    augment: bool = True, seed_offset: int = 0) -> Callable:
+    """A fresh-loader factory for :meth:`SliceTrainer.fit`.
+
+    Augmentation is pad+crop only: the synthetic texture classes are
+    orientation-defined, so horizontal flips would corrupt the labels.
+    """
+    transform = pad_crop(pad=2) if augment else None
+
+    def make():
+        return DataLoader(splits["train"], cfg.batch_size, shuffle=True,
+                          transform=transform,
+                          rng=np.random.default_rng(cfg.seed + 50 + seed_offset))
+
+    return make
+
+
+def eval_loader_fn(cfg: ImageExperimentConfig, splits) -> Callable:
+    def make():
+        return DataLoader(splits["test"], cfg.eval_batch_size)
+
+    return make
+
+
+def make_vgg(cfg: ImageExperimentConfig, seed: int | None = None,
+             norm: str = "group", rates: Sequence[float] | None = None
+             ) -> SlicedVGG:
+    return SlicedVGG.cifar_mini(
+        num_classes=cfg.num_classes, width=cfg.vgg_width, norm=norm,
+        rates=rates, seed=cfg.seed if seed is None else seed,
+    )
+
+
+def make_resnet(cfg: ImageExperimentConfig, seed: int | None = None,
+                blocks: int | None = None, widen: int = 1,
+                norm: str = "group", rates: Sequence[float] | None = None
+                ) -> SlicedResNet:
+    return SlicedResNet.cifar_mini(
+        num_classes=cfg.num_classes,
+        blocks=cfg.resnet_blocks if blocks is None else blocks,
+        base_channels=cfg.resnet_base_channels, widen=widen,
+        norm=norm, rates=rates, seed=cfg.seed if seed is None else seed,
+    )
+
+
+def make_optimizer(cfg: ImageExperimentConfig, model: Module) -> SGD:
+    return SGD(model.parameters(), lr=cfg.lr, momentum=cfg.momentum,
+               weight_decay=cfg.weight_decay)
+
+
+def default_scheme(cfg: ImageExperimentConfig,
+                   rates: Sequence[float] | None = None) -> Scheme:
+    """The reporting scheme: R-min-max (paper's choice for larger data)."""
+    rates = list(cfg.rates) if rates is None else list(rates)
+    if len(rates) == 1:
+        return FixedScheme(rates[0])
+    return RandomStaticScheme(rates, include_min=True, include_max=True,
+                              num_random=2)
+
+
+def train_model(cfg: ImageExperimentConfig, model: Module, scheme: Scheme,
+                splits, loss_fn=None, epochs: int | None = None,
+                epoch_hook=None, eval_rates: Sequence[float] | None = None,
+                augment: bool = True, trainer_seed: int = 1) -> SliceTrainer:
+    """Run the standard training recipe and return the trainer."""
+    from ..tensor import cross_entropy
+
+    epochs = cfg.epochs if epochs is None else epochs
+    optimizer = make_optimizer(cfg, model)
+    trainer = SliceTrainer(model, scheme, optimizer,
+                           loss_fn=loss_fn or cross_entropy,
+                           rng=np.random.default_rng(cfg.seed + trainer_seed))
+    schedule = MultiStepLR.cifar_recipe(optimizer, epochs)
+    eval_fn = eval_loader_fn(cfg, splits) if epoch_hook is not None else None
+    trainer.fit(
+        train_loader_fn(cfg, splits, augment=augment),
+        eval_loader_fn=eval_fn,
+        epochs=epochs, eval_rates=eval_rates, lr_schedule=schedule,
+        epoch_hook=epoch_hook,
+    )
+    return trainer
+
+
+def predictions_at_rates(model: Module, inputs: np.ndarray,
+                         rates: Sequence[float],
+                         batch_size: int = 256) -> dict[float, np.ndarray]:
+    """Predicted labels of every ``Subnet-r`` on ``inputs``."""
+    model.eval()
+    out: dict[float, np.ndarray] = {}
+    for rate in rates:
+        preds = []
+        with no_grad():
+            with slice_rate(rate):
+                for start in range(0, len(inputs), batch_size):
+                    logits = model(Tensor(inputs[start:start + batch_size]))
+                    preds.append(logits.data.argmax(axis=1))
+        out[rate] = np.concatenate(preds)
+    return out
+
+
+def accuracy_table(predictions: dict[float, np.ndarray],
+                   labels: np.ndarray) -> dict[float, float]:
+    """Accuracy per rate from cached predictions."""
+    return {rate: float((pred == labels).mean())
+            for rate, pred in predictions.items()}

@@ -1,0 +1,144 @@
+"""NNLM experiment suite — Table 2 and Figure 4.
+
+Three rows, as in the paper:
+
+* ``NNLM-1.0``   — conventionally trained full model, sliced directly;
+* ``NNLM-<lb>``  — trained with model slicing from the lower bound;
+* ``NNLM-fixed`` — an ensemble of individually trained fixed-width models.
+
+Training follows the paper's recipe scaled down: truncated BPTT, plain
+SGD with gradient clipping, LR quartered when validation perplexity stops
+improving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data import SyntheticTextCorpus, batchify, bptt_windows
+from ..metrics import measured_flops, perplexity
+from ..models import NNLM
+from ..optim import SGD, PlateauDecay, clip_grad_norm
+from ..slicing import (
+    FixedScheme,
+    RandomStaticScheme,
+    Scheme,
+    slice_rate,
+)
+from ..tensor import no_grad
+from .cache import ExperimentCache, experiment_key
+from .config import TextExperimentConfig
+
+
+def build_text_task(cfg: TextExperimentConfig) -> dict[str, np.ndarray]:
+    corpus = SyntheticTextCorpus(vocab_size=cfg.vocab_size,
+                                 num_states=cfg.num_states,
+                                 seed=cfg.data_seed)
+    return corpus.build(train_tokens=cfg.train_tokens,
+                        valid_tokens=cfg.valid_tokens,
+                        test_tokens=cfg.test_tokens)
+
+
+def make_nnlm(cfg: TextExperimentConfig, seed: int | None = None) -> NNLM:
+    return NNLM(vocab_size=cfg.vocab_size, embed_dim=cfg.embed_dim,
+                hidden_size=cfg.hidden_size, num_layers=cfg.num_layers,
+                dropout=cfg.dropout,
+                seed=cfg.seed if seed is None else seed)
+
+
+def evaluate_ppl(model: NNLM, stream: np.ndarray,
+                 cfg: TextExperimentConfig, rate: float) -> float:
+    """Test perplexity of ``Subnet-rate``."""
+    model.eval()
+    batched = batchify(stream, cfg.batch_size)
+    total_nll = 0.0
+    total_tokens = 0
+    with no_grad():
+        with slice_rate(rate):
+            for inputs, targets in bptt_windows(batched, cfg.bptt):
+                nll = model.sequence_nll(inputs, targets)
+                count = targets.size
+                total_nll += nll.item() * count
+                total_tokens += count
+    return perplexity(total_nll / total_tokens)
+
+
+def train_nnlm(cfg: TextExperimentConfig, scheme: Scheme,
+               streams: dict[str, np.ndarray],
+               seed: int = 0) -> NNLM:
+    """Train an NNLM under a slice-rate scheduling scheme."""
+    model = make_nnlm(cfg, seed=cfg.seed + seed)
+    optimizer = SGD(model.parameters(), lr=cfg.lr)
+    plateau = PlateauDecay(optimizer, factor=0.25)
+    rng = np.random.default_rng(cfg.seed + 200 + seed)
+    train_batched = batchify(streams["train"], cfg.batch_size)
+    for _ in range(cfg.epochs):
+        model.train()
+        for inputs, targets in bptt_windows(train_batched, cfg.bptt):
+            optimizer.zero_grad()
+            rates = scheme.sample(rng)
+            for rate in rates:
+                with slice_rate(rate):
+                    loss = model.sequence_nll(inputs, targets)
+                loss.backward()
+            if len(rates) > 1:
+                # Average across scheduled subnets (see SliceTrainer).
+                inv = 1.0 / len(rates)
+                for param in optimizer.params:
+                    if param.grad is not None:
+                        param.grad = param.grad * inv
+            clip_grad_norm(model.parameters(), cfg.grad_clip)
+            optimizer.step()
+        valid_ppl = evaluate_ppl(model, streams["valid"], cfg,
+                                 scheme.max_rate)
+        plateau.step(valid_ppl)
+    return model
+
+
+def nnlm_experiment(cfg: TextExperimentConfig,
+                    cache: ExperimentCache) -> dict:
+    """Produce the three Table 2 rows plus per-rate measured FLOPs."""
+
+    def compute() -> dict:
+        streams = build_text_task(cfg)
+        rates = cfg.rates
+        lb_rates = [r for r in rates if r >= cfg.lower_bound - 1e-9]
+
+        # Row 2: model slicing with the configured lower bound.
+        sliced = train_nnlm(
+            cfg, RandomStaticScheme(lb_rates, num_random=1), streams, seed=1,
+        )
+        sliced_ppl = {str(r): evaluate_ppl(sliced, streams["test"], cfg, r)
+                      for r in rates}
+
+        # Row 1: conventional training, direct slicing.
+        full = train_nnlm(cfg, FixedScheme(1.0), streams, seed=2)
+        full_ppl = {str(r): evaluate_ppl(full, streams["test"], cfg, r)
+                    for r in rates}
+
+        # Row 3: individually trained fixed models.
+        fixed_ppl = {}
+        for i, rate in enumerate(rates):
+            member = train_nnlm(cfg, FixedScheme(rate), streams, seed=3 + i)
+            fixed_ppl[str(rate)] = evaluate_ppl(member, streams["test"],
+                                                cfg, rate)
+
+        # Measured computation per rate (multiply-adds of one window).
+        def token_input(shape):
+            return np.zeros((cfg.bptt, 1), dtype=np.int64)
+
+        flops = {
+            str(r): int(measured_flops(sliced, (cfg.bptt, 1), rate=r,
+                                       input_builder=token_input))
+            for r in rates
+        }
+        return {
+            "rates": rates,
+            "lower_bound": cfg.lower_bound,
+            "ppl_direct": full_ppl,
+            "ppl_sliced": sliced_ppl,
+            "ppl_fixed": fixed_ppl,
+            "flops": flops,
+        }
+
+    return cache.get_or_compute(experiment_key("nnlm_table2", cfg), compute)

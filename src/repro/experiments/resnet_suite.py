@@ -1,0 +1,248 @@
+"""ResNet experiment suite — the series behind Figure 2 and Table 4 rows.
+
+Series produced (all accuracy-vs-FLOPs points on the shared dataset):
+
+* model slicing on two backbones (narrow ResNet and a 2x-wide one, the
+  paper's L164 vs L56-2 comparison: slicing works better on wider nets);
+* ensemble of fixed-width ResNets (strongest baseline);
+* ensemble of varying-depth ResNets (weaker baseline);
+* multi-classifier early exit (depth slicing, degrades fast);
+* MSDNet-like anytime model with adaptive loss balancing;
+* SkipNet-like dynamic routing at several skip penalties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.multi_classifier import MSDNetLike, MultiClassifierResNet
+from ..baselines.skipnet import SkipNetLike
+from ..metrics import measured_flops
+from ..optim import SGD, MultiStepLR
+from ..slicing import FixedScheme
+from ..tensor import Tensor, cross_entropy, no_grad
+from .cache import ExperimentCache, experiment_key
+from .config import ImageExperimentConfig
+from .harness import (
+    accuracy_table,
+    build_image_task,
+    default_scheme,
+    make_resnet,
+    predictions_at_rates,
+    train_loader_fn,
+    train_model,
+)
+
+
+def _input_shape(cfg: ImageExperimentConfig) -> tuple[int, ...]:
+    return (1, 3, cfg.image_size, cfg.image_size)
+
+
+def sliced_resnet_experiment(cfg: ImageExperimentConfig,
+                             cache: ExperimentCache,
+                             widen: int = 1) -> dict:
+    """Model slicing on a ResNet backbone (optionally widened)."""
+    key = experiment_key(f"resnet_sliced_w{widen}", cfg)
+
+    def compute() -> dict:
+        import dataclasses
+
+        sliced_cfg = dataclasses.replace(cfg, lr=cfg.resnet_sliced_lr)
+        splits = build_image_task(sliced_cfg)
+        model = make_resnet(sliced_cfg, widen=widen)
+        train_model(sliced_cfg, model, default_scheme(sliced_cfg), splits,
+                    trainer_seed=100 + widen)
+        preds = predictions_at_rates(model, splits["test"].inputs, cfg.rates)
+        labels = splits["test"].targets
+        flops = {r: measured_flops(model, _input_shape(cfg), r)
+                 for r in cfg.rates}
+        return {
+            "rates": cfg.rates,
+            "accuracy": {str(r): a for r, a in
+                         accuracy_table(preds, labels).items()},
+            "flops": {str(r): int(f) for r, f in flops.items()},
+            "predictions": {str(r): p.tolist() for r, p in preds.items()},
+            "labels": labels.tolist(),
+        }
+
+    return cache.get_or_compute(key, compute)
+
+
+def fixed_resnet_ensemble_experiment(cfg: ImageExperimentConfig,
+                                     cache: ExperimentCache) -> dict:
+    """Ensemble of fixed-width ResNets, one per rate.
+
+    Uses the same stabilized member recipe as the VGG ensemble (gentler
+    LR, best-of-two seeds for very narrow members) — see
+    :mod:`repro.experiments.vgg_suite`.
+    """
+    import dataclasses
+
+    from .vgg_suite import FIXED_RETRY_BELOW
+
+    def compute() -> dict:
+        splits = build_image_task(cfg)
+        labels = splits["test"].targets
+        # Fixed ResNet members train well at the base LR (the residual
+        # topology is less LR-sensitive than the plain VGG's narrow
+        # members); narrow members still get best-of-two seeds.
+        member_cfg = dataclasses.replace(cfg)
+        out: dict = {"rates": cfg.rates, "accuracy": {}, "flops": {},
+                     "predictions": {}, "labels": labels.tolist()}
+        for i, rate in enumerate(cfg.rates):
+            seeds = [cfg.seed + 110 + i]
+            if rate < FIXED_RETRY_BELOW:
+                seeds.append(cfg.seed + 210 + i)
+            best = None
+            for s in seeds:
+                model = make_resnet(member_cfg, seed=s)
+                train_model(member_cfg, model, FixedScheme(rate), splits,
+                            trainer_seed=s + 1)
+                train_preds = predictions_at_rates(
+                    model, splits["train"].inputs, [rate])
+                score = float(
+                    (train_preds[rate] == splits["train"].targets).mean())
+                if best is None or score > best[0]:
+                    best = (score, model)
+            model = best[1]
+            preds = predictions_at_rates(model, splits["test"].inputs, [rate])
+            out["accuracy"][str(rate)] = float((preds[rate] == labels).mean())
+            out["predictions"][str(rate)] = preds[rate].tolist()
+            out["flops"][str(rate)] = int(
+                measured_flops(model, _input_shape(cfg), rate)
+            )
+        return out
+
+    return cache.get_or_compute(experiment_key("resnet_fixed_ensemble", cfg), compute)
+
+
+def depth_ensemble_resnet_experiment(cfg: ImageExperimentConfig,
+                                     cache: ExperimentCache) -> dict:
+    """Ensemble of full-width ResNets of varying depth."""
+
+    def compute() -> dict:
+        splits = build_image_task(cfg)
+        labels = splits["test"].targets
+        out: dict = {"members": {}}
+        for i, blocks in enumerate((1, 2, 3)):
+            model = make_resnet(cfg, seed=cfg.seed + 120 + i, blocks=blocks)
+            train_model(cfg, model, FixedScheme(1.0), splits,
+                        trainer_seed=120 + i)
+            preds = predictions_at_rates(model, splits["test"].inputs, [1.0])
+            out["members"][f"blocks-{blocks}"] = {
+                "accuracy": float((preds[1.0] == labels).mean()),
+                "flops": int(measured_flops(model, _input_shape(cfg), 1.0)),
+            }
+        return out
+
+    return cache.get_or_compute(experiment_key("resnet_depth_ensemble", cfg), compute)
+
+
+def multi_classifier_experiment(cfg: ImageExperimentConfig,
+                                cache: ExperimentCache,
+                                adaptive: bool = False) -> dict:
+    """Early-exit baselines: plain multi-classifier and MSDNet-like."""
+    key = experiment_key("resnet_msdnet_like" if adaptive else "resnet_multi_classifier", cfg)
+
+    def compute() -> dict:
+        splits = build_image_task(cfg)
+        labels = splits["test"].targets
+        backbone = make_resnet(cfg, seed=cfg.seed + 130 + int(adaptive))
+        cls = MSDNetLike if adaptive else MultiClassifierResNet
+        model = cls(backbone, seed=cfg.seed + 130)
+        optimizer = SGD(model.parameters(), lr=cfg.lr, momentum=cfg.momentum,
+                        weight_decay=cfg.weight_decay)
+        schedule = MultiStepLR.cifar_recipe(optimizer, cfg.epochs)
+        loader_fn = train_loader_fn(cfg, splits, seed_offset=130)
+        for _ in range(cfg.epochs):
+            epoch_losses = np.zeros(model.num_exits)
+            batches = 0
+            model.train()
+            for inputs, targets in loader_fn():
+                optimizer.zero_grad()
+                exits = model(Tensor(inputs))
+                loss = model.joint_loss(exits, targets)
+                loss.backward()
+                optimizer.step()
+                for k, logits in enumerate(exits):
+                    epoch_losses[k] += cross_entropy(
+                        logits.detach(), targets).item()
+                batches += 1
+            if adaptive and batches:
+                model.update_weights(epoch_losses / batches)
+            schedule.step()
+        # Per-exit accuracy and realized prefix FLOPs.
+        model.eval()
+        out: dict = {"exits": {}}
+        inputs = splits["test"].inputs
+        for k in range(model.num_exits):
+            preds = []
+            with no_grad():
+                for start in range(0, len(inputs), cfg.eval_batch_size):
+                    logits = model.forward_exit(
+                        Tensor(inputs[start:start + cfg.eval_batch_size]), k)
+                    preds.append(logits.data.argmax(axis=1))
+            predictions = np.concatenate(preds)
+            from ..tensor import count_flops
+            with no_grad():
+                with count_flops() as counter:
+                    model.forward_exit(
+                        Tensor(inputs[:1].astype(np.float32)), k)
+            out["exits"][str(k)] = {
+                "accuracy": float((predictions == labels).mean()),
+                "flops": int(counter.total),
+            }
+        return out
+
+    return cache.get_or_compute(key, compute)
+
+
+def skipnet_experiment(cfg: ImageExperimentConfig,
+                       cache: ExperimentCache,
+                       penalties=(0.02, 0.1, 0.3)) -> dict:
+    """SkipNet-like dynamic routing at several skip penalties."""
+
+    def compute() -> dict:
+        splits = build_image_task(cfg)
+        labels = splits["test"].targets
+        out: dict = {"points": {}}
+        for i, penalty in enumerate(penalties):
+            backbone = make_resnet(cfg, seed=cfg.seed + 140 + i, blocks=3)
+            model = SkipNetLike(backbone, skip_penalty=penalty,
+                                seed=cfg.seed + 140 + i)
+            optimizer = SGD(model.parameters(), lr=cfg.lr,
+                            momentum=cfg.momentum,
+                            weight_decay=cfg.weight_decay)
+            schedule = MultiStepLR.cifar_recipe(optimizer, cfg.epochs)
+            loader_fn = train_loader_fn(cfg, splits, seed_offset=140 + i)
+            for _ in range(cfg.epochs):
+                model.train()
+                for inputs, targets in loader_fn():
+                    optimizer.zero_grad()
+                    loss = model.loss(Tensor(inputs), targets)
+                    loss.backward()
+                    optimizer.step()
+                schedule.step()
+            # Hard-gated evaluation: accuracy + realized mean FLOPs.
+            model.eval()
+            inputs = splits["test"].inputs
+            preds = []
+            total_flops = 0
+            from ..tensor import count_flops
+            with no_grad():
+                for start in range(0, len(inputs), cfg.eval_batch_size):
+                    batch = Tensor(inputs[start:start + cfg.eval_batch_size])
+                    with count_flops() as counter:
+                        logits, _ = model(batch, hard=True)
+                    total_flops += counter.total
+                    preds.append(logits.data.argmax(axis=1))
+            predictions = np.concatenate(preds)
+            out["points"][str(penalty)] = {
+                "accuracy": float((predictions == labels).mean()),
+                "flops_per_sample": int(total_flops / len(inputs)),
+                "execution_fraction": model.execution_fraction(
+                    Tensor(inputs[:64])),
+            }
+        return out
+
+    return cache.get_or_compute(experiment_key("resnet_skipnet", cfg), compute)

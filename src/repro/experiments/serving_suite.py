@@ -1,0 +1,155 @@
+"""Dynamic-workload serving experiment (Sec. 4.1's example application).
+
+Compares three policies on the same 16x-volatile arrival trace under one
+latency SLO:
+
+* the paper's elastic controller (slice rate chosen per batch, Eq. 3);
+* a fixed full-width policy (sheds load at peak);
+* a fixed narrow policy (meets the SLO but wastes accuracy off-peak).
+
+Accuracy per rate comes from the trained sliced VGG's measured accuracy
+table, so the reported quality degradation is real, not assumed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..serving import (
+    AdaptiveSliceRateController,
+    FixedRateController,
+    SliceRateController,
+    diurnal_rate,
+    generate_arrivals,
+    peak_to_trough,
+    simulate_serving,
+    spike_rate,
+)
+from .cache import ExperimentCache, experiment_key
+from .config import ImageExperimentConfig, ServingExperimentConfig
+from .vgg_suite import sliced_vgg_experiment
+
+
+def serving_experiment(image_cfg: ImageExperimentConfig,
+                       serving_cfg: ServingExperimentConfig,
+                       cache: ExperimentCache) -> dict:
+    """Run the three policies over the same trace; return the summary."""
+
+    def compute() -> dict:
+        sliced = sliced_vgg_experiment(image_cfg, cache)
+        accuracy_of_rate = {float(r): a for r, a in sliced["accuracy"].items()}
+        rates = sorted(accuracy_of_rate)
+
+        base = diurnal_rate(serving_cfg.base_rate, serving_cfg.peak_ratio,
+                            serving_cfg.period)
+        intensity = spike_rate(base, [(serving_cfg.spike_start,
+                                       serving_cfg.spike_duration,
+                                       serving_cfg.spike_factor)])
+        arrivals = generate_arrivals(
+            intensity, serving_cfg.duration,
+            np.random.default_rng(serving_cfg.seed),
+        )
+        volatility = peak_to_trough(intensity, serving_cfg.duration)
+
+        controllers = {
+            "model_slicing": SliceRateController(
+                rates, serving_cfg.full_latency_per_sample,
+                serving_cfg.latency_slo),
+            "fixed_full": FixedRateController(
+                1.0, serving_cfg.full_latency_per_sample,
+                serving_cfg.latency_slo),
+            "fixed_small": FixedRateController(
+                min(rates), serving_cfg.full_latency_per_sample,
+                serving_cfg.latency_slo),
+        }
+        out: dict = {
+            "volatility": volatility,
+            "arrivals": int(len(arrivals)),
+            "policies": {},
+        }
+        window = serving_cfg.latency_slo / 2.0
+        for name, controller in controllers.items():
+            report = simulate_serving(
+                arrivals, controller,
+                serving_cfg.full_latency_per_sample,
+                serving_cfg.latency_slo, accuracy_of_rate,
+                serving_cfg.duration,
+            )
+            out["policies"][name] = {
+                "drop_fraction": report.drop_fraction,
+                "slo_violations": report.slo_violations,
+                "mean_accuracy": report.mean_accuracy,
+                "mean_rate": report.mean_rate,
+                "utilization": report.utilization(window),
+            }
+        return out
+
+    return cache.get_or_compute(
+        experiment_key("serving_app", image_cfg, serving_cfg), compute)
+
+
+def adaptive_serving_experiment(image_cfg: ImageExperimentConfig,
+                                serving_cfg: ServingExperimentConfig,
+                                cache: ExperimentCache,
+                                misestimate: float = 4.0) -> dict:
+    """Self-calibrating controller vs. the oracle-latency controller.
+
+    Both run the standard trace, but the adaptive controller starts with
+    a latency estimate that is ``misestimate``-times too *optimistic*
+    and must converge from observations; the oracle knows the true
+    latency from the start.
+    """
+
+    def compute() -> dict:
+        sliced = sliced_vgg_experiment(image_cfg, cache)
+        accuracy_of_rate = {float(r): a for r, a in sliced["accuracy"].items()}
+        rates = sorted(accuracy_of_rate)
+        base = diurnal_rate(serving_cfg.base_rate, serving_cfg.peak_ratio,
+                            serving_cfg.period)
+        arrivals = generate_arrivals(
+            base, serving_cfg.duration,
+            np.random.default_rng(serving_cfg.seed),
+        )
+        true_latency = serving_cfg.full_latency_per_sample
+        adaptive = AdaptiveSliceRateController(
+            rates, true_latency / misestimate, serving_cfg.latency_slo,
+            smoothing=0.5,
+        )
+
+        # Drive the adaptive controller window by window, feeding back
+        # the *true* processing time of each batch.
+        window = serving_cfg.latency_slo / 2.0
+        edges = np.arange(0.0, serving_cfg.duration + window, window)
+        counts, _ = np.histogram(arrivals, bins=edges)
+        violations = 0
+        estimates = []
+        for n in counts:
+            n = int(n)
+            if n == 0:
+                continue
+            rate = adaptive.choose(n)
+            if rate is None:
+                continue
+            elapsed = n * rate * rate * true_latency
+            if elapsed > window + 1e-9:
+                violations += 1
+            adaptive.observe(n, rate, elapsed)
+            estimates.append(adaptive.full_latency)
+
+        oracle = SliceRateController(rates, true_latency,
+                                     serving_cfg.latency_slo)
+        oracle_report = simulate_serving(
+            arrivals, oracle, true_latency, serving_cfg.latency_slo,
+            accuracy_of_rate, serving_cfg.duration)
+        return {
+            "misestimate": misestimate,
+            "initial_estimate": true_latency / misestimate,
+            "true_latency": true_latency,
+            "final_estimate": estimates[-1] if estimates else None,
+            "early_violations": violations,
+            "oracle_violations": oracle_report.slo_violations,
+            "estimate_trajectory": estimates[:50],
+        }
+
+    return cache.get_or_compute(
+        experiment_key("serving_adaptive", image_cfg, serving_cfg), compute)

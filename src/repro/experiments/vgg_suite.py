@@ -1,0 +1,315 @@
+"""VGG experiment suite.
+
+Backs Table 1 (scheduling schemes), the VGG rows of Table 4, Figure 3
+(lower-bound sweep), Figure 5 (accuracy/FLOPs trade-off), Figure 6 (GN
+scale telemetry), Figure 7 (learning curves) and the prediction artifacts
+behind Figure 8 and Table 5.
+
+Every runner returns a JSON-serializable dict and is cached on disk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines.slimming import prune_vgg, sparsity_loss_fn
+from ..metrics import cost_table, measured_flops
+from ..models import SlicedVGG
+from ..optim import SGD
+from ..slicing import (
+    FixedScheme,
+    RandomScheme,
+    RandomStaticScheme,
+    SliceTrainer,
+    StaticScheme,
+)
+from ..tensor import Tensor, no_grad
+from .cache import ExperimentCache, experiment_key
+from .config import ImageExperimentConfig
+from .harness import (
+    accuracy_table,
+    build_image_task,
+    default_scheme,
+    make_vgg,
+    predictions_at_rates,
+    train_loader_fn,
+    train_model,
+)
+
+
+def _input_shape(cfg: ImageExperimentConfig) -> tuple[int, ...]:
+    return (1, 3, cfg.image_size, cfg.image_size)
+
+
+def sliced_vgg_experiment(cfg: ImageExperimentConfig,
+                          cache: ExperimentCache) -> dict:
+    """Train the reporting sliced VGG; collect all derived telemetry."""
+
+    def compute() -> dict:
+        splits = build_image_task(cfg)
+        model = make_vgg(cfg)
+        gn_layers = model.group_norm_layers()
+        # Telemetry targets mirror Figure 6: a mid-depth and a late layer.
+        probe_indices = [len(gn_layers) // 2, len(gn_layers) - 1]
+        scale_history = {str(i): [] for i in probe_indices}
+        curve_rates = [1.0, 0.75, 0.5, 0.375, 0.25]
+
+        def epoch_hook(record, model_):
+            for i in probe_indices:
+                scale_history[str(i)].append(
+                    gn_layers[i].group_scale_means().tolist()
+                )
+
+        trainer = train_model(cfg, model, default_scheme(cfg), splits,
+                              epoch_hook=epoch_hook, eval_rates=curve_rates)
+        preds = predictions_at_rates(model, splits["test"].inputs, cfg.rates)
+        labels = splits["test"].targets
+        costs = cost_table(model, _input_shape(cfg), cfg.rates)
+        return {
+            "rates": cfg.rates,
+            "accuracy": {str(r): a for r, a in
+                         accuracy_table(preds, labels).items()},
+            "predictions": {str(r): p.tolist() for r, p in preds.items()},
+            "labels": labels.tolist(),
+            "costs": {str(r): c for r, c in costs.items()},
+            "learning_curve": [
+                {
+                    "epoch": rec.epoch,
+                    "eval_error": {str(r): e for r, e in rec.eval_error.items()},
+                    "eval_loss": {str(r): l for r, l in rec.eval_loss.items()},
+                    "train_loss": {str(r): l for r, l in rec.train_loss.items()},
+                }
+                for rec in trainer.history
+            ],
+            "gn_scale_history": scale_history,
+            "gn_probe_indices": probe_indices,
+        }
+
+    return cache.get_or_compute(experiment_key("vgg_sliced", cfg), compute)
+
+
+#: Learning rate for individually trained fixed-width members.  The very
+#: narrow members (a handful of channels) diverge at the sliced model's
+#: rate, so the ensemble baseline gets the gentler setting — this only
+#: *strengthens* the baseline the sliced model is compared against.
+FIXED_MEMBER_LR = 0.02
+#: Narrow members are seed-sensitive at this scale; members below this
+#: rate train twice and keep the better run (selected on training data).
+FIXED_RETRY_BELOW = 0.5
+
+
+def _train_fixed_member(cfg: ImageExperimentConfig, rate: float, splits,
+                        seed: int, collect_curve: bool = False):
+    """Train one fixed-width member with the stabilized recipe."""
+    import dataclasses
+
+    member_cfg = dataclasses.replace(cfg, lr=min(cfg.lr, FIXED_MEMBER_LR))
+    seeds = [seed] if rate >= FIXED_RETRY_BELOW else [seed, seed + 100]
+    best = None
+    for s in seeds:
+        model = make_vgg(member_cfg, seed=s)
+        trainer = train_model(
+            cfg=member_cfg, model=model, scheme=FixedScheme(rate),
+            splits=splits, trainer_seed=s + 1,
+            epoch_hook=(lambda rec, m: None) if collect_curve else None,
+            eval_rates=[1.0] if collect_curve else None,
+        )
+        train_preds = predictions_at_rates(
+            model, splits["train"].inputs, [rate])
+        score = float((train_preds[rate] == splits["train"].targets).mean())
+        if best is None or score > best[0]:
+            best = (score, model, trainer)
+    return best[1], best[2]
+
+
+def fixed_vgg_ensemble_experiment(cfg: ImageExperimentConfig,
+                                  cache: ExperimentCache) -> dict:
+    """Individually trained fixed-width VGGs, one per rate."""
+
+    def compute() -> dict:
+        splits = build_image_task(cfg)
+        labels = splits["test"].targets
+        result: dict = {"rates": cfg.rates, "accuracy": {},
+                        "predictions": {}, "labels": labels.tolist(),
+                        "learning_curve_full": []}
+        for i, rate in enumerate(cfg.rates):
+            collect_curve = rate == 1.0
+            model, trainer = _train_fixed_member(
+                cfg, rate, splits, seed=cfg.seed + 10 + i,
+                collect_curve=collect_curve)
+            preds = predictions_at_rates(model, splits["test"].inputs, [rate])
+            result["accuracy"][str(rate)] = float(
+                (preds[rate] == labels).mean()
+            )
+            result["predictions"][str(rate)] = preds[rate].tolist()
+            if collect_curve:
+                result["learning_curve_full"] = [
+                    {"epoch": rec.epoch,
+                     "eval_error": {str(r): e for r, e in rec.eval_error.items()},
+                     "eval_loss": {str(r): l for r, l in rec.eval_loss.items()}}
+                    for rec in trainer.history
+                ]
+        return result
+
+    return cache.get_or_compute(experiment_key("vgg_fixed_ensemble", cfg), compute)
+
+
+def direct_slicing_experiment(cfg: ImageExperimentConfig,
+                              cache: ExperimentCache) -> dict:
+    """Conventionally trained VGG (lb=1.0) sliced directly at eval time."""
+
+    def compute() -> dict:
+        splits = build_image_task(cfg)
+        model = make_vgg(cfg, seed=cfg.seed + 5)
+        train_model(cfg, model, FixedScheme(1.0), splits, trainer_seed=30)
+        preds = predictions_at_rates(model, splits["test"].inputs, cfg.rates)
+        labels = splits["test"].targets
+        return {
+            "rates": cfg.rates,
+            "accuracy": {str(r): a for r, a in
+                         accuracy_table(preds, labels).items()},
+        }
+
+    return cache.get_or_compute(experiment_key("vgg_direct_slicing", cfg), compute)
+
+
+def lower_bound_experiment(cfg: ImageExperimentConfig,
+                           cache: ExperimentCache,
+                           lower_bounds=(0.25, 0.375, 0.5, 0.75, 1.0)) -> dict:
+    """Figure 3: sweep the training lower bound, evaluate on the full grid."""
+
+    def compute() -> dict:
+        splits = build_image_task(cfg)
+        labels = splits["test"].targets
+        out: dict = {"eval_rates": cfg.rates, "by_lower_bound": {}}
+        for i, lb in enumerate(lower_bounds):
+            train_rates = [r for r in cfg.rates if r >= lb - 1e-9]
+            model = make_vgg(cfg, seed=cfg.seed + 40 + i)
+            train_model(cfg, model, default_scheme(cfg, train_rates), splits,
+                        trainer_seed=40 + i)
+            preds = predictions_at_rates(model, splits["test"].inputs,
+                                         cfg.rates)
+            out["by_lower_bound"][str(lb)] = {
+                str(r): float((p == labels).mean()) for r, p in preds.items()
+            }
+        return out
+
+    return cache.get_or_compute(experiment_key("vgg_lower_bound", cfg), compute)
+
+
+def scheduling_experiment(cfg: ImageExperimentConfig,
+                          cache: ExperimentCache) -> dict:
+    """Table 1: compare slice-rate scheduling schemes on the coarse grid."""
+    rates = cfg.coarse_rates
+
+    def scheme_table() -> dict:
+        # Probabilities align with ascending rates; the paper's weight list
+        # (0.5, 0.125, 0.125, 0.25) is ordered from the full net down.
+        weighted = [0.25, 0.125, 0.125, 0.5]
+        return {
+            "R-uniform-2": (RandomScheme(rates, num_samples=2), "group"),
+            "R-weighted-2": (RandomScheme(rates, probabilities=weighted,
+                                          num_samples=2), "group"),
+            "R-weighted-3": (RandomScheme(rates, probabilities=weighted,
+                                          num_samples=3), "group"),
+            "Static": (StaticScheme(rates), "group"),
+            "R-min": (RandomStaticScheme(rates, include_min=True,
+                                         include_max=False), "group"),
+            "R-max": (RandomStaticScheme(rates, include_min=False,
+                                         include_max=True), "group"),
+            "R-min-max": (RandomStaticScheme(rates), "group"),
+            "Slimmable": (StaticScheme(rates), "multi_bn"),
+        }
+
+    def compute() -> dict:
+        splits = build_image_task(cfg)
+        labels = splits["test"].targets
+        out: dict = {"rates": rates, "schemes": {}}
+        for i, (name, (scheme, norm)) in enumerate(scheme_table().items()):
+            model = make_vgg(cfg, seed=cfg.seed + 60 + i, norm=norm,
+                             rates=rates if norm == "multi_bn" else None)
+            train_model(cfg, model, scheme, splits, trainer_seed=60 + i)
+            preds = predictions_at_rates(model, splits["test"].inputs, rates)
+            out["schemes"][name] = {
+                str(r): float((p == labels).mean()) for r, p in preds.items()
+            }
+        # The "Fixed" column is the fixed-width ensemble at the same rates.
+        fixed = fixed_vgg_ensemble_experiment(cfg, cache)
+        out["schemes"]["Fixed"] = {
+            str(r): fixed["accuracy"][str(r)] for r in rates
+        }
+        return out
+
+    return cache.get_or_compute(experiment_key("vgg_scheduling", cfg), compute)
+
+
+def depth_ensemble_experiment(cfg: ImageExperimentConfig,
+                              cache: ExperimentCache) -> dict:
+    """Ensemble of VGGs of varying depth (Figure 5's weaker baseline)."""
+
+    def compute() -> dict:
+        splits = build_image_task(cfg)
+        labels = splits["test"].targets
+        out: dict = {"members": {}}
+        variants = {
+            "depth-1": dict(convs_per_stage=1, stages=2),
+            "depth-2": dict(convs_per_stage=1, stages=3),
+            "depth-3": dict(convs_per_stage=2, stages=3),
+        }
+        for i, (name, kwargs) in enumerate(variants.items()):
+            model = SlicedVGG.cifar_mini(
+                num_classes=cfg.num_classes, width=cfg.vgg_width,
+                seed=cfg.seed + 80 + i, **kwargs,
+            )
+            train_model(cfg, model, FixedScheme(1.0), splits,
+                        trainer_seed=80 + i)
+            preds = predictions_at_rates(model, splits["test"].inputs, [1.0])
+            flops = measured_flops(model, _input_shape(cfg), 1.0)
+            out["members"][name] = {
+                "accuracy": float((preds[1.0] == labels).mean()),
+                "flops": int(flops),
+            }
+        return out
+
+    return cache.get_or_compute(experiment_key("vgg_depth_ensemble", cfg), compute)
+
+
+def slimming_experiment(cfg: ImageExperimentConfig,
+                        cache: ExperimentCache,
+                        keep_fractions=(0.75, 0.5, 0.3)) -> dict:
+    """Network Slimming points: sparsity-train, prune, fine-tune."""
+
+    def compute() -> dict:
+        splits = build_image_task(cfg)
+        labels = splits["test"].targets
+        model = make_vgg(cfg, seed=cfg.seed + 90)
+        loss_fn = sparsity_loss_fn(model, l1_weight=1e-4)
+        train_model(cfg, model, FixedScheme(1.0), splits, loss_fn=loss_fn,
+                    trainer_seed=90)
+        out: dict = {"points": {}}
+        for j, keep in enumerate(keep_fractions):
+            pruned = prune_vgg(model, keep)
+            optimizer = SGD(pruned.parameters(), lr=cfg.lr / 2,
+                            momentum=cfg.momentum,
+                            weight_decay=cfg.weight_decay)
+            trainer = SliceTrainer(pruned, FixedScheme(1.0), optimizer,
+                                   rng=np.random.default_rng(cfg.seed + 91 + j))
+            trainer.fit(train_loader_fn(cfg, splits, seed_offset=91 + j),
+                        epochs=max(2, cfg.epochs // 3))
+            preds = []
+            pruned.eval()
+            inputs = splits["test"].inputs
+            with no_grad():
+                for start in range(0, len(inputs), cfg.eval_batch_size):
+                    logits = pruned(Tensor(inputs[start:start + cfg.eval_batch_size]))
+                    preds.append(logits.data.argmax(axis=1))
+            predictions = np.concatenate(preds)
+            flops = measured_flops(pruned, _input_shape(cfg), 1.0)
+            out["points"][str(keep)] = {
+                "accuracy": float((predictions == labels).mean()),
+                "flops": int(flops),
+                "params": int(pruned.num_parameters()),
+            }
+        return out
+
+    return cache.get_or_compute(experiment_key("vgg_slimming", cfg), compute)

@@ -1,0 +1,22 @@
+"""Metrics: classification, language modeling, cost and consistency."""
+
+from .classification import accuracy, error_rate, top_k_accuracy
+from .lm import perplexity
+from .consistency import inclusion_coefficient, inclusion_matrix
+from .flops import active_params, cost_table, measured_flops
+from .latency import calibrate_full_latency, latency_table, measure_latency
+
+__all__ = [
+    "accuracy",
+    "error_rate",
+    "top_k_accuracy",
+    "perplexity",
+    "inclusion_coefficient",
+    "inclusion_matrix",
+    "active_params",
+    "cost_table",
+    "measured_flops",
+    "measure_latency",
+    "latency_table",
+    "calibrate_full_latency",
+]

@@ -1,0 +1,31 @@
+"""Classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy from logits or probabilities."""
+    logits = np.asarray(logits)
+    targets = np.asarray(targets)
+    if logits.ndim != 2 or len(logits) != len(targets):
+        raise ShapeError("accuracy expects (N, C) logits and (N,) targets")
+    return float((logits.argmax(axis=1) == targets).mean())
+
+
+def top_k_accuracy(logits: np.ndarray, targets: np.ndarray, k: int) -> float:
+    """Top-k accuracy."""
+    logits = np.asarray(logits)
+    targets = np.asarray(targets)
+    if not 1 <= k <= logits.shape[1]:
+        raise ShapeError(f"k={k} out of range for {logits.shape[1]} classes")
+    top = np.argpartition(-logits, k - 1, axis=1)[:, :k]
+    return float((top == targets[:, None]).any(axis=1).mean())
+
+
+def error_rate(logits: np.ndarray, targets: np.ndarray) -> float:
+    """1 - top-1 accuracy."""
+    return 1.0 - accuracy(logits, targets)

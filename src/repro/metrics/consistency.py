@@ -1,0 +1,44 @@
+"""Prediction-consistency metrics (Figure 8, Table 5 of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def inclusion_coefficient(errors_large: np.ndarray,
+                          errors_small: np.ndarray) -> float:
+    """Fraction of the larger model's errors shared with the smaller one.
+
+    The paper's Figure 8 statistic: with ``E_l`` and ``E_s`` the
+    wrongly-predicted sample sets, this is ``|E_l ∩ E_s| / |E_l|``
+    (1.0 for identical error sets; ~chance overlap for independent
+    models).  Both arguments are boolean error masks over the same
+    evaluation set.
+    """
+    errors_large = np.asarray(errors_large, dtype=bool)
+    errors_small = np.asarray(errors_small, dtype=bool)
+    if errors_large.shape != errors_small.shape:
+        raise ShapeError("error masks must cover the same samples")
+    denom = errors_large.sum()
+    if denom == 0:
+        return 1.0
+    return float((errors_large & errors_small).sum() / denom)
+
+
+def inclusion_matrix(error_masks: dict[float, np.ndarray]) -> np.ndarray:
+    """Pairwise inclusion coefficients, rows/cols ordered by the dict keys.
+
+    Entry ``(i, j)`` is the inclusion of model ``i``'s errors in model
+    ``j``'s, where model ``i`` is treated as the larger one.
+    """
+    keys = list(error_masks)
+    n = len(keys)
+    out = np.ones((n, n))
+    for i, ki in enumerate(keys):
+        for j, kj in enumerate(keys):
+            if i != j:
+                out[i, j] = inclusion_coefficient(error_masks[ki],
+                                                  error_masks[kj])
+    return out

@@ -1,0 +1,76 @@
+"""Model-level cost accounting: FLOPs and active parameter counts.
+
+``measured_flops`` runs an instrumented forward pass, so it reports the
+*actual* multiply-adds of the sliced computation — the quantity behind the
+``Ct`` rows of Tables 2 and 4.  ``active_params`` sums each sliced layer's
+resident parameters under a rate (the ``Mt`` rows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Module
+from ..slicing.context import slice_rate
+from ..tensor import Tensor, count_flops, no_grad
+
+
+def measured_flops(model: Module, input_shape: tuple[int, ...],
+                   rate: float = 1.0, input_builder=None) -> int:
+    """Multiply-adds of one forward pass at ``rate``.
+
+    Parameters
+    ----------
+    input_shape:
+        Shape of a dummy input batch (e.g. ``(1, 3, 16, 16)``).
+    input_builder:
+        Optional callable producing the dummy model input from the shape
+        (for models whose input is not a float tensor, e.g. token ids).
+    """
+    if input_builder is None:
+        dummy = Tensor(np.zeros(input_shape, dtype=np.float32))
+    else:
+        dummy = input_builder(input_shape)
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            with slice_rate(rate):
+                with count_flops() as counter:
+                    model(dummy)
+    finally:
+        model.train(was_training)
+    return counter.total
+
+
+def active_params(model: Module, rate: float = 1.0) -> int:
+    """Parameters resident in memory when the model is deployed at ``rate``.
+
+    Sliced layers report their active prefix; plain layers report their
+    full size.
+    """
+    total = 0
+    for module in model.modules():
+        if hasattr(module, "active_param_count"):
+            total += module.active_param_count(rate)
+        else:
+            total += sum(p.size for p in module._parameters.values())
+    return total
+
+
+def cost_table(model: Module, input_shape: tuple[int, ...],
+               rates: list[float]) -> dict[float, dict[str, float]]:
+    """Per-rate cost summary: flops, params, and fractions of the full model."""
+    full_flops = measured_flops(model, input_shape, rate=1.0)
+    full_params = active_params(model, rate=1.0)
+    table: dict[float, dict[str, float]] = {}
+    for rate in rates:
+        flops = measured_flops(model, input_shape, rate=rate)
+        params = active_params(model, rate=rate)
+        table[rate] = {
+            "flops": flops,
+            "params": params,
+            "flops_fraction": flops / full_flops,
+            "params_fraction": params / full_params,
+        }
+    return table

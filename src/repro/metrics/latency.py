@@ -1,0 +1,70 @@
+"""Wall-clock latency measurement per slice rate.
+
+FLOPs predict cost analytically; this module measures it: median forward
+wall-clock over repeated runs, per rate, with warm-up.  Used by the
+serving example to calibrate ``t`` (the full-model per-sample latency the
+controller of Sec. 4.1 needs) and by the Table 4 bench to show the
+promised quadratic saving is real on this machine.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..nn.module import Module
+from ..slicing.context import slice_rate
+from ..tensor import Tensor, no_grad
+
+
+def measure_latency(model: Module, inputs: np.ndarray, rate: float,
+                    repeats: int = 5, warmup: int = 1) -> float:
+    """Median forward wall-clock (seconds) at ``rate`` for ``inputs``."""
+    if repeats < 1:
+        raise ConfigError("repeats must be >= 1")
+    was_training = model.training
+    model.eval()
+    batch = Tensor(np.asarray(inputs, dtype=np.float32))
+    times = []
+    try:
+        with no_grad():
+            with slice_rate(rate):
+                for _ in range(warmup):
+                    model(batch)
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    model(batch)
+                    times.append(time.perf_counter() - start)
+    finally:
+        model.train(was_training)
+    return float(np.median(times))
+
+
+def latency_table(model: Module, inputs: np.ndarray,
+                  rates: list[float], repeats: int = 5
+                  ) -> dict[float, dict[str, float]]:
+    """Per-rate latency with per-sample cost and fraction of full."""
+    rates = sorted(set(float(r) for r in rates))
+    results: dict[float, dict[str, float]] = {}
+    full = None
+    for rate in sorted(rates, reverse=True):
+        total = measure_latency(model, inputs, rate, repeats=repeats)
+        if full is None:
+            full = total
+        results[rate] = {
+            "latency": total,
+            "per_sample": total / len(inputs),
+            "fraction_of_full": total / full,
+        }
+    return results
+
+
+def calibrate_full_latency(model: Module, input_shape: tuple[int, ...],
+                           repeats: int = 5) -> float:
+    """Per-sample full-width latency ``t`` for the Sec. 4.1 controller."""
+    rng = np.random.default_rng(0)
+    inputs = rng.normal(size=input_shape).astype(np.float32)
+    total = measure_latency(model, inputs, 1.0, repeats=repeats)
+    return total / input_shape[0]

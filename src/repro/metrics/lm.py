@@ -1,0 +1,10 @@
+"""Language-modeling metrics."""
+
+from __future__ import annotations
+
+import math
+
+
+def perplexity(mean_nll: float) -> float:
+    """``exp`` of the mean per-token negative log-likelihood."""
+    return math.exp(mean_nll)

@@ -1,0 +1,16 @@
+"""Sliceable reference models: MLP, VGG, ResNet and the NNLM."""
+
+from .mlp import MLP
+from .vgg import SlicedVGG, VGG13_PLAN, VGG16_PLAN
+from .resnet import BottleneckBlock, SlicedResNet
+from .nnlm import NNLM
+
+__all__ = [
+    "MLP",
+    "SlicedVGG",
+    "VGG13_PLAN",
+    "VGG16_PLAN",
+    "BottleneckBlock",
+    "SlicedResNet",
+    "NNLM",
+]

@@ -1,0 +1,75 @@
+"""Sliceable multi-layer perceptron.
+
+The smallest useful sliced model: used by the quickstart example, by unit
+tests, and as the dense-layer testbed for the group-residual analysis of
+Sec. 3.5.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..nn.module import Module
+from ..slicing.layers import DEFAULT_GROUPS, SlicedLinear
+from ..tensor import Tensor
+
+
+class MLP(Module):
+    """Fully-connected classifier with sliced hidden layers.
+
+    Parameters
+    ----------
+    in_features:
+        Input dimensionality (not sliced).
+    hidden:
+        Widths of the hidden layers (each sliced on both sides except the
+        first layer's input and the head's output).
+    num_classes:
+        Output dimensionality (not sliced).
+    rescale:
+        Whether hidden layers rescale outputs by ``full_in / active_in``.
+    """
+
+    def __init__(self, in_features: int, hidden: Sequence[int],
+                 num_classes: int, num_groups: int = DEFAULT_GROUPS,
+                 rescale: bool = True, seed: int = 0):
+        super().__init__()
+        if not hidden:
+            raise ConfigError("MLP needs at least one hidden layer")
+        rng = np.random.default_rng(seed)
+        self.in_features = in_features
+        self.num_classes = num_classes
+        self.hidden_widths = list(hidden)
+        self.layers: list[SlicedLinear] = []
+        previous = in_features
+        for i, width in enumerate(hidden):
+            layer = SlicedLinear(
+                previous, width,
+                slice_input=i > 0,
+                slice_output=True,
+                rescale=rescale and i > 0,
+                num_groups=num_groups,
+                rng=rng,
+            )
+            self.register_module(f"fc{i}", layer)
+            self.layers.append(layer)
+            previous = width
+        self.head = SlicedLinear(
+            previous, num_classes,
+            slice_input=True, slice_output=False,
+            rescale=rescale, num_groups=num_groups, rng=rng,
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x).relu()
+        return self.head(x)
+
+    def features(self, x: Tensor) -> Tensor:
+        """The last hidden representation (used by analysis tools)."""
+        for layer in self.layers:
+            x = layer(x).relu()
+        return x

@@ -1,0 +1,89 @@
+"""Sliceable neural-network language model (Sec. 5.2 of the paper).
+
+Architecture follows the paper's NNLM: input embedding, two LSTM layers,
+an output dense layer, and a softmax, with dropout after the embedding and
+each LSTM layer.  Model slicing applies to the recurrent layers and the
+output dense layer (with output rescaling); the embedding and the softmax
+output dimensionality are left unsliced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.dropout import Dropout
+from ..nn.embedding import Embedding
+from ..nn.module import Module
+from ..slicing.layers import DEFAULT_GROUPS, SlicedLinear
+from ..slicing.recurrent import SlicedLSTM
+from ..tensor import Tensor, log_softmax
+
+
+class NNLM(Module):
+    """LSTM language model with model slicing.
+
+    Parameters
+    ----------
+    vocab_size:
+        Vocabulary size (output layer width, unsliced).
+    embed_dim:
+        Embedding width (input layer, unsliced); paper uses 650.
+    hidden_size:
+        LSTM width (sliced); paper uses 640.
+    num_layers:
+        LSTM depth; paper uses 2.
+    dropout:
+        Dropout rate after the embedding and after each LSTM layer.
+    """
+
+    def __init__(self, vocab_size: int, embed_dim: int = 64,
+                 hidden_size: int = 64, num_layers: int = 2,
+                 dropout: float = 0.5, num_groups: int = DEFAULT_GROUPS,
+                 seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.vocab_size = vocab_size
+        self.hidden_size = hidden_size
+        self.embedding = Embedding(vocab_size, embed_dim, rng=rng)
+        self.drop_in = Dropout(dropout, rng=np.random.default_rng(seed + 1))
+        self.lstm = SlicedLSTM(embed_dim, hidden_size, num_layers=num_layers,
+                               rescale=True, num_groups=num_groups, rng=rng)
+        self.drop_out = Dropout(dropout, rng=np.random.default_rng(seed + 2))
+        self.decoder = SlicedLinear(
+            hidden_size, vocab_size, slice_input=True, slice_output=False,
+            rescale=True, num_groups=num_groups, rng=rng,
+        )
+
+    def forward(self, tokens: np.ndarray) -> Tensor:
+        """Log-probabilities over the next token.
+
+        Parameters
+        ----------
+        tokens:
+            ``(T, B)`` integer token ids.
+
+        Returns
+        -------
+        ``(T, B, vocab)`` log-probabilities.
+        """
+        embedded = self.drop_in(self.embedding(tokens))
+        hidden, _ = self.lstm(embedded)
+        hidden = self.drop_out(hidden)
+        steps, batch = tokens.shape
+        flat = hidden.reshape(steps * batch, hidden.shape[-1])
+        logits = self.decoder(flat)
+        return log_softmax(logits, axis=-1).reshape(
+            steps, batch, self.vocab_size
+        )
+
+    def sequence_nll(self, tokens: np.ndarray, targets: np.ndarray) -> Tensor:
+        """Mean per-token negative log-likelihood of ``targets``.
+
+        ``tokens`` and ``targets`` are both ``(T, B)``; ``targets`` is
+        typically ``tokens`` shifted by one step.
+        """
+        log_probs = self.forward(tokens)
+        steps, batch = targets.shape
+        flat = log_probs.reshape(steps * batch, self.vocab_size)
+        picked = flat[np.arange(steps * batch), targets.reshape(-1)]
+        return -(picked.sum() * (1.0 / (steps * batch)))

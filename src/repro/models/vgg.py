@@ -1,0 +1,147 @@
+"""Sliceable VGG-family convolutional networks.
+
+The paper's VGG-13/VGG-16 configurations (Table 3) are plain 3x3 conv
+stacks with max pooling between stages.  Every conv is followed by a
+:class:`~repro.slicing.layers.SlicedGroupNorm` and ReLU; the stem conv
+keeps ``slice_input=False`` and the classifier head keeps
+``slice_output=False``.
+
+Besides the paper-size configurations (used for the Table 3 config dump),
+CPU-scale factories (``cifar_mini``) produce the same topology at widths
+that train in seconds, which is what the experiment benches use.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..nn.module import Module
+from ..nn.pooling import GlobalAvgPool2d, MaxPool2d
+from ..slicing.layers import (
+    DEFAULT_GROUPS,
+    MultiBatchNorm2d,
+    SlicedBatchNorm2d,
+    SlicedConv2d,
+    SlicedGroupNorm,
+    SlicedLinear,
+)
+from ..tensor import Tensor
+
+#: (channels, conv count) per stage, paper Table 3 (CIFAR variant).
+VGG13_PLAN = [(64, 2), (128, 2), (256, 2), (512, 4)]
+#: ImageNet variant of Table 3.
+VGG16_PLAN = [(64, 3), (128, 3), (256, 3), (512, 3), (512, 3)]
+
+
+class SlicedVGG(Module):
+    """VGG-style plain conv network with model slicing.
+
+    Parameters
+    ----------
+    plan:
+        Sequence of ``(channels, num_convs)`` stage descriptions.  A max
+        pool (2x2) separates consecutive stages.
+    in_channels, num_classes:
+        Input image channels and output classes.
+    num_groups:
+        Slice-group count ``G`` shared by every sliced layer.
+    norm:
+        ``"group"`` (the paper's choice), ``"batch"`` (naive single-stats
+        BN, the ablation baseline) or ``"multi_bn"`` (SlimmableNet-style;
+        requires ``rates``).
+    rates:
+        Candidate slice rates, needed only for ``norm="multi_bn"``.
+    """
+
+    def __init__(self, plan: Sequence[tuple[int, int]], in_channels: int = 3,
+                 num_classes: int = 10, num_groups: int = DEFAULT_GROUPS,
+                 norm: str = "group", rates: Sequence[float] | None = None,
+                 seed: int = 0):
+        super().__init__()
+        if not plan:
+            raise ConfigError("SlicedVGG plan must not be empty")
+        if norm not in ("group", "batch", "multi_bn"):
+            raise ConfigError(f"unknown norm {norm!r}")
+        if norm == "multi_bn" and not rates:
+            raise ConfigError("multi_bn requires candidate rates")
+        rng = np.random.default_rng(seed)
+        self.plan = [(int(c), int(n)) for c, n in plan]
+        self.num_classes = num_classes
+        self.norm_kind = norm
+        self._ops: list[tuple[str, Module]] = []
+
+        def make_norm(channels: int) -> Module:
+            if norm == "group":
+                return SlicedGroupNorm(channels, num_groups=num_groups)
+            if norm == "batch":
+                return SlicedBatchNorm2d(channels)
+            return MultiBatchNorm2d(channels, list(rates),
+                                    num_groups=num_groups)
+
+        index = 0
+        previous = in_channels
+        first = True
+        for stage, (channels, convs) in enumerate(self.plan):
+            for _ in range(convs):
+                conv = SlicedConv2d(
+                    previous, channels, 3, stride=1, padding=1,
+                    slice_input=not first, num_groups=num_groups, rng=rng,
+                )
+                first = False
+                self.register_module(f"conv{index}", conv)
+                self._ops.append(("conv", conv))
+                norm_layer = make_norm(channels)
+                self.register_module(f"norm{index}", norm_layer)
+                self._ops.append(("norm", norm_layer))
+                previous = channels
+                index += 1
+            if stage != len(self.plan) - 1:
+                pool = MaxPool2d(2)
+                self.register_module(f"pool{stage}", pool)
+                self._ops.append(("pool", pool))
+        self.global_pool = GlobalAvgPool2d()
+        self.head = SlicedLinear(
+            previous, num_classes, slice_input=True, slice_output=False,
+            rescale=True, num_groups=num_groups, rng=rng,
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        for kind, op in self._ops:
+            x = op(x)
+            if kind == "norm":
+                x = x.relu()
+        x = self.global_pool(x)
+        return self.head(x)
+
+    def group_norm_layers(self) -> list[SlicedGroupNorm]:
+        """All GN layers in network order (Figure 6 telemetry)."""
+        return [op for kind, op in self._ops
+                if kind == "norm" and isinstance(op, SlicedGroupNorm)]
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    @classmethod
+    def vgg13(cls, num_classes: int = 10, **kwargs) -> "SlicedVGG":
+        """Paper-size VGG-13 (Table 3, CIFAR column)."""
+        return cls(VGG13_PLAN, num_classes=num_classes, **kwargs)
+
+    @classmethod
+    def vgg16(cls, num_classes: int = 1000, **kwargs) -> "SlicedVGG":
+        """Paper-size VGG-16 (Table 3, ImageNet column)."""
+        return cls(VGG16_PLAN, num_classes=num_classes, **kwargs)
+
+    @classmethod
+    def cifar_mini(cls, num_classes: int = 8, width: int = 16,
+                   convs_per_stage: int = 2, stages: int = 3,
+                   **kwargs) -> "SlicedVGG":
+        """CPU-scale VGG: same topology family, trains in seconds.
+
+        ``width`` is the first stage's channel count; each later stage
+        doubles it, mirroring the paper's progression.
+        """
+        plan = [(width * (2 ** s), convs_per_stage) for s in range(stages)]
+        return cls(plan, num_classes=num_classes, **kwargs)

@@ -1,0 +1,40 @@
+"""Neural-network layer library built on :mod:`repro.tensor`."""
+
+from .module import Module, ModuleList, Parameter
+from .linear import Linear
+from .conv import Conv2d
+from .norm import BatchNorm2d, GroupNorm
+from .activations import ReLU, Sigmoid, Tanh
+from .dropout import Dropout
+from .pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
+from .embedding import Embedding
+from .container import Sequential
+from .loss import CrossEntropyLoss, MSELoss
+from .recurrent import GRUCell, LSTM, LSTMCell, RNNCell
+from . import init
+
+__all__ = [
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Linear",
+    "Conv2d",
+    "BatchNorm2d",
+    "GroupNorm",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "MaxPool2d",
+    "AvgPool2d",
+    "GlobalAvgPool2d",
+    "Embedding",
+    "Sequential",
+    "CrossEntropyLoss",
+    "MSELoss",
+    "RNNCell",
+    "LSTMCell",
+    "GRUCell",
+    "LSTM",
+    "init",
+]

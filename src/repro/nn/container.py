@@ -1,0 +1,41 @@
+"""Module containers."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor
+from .module import Module
+
+
+class Sequential(Module):
+    """Run child modules in order, feeding each one's output to the next."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._items = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: Module) -> None:
+        self.register_module(str(len(self._items)), module)
+        self._items.append(module)
+
+    def register_module(self, name: str, module: Module) -> None:
+        super().register_module(name, module)
+        # Keep the ordered item list in sync when an existing slot is
+        # replaced (e.g. by upgrade_model).
+        if name.isdigit() and int(name) < len(self._items):
+            self._items[int(name)] = module
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._items:
+            x = module(x)
+        return x

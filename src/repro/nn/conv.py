@@ -1,0 +1,56 @@
+"""2D convolution layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..tensor import Tensor, conv2d
+from .init import kaiming_normal, zeros
+from .module import Module, Parameter
+
+
+class Conv2d(Module):
+    """2D convolution over NCHW tensors.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts.
+    kernel_size:
+        Square kernel side (int) or ``(kh, kw)``.
+    stride, padding:
+        Convolution stride and zero padding.
+    bias:
+        Whether to add a per-channel bias (conventionally False when a
+        normalization layer follows).
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size,
+                 stride=1, padding=0, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0:
+            raise ConfigError("Conv2d channels must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        kh, kw = (kernel_size, kernel_size) if isinstance(kernel_size, int) \
+            else kernel_size
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            kaiming_normal(rng, (out_channels, in_channels, kh, kw))
+        )
+        self.bias = Parameter(zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv2d(x, self.weight, self.bias,
+                      stride=self.stride, padding=self.padding)
+
+    def __repr__(self) -> str:
+        return (
+            f"Conv2d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride}, p={self.padding})"
+        )

@@ -1,0 +1,30 @@
+"""Dropout layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+from ..tensor import dropout as dropout_fn
+from .module import Module
+
+
+class Dropout(Module):
+    """Inverted dropout; active only in training mode.
+
+    Parameters
+    ----------
+    rate:
+        Probability of zeroing each activation.
+    rng:
+        Generator for the dropout masks; supplied explicitly so whole-model
+        training runs are reproducible from one seed.
+    """
+
+    def __init__(self, rate: float, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.rate = rate
+        self.rng = rng if rng is not None else np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return dropout_fn(x, self.rate, self.rng, training=self.training)

@@ -1,0 +1,31 @@
+"""Embedding lookup layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..tensor import Tensor
+from ..tensor import embedding as embedding_fn
+from .init import uniform
+from .module import Module, Parameter
+
+
+class Embedding(Module):
+    """Trainable lookup table mapping integer ids to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: np.random.Generator | None = None,
+                 init_bound: float = 0.1):
+        super().__init__()
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ConfigError("Embedding sizes must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(
+            uniform(rng, (num_embeddings, embedding_dim), init_bound)
+        )
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return embedding_fn(self.weight, indices)

@@ -1,0 +1,55 @@
+"""Weight initializers.
+
+All initializers take an explicit ``numpy.random.Generator`` so that every
+model in the library is reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def kaiming_normal(rng: np.random.Generator, shape: tuple[int, ...],
+                   fan_in: int | None = None) -> np.ndarray:
+    """He-normal init: N(0, sqrt(2/fan_in)) — suited to ReLU networks."""
+    if fan_in is None:
+        fan_in = _default_fan_in(shape)
+    std = math.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(np.float32)
+
+
+def xavier_uniform(rng: np.random.Generator, shape: tuple[int, ...],
+                   fan_in: int | None = None, fan_out: int | None = None) -> np.ndarray:
+    """Glorot-uniform init — suited to tanh/sigmoid layers (RNNs, embeddings)."""
+    if fan_in is None:
+        fan_in = _default_fan_in(shape)
+    if fan_out is None:
+        fan_out = shape[0]
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def uniform(rng: np.random.Generator, shape: tuple[int, ...],
+            bound: float) -> np.ndarray:
+    """U(-bound, bound) init, e.g. the NNLM embedding convention."""
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero init (biases)."""
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    """All-one init (normalization scales)."""
+    return np.ones(shape, dtype=np.float32)
+
+
+def _default_fan_in(shape: tuple[int, ...]) -> int:
+    if len(shape) == 2:  # (out, in) dense weight
+        return shape[1]
+    if len(shape) == 4:  # (out, in, kh, kw) conv weight
+        return shape[1] * shape[2] * shape[3]
+    return int(np.prod(shape[1:])) if len(shape) > 1 else shape[0]

@@ -1,0 +1,47 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..tensor import Tensor
+from .init import kaiming_normal, zeros
+from .module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine transform ``y = x @ W.T + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Input and output dimensionality.
+    bias:
+        Whether to add a learnable bias.
+    rng:
+        Generator used for weight initialization.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ConfigError("Linear features must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(kaiming_normal(rng, (out_features, in_features)))
+        self.bias = Parameter(zeros((out_features,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Linear(in={self.in_features}, out={self.out_features}, "
+            f"bias={self.bias is not None})"
+        )

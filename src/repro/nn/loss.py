@@ -1,0 +1,22 @@
+"""Loss modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, cross_entropy, mse_loss
+from .module import Module
+
+
+class CrossEntropyLoss(Module):
+    """Mean cross-entropy from raw logits and integer targets."""
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return cross_entropy(logits, targets)
+
+
+class MSELoss(Module):
+    """Mean squared error."""
+
+    def forward(self, pred: Tensor, target) -> Tensor:
+        return mse_loss(pred, target)

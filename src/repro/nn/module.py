@@ -1,0 +1,181 @@
+"""Module and Parameter: the building blocks of the layer library.
+
+A :class:`Module` owns named :class:`Parameter` tensors and child modules,
+registered automatically on attribute assignment.  It provides the usual
+traversal (``parameters``, ``named_parameters``), train/eval mode switching,
+gradient zeroing, and flat ``state_dict`` (de)serialization.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor: ``requires_grad`` defaults to True."""
+
+    def __init__(self, data, dtype=None):
+        super().__init__(data, requires_grad=True, dtype=dtype)
+
+
+class Module:
+    """Base class for all neural-network layers and models."""
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "training", True)
+
+    # -- registration ---------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_module(self, name: str, module: "Module") -> None:
+        """Register a child module under ``name`` (used for module lists)."""
+        if not isinstance(module, Module):
+            raise ConfigError(f"{name} is not a Module")
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # -- traversal --------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(dotted_name, parameter)`` for this module and children."""
+        for name, param in self._parameters.items():
+            yield (prefix + name, param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix + name + ".")
+
+    def parameters(self) -> list[Parameter]:
+        """All parameters of this module and its children."""
+        return [p for _, p in self.named_parameters()]
+
+    def modules(self) -> Iterator["Module"]:
+        """Yield this module and every descendant."""
+        yield self
+        for child in self._modules.values():
+            yield from child.modules()
+
+    def children(self) -> Iterator["Module"]:
+        """Yield the direct child modules."""
+        yield from self._modules.values()
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # -- mode & grads -----------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout, batch norm)."""
+        object.__setattr__(self, "training", mode)
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        """Drop the gradients of all parameters."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- serialization ----------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Flat mapping of parameter names to copies of their arrays."""
+        state = {name: param.data.copy() for name, param in self.named_parameters()}
+        for name, module in self._named_stateful():
+            for key, value in module.extra_state().items():
+                state[name + key] = value.copy()
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load arrays produced by :meth:`state_dict` (strict on names/shapes)."""
+        remaining = dict(state)
+        for name, param in self.named_parameters():
+            if name not in remaining:
+                raise ConfigError(f"state_dict is missing parameter {name!r}")
+            value = remaining.pop(name)
+            if value.shape != param.data.shape:
+                raise ConfigError(
+                    f"shape mismatch for {name!r}: "
+                    f"{value.shape} vs {param.data.shape}"
+                )
+            param.data[...] = value
+        for name, module in self._named_stateful():
+            extra = module.extra_state()
+            for key in extra:
+                full = name + key
+                if full not in remaining:
+                    raise ConfigError(f"state_dict is missing buffer {full!r}")
+                module.load_extra_state(key, remaining.pop(full))
+        if remaining:
+            raise ConfigError(f"unexpected keys in state_dict: {sorted(remaining)}")
+
+    def _named_stateful(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield modules that carry non-parameter state (running stats)."""
+        if self.extra_state():
+            yield (prefix, self)
+        for name, module in self._modules.items():
+            yield from module._named_stateful(prefix + name + ".")
+
+    def extra_state(self) -> dict[str, np.ndarray]:
+        """Non-parameter state to persist; overridden by e.g. batch norm."""
+        return {}
+
+    def load_extra_state(self, key: str, value: np.ndarray) -> None:
+        """Restore one entry of :meth:`extra_state`."""
+        raise ConfigError(f"{type(self).__name__} has no extra state {key!r}")
+
+    # -- call -------------------------------------------------------------
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        child_names = ", ".join(self._modules)
+        return f"{type(self).__name__}({child_names})"
+
+
+class ModuleList(Module):
+    """An indexable, iterable container of child modules."""
+
+    def __init__(self, modules=()):
+        super().__init__()
+        self._items: list[Module] = []
+        for module in modules:
+            self.append(module)
+
+    def append(self, module: "Module") -> None:
+        self.register_module(str(len(self._items)), module)
+        self._items.append(module)
+
+    def register_module(self, name: str, module: "Module") -> None:
+        super().register_module(name, module)
+        # Keep the ordered item list in sync when an existing slot is
+        # replaced (e.g. by upgrade_model).
+        if name.isdigit() and int(name) < len(self._items):
+            self._items[int(name)] = module
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._items[index]
+
+    def forward(self, *args, **kwargs):
+        raise ConfigError("ModuleList is a container and cannot be called")

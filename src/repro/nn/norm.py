@@ -1,0 +1,128 @@
+"""Normalization layers: BatchNorm2d and GroupNorm.
+
+Both are composed from differentiable tensor primitives, so their backward
+passes come from autograd.  GroupNorm is the normalization the paper pairs
+with model slicing (Sec. 3.2): its statistics are computed per group at run
+time, so they remain correct when the number of active channels varies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError, ShapeError
+from ..tensor import Tensor
+from .init import ones, zeros
+from .module import Module, Parameter
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over NCHW tensors with running statistics."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5,
+                 momentum: float = 0.1):
+        super().__init__()
+        if num_features <= 0:
+            raise ConfigError("BatchNorm2d num_features must be positive")
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(ones((num_features,)))
+        self.bias = Parameter(zeros((num_features,)))
+        self.running_mean = np.zeros(num_features, dtype=np.float32)
+        self.running_var = np.ones(num_features, dtype=np.float32)
+
+    def extra_state(self) -> dict[str, np.ndarray]:
+        return {
+            "running_mean": self.running_mean,
+            "running_var": self.running_var,
+        }
+
+    def load_extra_state(self, key: str, value: np.ndarray) -> None:
+        if key == "running_mean":
+            self.running_mean = value.copy()
+        elif key == "running_var":
+            self.running_var = value.copy()
+        else:
+            raise ConfigError(f"BatchNorm2d has no extra state {key!r}")
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim != 4:
+            raise ShapeError("BatchNorm2d expects NCHW input")
+        c = x.shape[1]
+        if c != self.num_features:
+            raise ShapeError(
+                f"BatchNorm2d built for {self.num_features} channels, got {c}"
+            )
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3), keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=(0, 2, 3), keepdims=True)
+            m = self.momentum
+            self.running_mean = (
+                (1 - m) * self.running_mean + m * mean.data.reshape(-1)
+            )
+            self.running_var = (
+                (1 - m) * self.running_var + m * var.data.reshape(-1)
+            )
+            normed = centered * ((var + self.eps) ** -0.5)
+        else:
+            mean = self.running_mean.reshape(1, c, 1, 1)
+            var = self.running_var.reshape(1, c, 1, 1)
+            normed = (x - mean) * ((Tensor(var) + self.eps) ** -0.5)
+        gamma = self.weight.reshape(1, c, 1, 1)
+        beta = self.bias.reshape(1, c, 1, 1)
+        return normed * gamma + beta
+
+
+class GroupNorm(Module):
+    """Group normalization (Wu & He, 2018) over ``(B, C, ...)`` tensors.
+
+    Channels are divided into ``num_groups`` contiguous groups; mean and
+    variance are computed per sample per group at run time.  Contiguous
+    grouping is what makes this compatible with model slicing: slicing keeps
+    a prefix of whole groups, so every surviving group still normalizes over
+    exactly the channels it was trained with.
+    """
+
+    def __init__(self, num_groups: int, num_channels: int, eps: float = 1e-5,
+                 affine: bool = True):
+        super().__init__()
+        if num_channels % num_groups != 0:
+            raise ConfigError(
+                f"num_channels={num_channels} not divisible by "
+                f"num_groups={num_groups}"
+            )
+        self.num_groups = num_groups
+        self.num_channels = num_channels
+        self.eps = eps
+        if affine:
+            self.weight = Parameter(ones((num_channels,)))
+            self.bias = Parameter(zeros((num_channels,)))
+        else:
+            self.weight = None
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self._normalize(x, self.num_groups, self.num_channels,
+                               self.weight, self.bias)
+
+    def _normalize(self, x: Tensor, groups: int, channels: int,
+                   weight: Parameter | None, bias: Parameter | None) -> Tensor:
+        if x.shape[1] != channels:
+            raise ShapeError(
+                f"GroupNorm configured for {channels} channels, got {x.shape[1]}"
+            )
+        batch = x.shape[0]
+        spatial = x.shape[2:]
+        group_size = channels // groups
+        grouped = x.reshape(batch, groups, group_size * int(np.prod(spatial, dtype=int) or 1))
+        mean = grouped.mean(axis=2, keepdims=True)
+        centered = grouped - mean
+        var = (centered * centered).mean(axis=2, keepdims=True)
+        normed = centered * ((var + self.eps) ** -0.5)
+        normed = normed.reshape((batch, channels) + spatial)
+        if weight is not None:
+            shape = (1, channels) + (1,) * len(spatial)
+            normed = normed * weight.reshape(shape) + bias.reshape(shape)
+        return normed

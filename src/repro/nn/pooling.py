@@ -1,0 +1,35 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor, avg_pool2d, global_avg_pool2d, max_pool2d
+from .module import Module
+
+
+class MaxPool2d(Module):
+    """Non-overlapping max pooling with a square kernel."""
+
+    def __init__(self, kernel_size: int):
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return max_pool2d(x, self.kernel_size)
+
+
+class AvgPool2d(Module):
+    """Non-overlapping average pooling with a square kernel."""
+
+    def __init__(self, kernel_size: int):
+        super().__init__()
+        self.kernel_size = kernel_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return avg_pool2d(x, self.kernel_size)
+
+
+class GlobalAvgPool2d(Module):
+    """Average over all spatial positions, producing ``(B, C)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return global_avg_pool2d(x)

@@ -1,0 +1,6 @@
+"""Optimizers and learning-rate schedules."""
+
+from .sgd import SGD, clip_grad_norm
+from .lr_schedule import MultiStepLR, PlateauDecay, WarmupLR
+
+__all__ = ["SGD", "clip_grad_norm", "MultiStepLR", "PlateauDecay", "WarmupLR"]

@@ -1,0 +1,94 @@
+"""Learning-rate schedules used by the paper's training recipes.
+
+* CIFAR CNNs: divide the LR by 10 at 50% and 75% of training
+  (:class:`MultiStepLR`), optionally with gradual warmup.
+* ImageNet CNNs: divide at 30/60/90% with warmup (same classes).
+* NNLM: quarter the LR whenever validation perplexity stops improving
+  (:class:`PlateauDecay`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ConfigError
+from .sgd import SGD
+
+
+class MultiStepLR:
+    """Multiply the LR by ``gamma`` at each milestone epoch."""
+
+    def __init__(self, optimizer: SGD, milestones: Sequence[int],
+                 gamma: float = 0.1):
+        if sorted(milestones) != list(milestones):
+            raise ConfigError("milestones must be ascending")
+        self.optimizer = optimizer
+        self.milestones = list(milestones)
+        self.gamma = gamma
+        self.epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch; apply the decay if a milestone is crossed."""
+        self.epoch += 1
+        if self.epoch in self.milestones:
+            self.optimizer.lr *= self.gamma
+
+    @classmethod
+    def cifar_recipe(cls, optimizer: SGD, total_epochs: int) -> "MultiStepLR":
+        """The paper's CIFAR schedule: /10 at 50% and 75% of training."""
+        return cls(optimizer,
+                   [max(1, total_epochs // 2), max(2, (3 * total_epochs) // 4)])
+
+
+class WarmupLR:
+    """Linear warmup from ``start_factor * lr`` to ``lr`` over some epochs."""
+
+    def __init__(self, optimizer: SGD, warmup_epochs: int,
+                 start_factor: float = 0.1):
+        if warmup_epochs < 0:
+            raise ConfigError("warmup_epochs must be >= 0")
+        self.optimizer = optimizer
+        self.warmup_epochs = warmup_epochs
+        self.target_lr = optimizer.lr
+        self.start_factor = start_factor
+        self.epoch = 0
+        if warmup_epochs > 0:
+            optimizer.lr = self.target_lr * start_factor
+
+    def step(self) -> None:
+        """Advance one epoch of warmup (no-op once warmed up)."""
+        self.epoch += 1
+        if self.epoch < self.warmup_epochs:
+            frac = self.epoch / self.warmup_epochs
+            factor = self.start_factor + (1.0 - self.start_factor) * frac
+            self.optimizer.lr = self.target_lr * factor
+        elif self.epoch == self.warmup_epochs:
+            self.optimizer.lr = self.target_lr
+
+
+class PlateauDecay:
+    """Decay the LR when a monitored metric stops improving.
+
+    The NNLM recipe: "the learning rate is ... quartered in the next epoch
+    if the perplexity does not decrease on the validation set".
+    """
+
+    def __init__(self, optimizer: SGD, factor: float = 0.25,
+                 min_lr: float = 1e-5):
+        if not 0 < factor < 1:
+            raise ConfigError("factor must be in (0, 1)")
+        self.optimizer = optimizer
+        self.factor = factor
+        self.min_lr = min_lr
+        self.best: float | None = None
+
+    def step(self, metric: float) -> bool:
+        """Report a new validation metric (lower is better).
+
+        Returns True if the LR was decayed.
+        """
+        if self.best is None or metric < self.best:
+            self.best = metric
+            return False
+        self.optimizer.lr = max(self.optimizer.lr * self.factor, self.min_lr)
+        return True

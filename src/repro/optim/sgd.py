@@ -1,0 +1,77 @@
+"""Stochastic gradient descent with momentum and weight decay."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..nn.module import Parameter
+
+
+class SGD:
+    """SGD with (optionally Nesterov) momentum and L2 weight decay.
+
+    Parameters
+    ----------
+    params:
+        Parameters to optimize (e.g. ``model.parameters()``).
+    lr:
+        Learning rate; mutable via :attr:`lr` so schedules can adjust it.
+    momentum, weight_decay, nesterov:
+        The usual SGD knobs (paper uses momentum SGD for CNNs, plain SGD
+        with gradient clipping for the NNLM).
+    """
+
+    def __init__(self, params: Iterable[Parameter], lr: float,
+                 momentum: float = 0.0, weight_decay: float = 0.0,
+                 nesterov: bool = False):
+        self.params = list(params)
+        if not self.params:
+            raise ConfigError("SGD received no parameters")
+        if lr <= 0:
+            raise ConfigError(f"learning rate must be positive, got {lr}")
+        if nesterov and momentum == 0.0:
+            raise ConfigError("nesterov momentum requires momentum > 0")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity = [None] * len(self.params)
+
+    def step(self) -> None:
+        """Apply one update to every parameter that has a gradient."""
+        for i, param in enumerate(self.params):
+            grad = param.grad
+            if grad is None:
+                continue
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                if self._velocity[i] is None:
+                    self._velocity[i] = np.zeros_like(param.data)
+                vel = self._velocity[i]
+                vel *= self.momentum
+                vel += grad
+                grad = self.momentum * vel + grad if self.nesterov else vel
+            param.data -= (self.lr * grad).astype(param.data.dtype, copy=False)
+
+    def zero_grad(self) -> None:
+        """Drop all parameter gradients."""
+        for param in self.params:
+            param.zero_grad()
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the norm before clipping (standard for LSTM language models).
+    """
+    params = [p for p in params if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if total > max_norm and total > 0:
+        scale = max_norm / total
+        for param in params:
+            param.grad = param.grad * scale
+    return total

@@ -1,0 +1,17 @@
+"""Cascade ranking: the Sec. 4.2 example application."""
+
+from .cascade import (
+    CascadeSimulation,
+    CascadeStage,
+    StageResult,
+    fixed_model_stages,
+    sliced_model_stages,
+)
+
+__all__ = [
+    "CascadeSimulation",
+    "CascadeStage",
+    "StageResult",
+    "sliced_model_stages",
+    "fixed_model_stages",
+]

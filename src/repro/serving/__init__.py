@@ -1,0 +1,29 @@
+"""Dynamic-workload serving: the Sec. 4.1 example application."""
+
+from .workload import (
+    constant_rate,
+    diurnal_rate,
+    generate_arrivals,
+    peak_to_trough,
+    spike_rate,
+)
+from .controller import (
+    AdaptiveSliceRateController,
+    FixedRateController,
+    SliceRateController,
+)
+from .simulator import ServingReport, WindowStats, simulate_serving
+
+__all__ = [
+    "constant_rate",
+    "diurnal_rate",
+    "spike_rate",
+    "generate_arrivals",
+    "peak_to_trough",
+    "SliceRateController",
+    "AdaptiveSliceRateController",
+    "FixedRateController",
+    "ServingReport",
+    "WindowStats",
+    "simulate_serving",
+]

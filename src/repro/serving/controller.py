@@ -1,0 +1,120 @@
+"""Slice-rate controllers implementing the paper's degradation policy.
+
+Sec. 4.1: queries stream in under a latency SLO ``T``.  The service builds
+a mini-batch every ``T/2`` and spends the remaining ``T/2`` processing it,
+choosing the largest slice rate with ``n * r**2 * t <= T/2``.  Under this
+design no compute is wasted and every admitted sample meets the SLO.
+
+Baselines: a fixed full-width policy (drops work under load) and a fixed
+narrow policy (wastes accuracy off-peak).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import BudgetError, ServingError
+from ..slicing.budget import rate_for_latency
+
+
+class SliceRateController:
+    """The paper's elastic policy: pick ``r`` per batch from its size."""
+
+    def __init__(self, rates: Sequence[float], full_latency_per_sample: float,
+                 latency_slo: float):
+        if latency_slo <= 0 or full_latency_per_sample <= 0:
+            raise ServingError("latencies must be positive")
+        self.rates = sorted(float(r) for r in rates)
+        self.full_latency = full_latency_per_sample
+        self.latency_slo = latency_slo
+
+    def choose(self, batch_size: int) -> float | None:
+        """Slice rate for a batch, or None if even the base net is too slow."""
+        if batch_size == 0:
+            return None
+        try:
+            return rate_for_latency(batch_size, self.full_latency,
+                                    self.latency_slo, self.rates)
+        except BudgetError:
+            return None
+
+    def max_batch(self, rate: float) -> int:
+        """Largest batch the SLO admits at ``rate``."""
+        window = self.latency_slo / 2.0
+        return int(window / (self.full_latency * rate * rate))
+
+
+class AdaptiveSliceRateController(SliceRateController):
+    """Elastic controller that calibrates its latency model online.
+
+    The paper's rule needs the full-width per-sample latency ``t``.  In
+    production ``t`` drifts (thermal throttling, co-located load), so
+    this controller refines its estimate from *observed* processing
+    times via an exponentially weighted moving average: after a batch of
+    ``n`` samples at rate ``r`` takes ``elapsed`` seconds, the implied
+    full-width latency is ``elapsed / (n * r**2)``.
+
+    A safety factor > 1 makes the controller conservative: it plans with
+    ``safety * t_est``, trading a slightly narrower subnet for fewer SLO
+    violations while the estimate converges.
+    """
+
+    def __init__(self, rates, initial_latency: float, latency_slo: float,
+                 smoothing: float = 0.3, safety: float = 1.0):
+        super().__init__(rates, initial_latency, latency_slo)
+        if not 0.0 < smoothing <= 1.0:
+            raise ServingError("smoothing must be in (0, 1]")
+        if safety < 1.0:
+            raise ServingError("safety factor must be >= 1")
+        self.smoothing = smoothing
+        self.safety = safety
+        self.observations = 0
+
+    def choose(self, batch_size: int) -> float | None:
+        if batch_size == 0:
+            return None
+        try:
+            return rate_for_latency(batch_size,
+                                    self.full_latency * self.safety,
+                                    self.latency_slo, self.rates)
+        except BudgetError:
+            return None
+
+    def observe(self, batch_size: int, rate: float,
+                elapsed: float) -> float:
+        """Fold one observed batch into the latency estimate.
+
+        Returns the updated full-width per-sample estimate.
+        """
+        if batch_size <= 0 or rate <= 0 or elapsed < 0:
+            raise ServingError("invalid observation")
+        implied = elapsed / (batch_size * rate * rate)
+        self.full_latency = ((1 - self.smoothing) * self.full_latency
+                             + self.smoothing * implied)
+        self.observations += 1
+        return self.full_latency
+
+
+class FixedRateController:
+    """Degenerate policy: always run at one rate (the baselines)."""
+
+    def __init__(self, rate: float, full_latency_per_sample: float,
+                 latency_slo: float):
+        if not 0 < rate <= 1:
+            raise ServingError(f"rate must be in (0, 1], got {rate}")
+        self.rate = float(rate)
+        self.full_latency = full_latency_per_sample
+        self.latency_slo = latency_slo
+
+    def choose(self, batch_size: int) -> float | None:
+        if batch_size == 0:
+            return None
+        cost = batch_size * self.rate ** 2 * self.full_latency
+        if cost > self.latency_slo / 2.0:
+            return None  # cannot meet the SLO; the batch must shed load
+        return self.rate
+
+    def max_batch(self, rate: float | None = None) -> int:
+        rate = self.rate if rate is None else rate
+        window = self.latency_slo / 2.0
+        return int(window / (self.full_latency * rate * rate))

@@ -1,0 +1,145 @@
+"""Discrete-window serving simulator (the Sec. 4.1 example application).
+
+Time is divided into ``T/2`` windows.  Arrivals landing in window ``k``
+form the batch processed during window ``k+1``.  A controller picks the
+slice rate per batch; a fixed-rate controller instead sheds the samples it
+cannot fit (the paper's coarse degradation).  The simulator accounts, per
+window: admitted/dropped samples, chosen rate, realized processing time,
+SLO violations, and the accuracy implied by the chosen rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import ServingError
+
+
+@dataclass
+class WindowStats:
+    """Telemetry of one processing window."""
+
+    start: float
+    arrivals: int
+    admitted: int
+    dropped: int
+    rate: float | None
+    processing_time: float
+    slo_met: bool
+    expected_accuracy: float
+
+
+@dataclass
+class ServingReport:
+    """Aggregate results of a serving simulation."""
+
+    windows: list[WindowStats] = field(default_factory=list)
+
+    @property
+    def total_arrivals(self) -> int:
+        return sum(w.arrivals for w in self.windows)
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(w.dropped for w in self.windows)
+
+    @property
+    def drop_fraction(self) -> float:
+        total = self.total_arrivals
+        return self.total_dropped / total if total else 0.0
+
+    @property
+    def slo_violations(self) -> int:
+        return sum(1 for w in self.windows if not w.slo_met)
+
+    @property
+    def mean_accuracy(self) -> float:
+        """Admitted-sample-weighted expected accuracy (dropped count as 0)."""
+        total = self.total_arrivals
+        if not total:
+            return 0.0
+        gained = sum(w.admitted * w.expected_accuracy for w in self.windows)
+        return gained / total
+
+    @property
+    def mean_rate(self) -> float:
+        rates = [w.rate for w in self.windows if w.rate is not None]
+        return float(np.mean(rates)) if rates else 0.0
+
+    def utilization(self, window_length: float) -> float:
+        """Fraction of each processing window actually spent computing."""
+        if not self.windows:
+            return 0.0
+        busy = sum(w.processing_time for w in self.windows)
+        return busy / (len(self.windows) * window_length)
+
+
+def simulate_serving(arrivals: np.ndarray, controller,
+                     full_latency_per_sample: float, latency_slo: float,
+                     accuracy_of_rate: Mapping[float, float],
+                     duration: float) -> ServingReport:
+    """Run the window simulation.
+
+    Parameters
+    ----------
+    arrivals:
+        Sorted arrival timestamps.
+    controller:
+        Object with ``choose(batch_size) -> rate | None``; a ``None``
+        answer makes the simulator shed samples down to the controller's
+        ``max_batch`` (fixed-rate baseline) or drop the batch entirely if
+        even one sample cannot be served.
+    accuracy_of_rate:
+        Measured accuracy of the deployed model at each candidate rate
+        (from a trained model's evaluation).
+    """
+    if latency_slo <= 0:
+        raise ServingError("latency_slo must be positive")
+    window = latency_slo / 2.0
+    report = ServingReport()
+    edges = np.arange(0.0, duration + window, window)
+    counts, _ = np.histogram(arrivals, bins=edges)
+    for k, n in enumerate(counts):
+        n = int(n)
+        rate = controller.choose(n)
+        if n == 0:
+            report.windows.append(WindowStats(
+                start=float(edges[k]), arrivals=0, admitted=0, dropped=0,
+                rate=None, processing_time=0.0, slo_met=True,
+                expected_accuracy=0.0,
+            ))
+            continue
+        if rate is None:
+            # Shed load until the controller can serve the remainder.
+            capacity = controller.max_batch(getattr(controller, "rate", None)) \
+                if hasattr(controller, "rate") else 0
+            admitted = min(n, capacity)
+            rate = controller.choose(admitted) if admitted else None
+            dropped = n - admitted
+        else:
+            admitted, dropped = n, 0
+        if rate is None:
+            processing = 0.0
+            accuracy = 0.0
+            admitted = 0
+            dropped = n
+        else:
+            processing = admitted * rate * rate * full_latency_per_sample
+            accuracy = _accuracy_for(accuracy_of_rate, rate)
+        report.windows.append(WindowStats(
+            start=float(edges[k]), arrivals=n, admitted=admitted,
+            dropped=dropped, rate=rate, processing_time=processing,
+            slo_met=processing <= window + 1e-9,
+            expected_accuracy=accuracy,
+        ))
+    return report
+
+
+def _accuracy_for(table: Mapping[float, float], rate: float) -> float:
+    if rate in table:
+        return table[rate]
+    best = min(table, key=lambda r: abs(r - rate))
+    return table[best]

@@ -1,0 +1,88 @@
+"""Model slicing: the paper's core contribution.
+
+* :mod:`~repro.slicing.context` — the shared slice-rate context
+  (``with slice_rate(r): ...``).
+* :mod:`~repro.slicing.partition` — rate → active-prefix-width mapping at
+  group granularity.
+* :mod:`~repro.slicing.layers` — sliceable dense/conv/normalization layers.
+* :mod:`~repro.slicing.recurrent` — sliceable RNN/LSTM/GRU cells.
+* :mod:`~repro.slicing.schemes` — slice-rate scheduling schemes (Sec. 3.4).
+* :mod:`~repro.slicing.trainer` — the Algorithm-1 training loop.
+* :mod:`~repro.slicing.budget` — budget → rate mapping (Eq. 3).
+* :mod:`~repro.slicing.upgrade` — convert plain models to sliceable ones.
+* :mod:`~repro.slicing.incremental` — group-residual computation reuse
+  (Sec. 3.5).
+"""
+
+from .context import SliceContext, current_rate, slice_rate, validate_rate
+from .partition import GroupPartition
+from .layers import (
+    DEFAULT_GROUPS,
+    MultiBatchNorm2d,
+    SlicedBatchNorm2d,
+    SlicedConv2d,
+    SlicedGroupNorm,
+    SlicedLinear,
+)
+from .recurrent import (
+    SlicedGRUCell,
+    SlicedLSTM,
+    SlicedLSTMCell,
+    SlicedRNNCell,
+)
+from .schemes import (
+    FixedScheme,
+    RandomScheme,
+    RandomStaticScheme,
+    Scheme,
+    StaticScheme,
+)
+from .distributions import (
+    ContinuousScheme,
+    categorical_from_cdf,
+    exponential_decay_cdf,
+    normal_cdf,
+    uniform_cdf,
+)
+from .budget import max_rate_for_budget, rate_for_budget, rate_for_latency
+from .trainer import EpochRecord, SliceTrainer
+from .upgrade import upgrade_model
+from .deploy import materialize_subnet
+from . import analysis, incremental
+
+__all__ = [
+    "SliceContext",
+    "slice_rate",
+    "current_rate",
+    "validate_rate",
+    "GroupPartition",
+    "DEFAULT_GROUPS",
+    "SlicedLinear",
+    "SlicedConv2d",
+    "SlicedGroupNorm",
+    "SlicedBatchNorm2d",
+    "MultiBatchNorm2d",
+    "SlicedRNNCell",
+    "SlicedLSTMCell",
+    "SlicedGRUCell",
+    "SlicedLSTM",
+    "Scheme",
+    "FixedScheme",
+    "StaticScheme",
+    "RandomScheme",
+    "RandomStaticScheme",
+    "ContinuousScheme",
+    "categorical_from_cdf",
+    "uniform_cdf",
+    "normal_cdf",
+    "exponential_decay_cdf",
+    "max_rate_for_budget",
+    "rate_for_budget",
+    "rate_for_latency",
+    "SliceTrainer",
+    "EpochRecord",
+    "upgrade_model",
+    "materialize_subnet",
+    "incremental",
+    "analysis",
+]

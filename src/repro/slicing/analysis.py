@@ -1,0 +1,123 @@
+"""Analysis tools for trained sliced models.
+
+Quantifies the structural claims of the paper on any trained model:
+
+* :func:`subnet_agreement_matrix` — fraction of identical predictions
+  between every pair of subnets (the mechanism behind Figure 8 and the
+  cascade result);
+* :func:`marginal_gain_curve` — accuracy gained by each additional
+  group-step of width (the group-residual story of Sec. 3.5: later
+  groups contribute diminishing corrections);
+* :func:`group_scale_profile` — per-layer mean ``|gamma|`` by slice
+  group (Figure 6's telemetry, aggregated over the whole network).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..nn.module import Module
+from ..tensor import Tensor, no_grad
+from .context import slice_rate
+from .layers import SlicedGroupNorm
+
+
+def _predict(model: Module, inputs: np.ndarray, rate: float,
+             batch_size: int = 256) -> np.ndarray:
+    model.eval()
+    out = []
+    with no_grad():
+        with slice_rate(rate):
+            for start in range(0, len(inputs), batch_size):
+                logits = model(Tensor(inputs[start:start + batch_size]))
+                out.append(logits.data.argmax(axis=1))
+    return np.concatenate(out)
+
+
+def subnet_agreement_matrix(model: Module, inputs: np.ndarray,
+                            rates: list[float]) -> np.ndarray:
+    """Pairwise fraction of samples on which two subnets agree.
+
+    Rows/columns follow ``sorted(rates)``.  For a slicing-trained model
+    the off-diagonal values are high (subnets share their base
+    representation); independently trained models sit near the chance
+    agreement level.
+    """
+    rates = sorted(rates)
+    predictions = {rate: _predict(model, inputs, rate) for rate in rates}
+    n = len(rates)
+    matrix = np.ones((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            agree = float(
+                (predictions[rates[i]] == predictions[rates[j]]).mean())
+            matrix[i, j] = matrix[j, i] = agree
+    return matrix
+
+
+def marginal_gain_curve(model: Module, inputs: np.ndarray,
+                        labels: np.ndarray,
+                        rates: list[float]) -> list[dict]:
+    """Accuracy and its marginal gain at each successive rate.
+
+    The group-residual effect predicts positive-but-diminishing gains:
+    the base groups carry the bulk of the accuracy and later groups
+    refine it.
+    """
+    labels = np.asarray(labels)
+    rates = sorted(rates)
+    curve = []
+    previous = None
+    for rate in rates:
+        accuracy = float((_predict(model, inputs, rate) == labels).mean())
+        curve.append({
+            "rate": rate,
+            "accuracy": accuracy,
+            "marginal_gain": accuracy - previous if previous is not None
+            else accuracy,
+        })
+        previous = accuracy
+    return curve
+
+
+def group_scale_profile(model: Module) -> dict[str, np.ndarray]:
+    """Mean ``|gamma|`` per slice group for every GN layer in the model.
+
+    Keys are the layers' dotted module names; values are arrays of
+    length ``num_groups``.  Raises if the model has no sliced GN layers.
+    """
+    profile: dict[str, np.ndarray] = {}
+
+    def visit(module: Module, prefix: str) -> None:
+        for name, child in module._modules.items():
+            dotted = prefix + name
+            if isinstance(child, SlicedGroupNorm):
+                profile[dotted] = child.group_scale_means()
+            visit(child, dotted + ".")
+
+    visit(model, "")
+    if not profile:
+        raise ConfigError("model contains no SlicedGroupNorm layers")
+    return profile
+
+
+def stratification_score(profile: dict[str, np.ndarray]) -> float:
+    """How strongly GN scales decrease from base to tail groups.
+
+    For each layer, the mean of the first half of the groups minus the
+    mean of the second half, averaged over layers and normalized by the
+    overall mean scale.  Positive values mean Figure 6's stratified
+    pattern: base groups carry larger scales.
+    """
+    gaps = []
+    for scales in profile.values():
+        half = len(scales) // 2
+        if half == 0:
+            continue
+        denom = float(np.mean(scales)) or 1.0
+        gaps.append((float(np.mean(scales[:half]))
+                     - float(np.mean(scales[half:]))) / denom)
+    if not gaps:
+        raise ConfigError("profile has no multi-group layers")
+    return float(np.mean(gaps))

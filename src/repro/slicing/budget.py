@@ -1,0 +1,75 @@
+"""Mapping resource budgets to slice rates (Eq. 3 of the paper).
+
+The computation of ``Subnet-r`` is roughly ``r**2`` times the full
+network's, so a run-time budget ``C_t`` admits any rate
+``r <= sqrt(C_t / C_0)``.  These helpers pick the largest valid candidate
+rate under a budget, and the latency-constrained variant used by the
+serving controller (Sec. 4.1): choose ``r`` with ``n * r**2 * t <= T/2``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from ..errors import BudgetError
+from .context import validate_rate
+
+
+def max_rate_for_budget(budget: float, full_cost: float) -> float:
+    """The continuous Eq. 3 bound: ``min(sqrt(budget / full_cost), 1)``."""
+    if full_cost <= 0:
+        raise BudgetError(f"full_cost must be positive, got {full_cost}")
+    if budget <= 0:
+        raise BudgetError(f"budget must be positive, got {budget}")
+    return min(math.sqrt(budget / full_cost), 1.0)
+
+
+def rate_for_budget(budget: float, full_cost: float,
+                    rates: Sequence[float]) -> float:
+    """Largest candidate rate whose quadratic cost fits in ``budget``.
+
+    Parameters
+    ----------
+    budget:
+        Available computation (same unit as ``full_cost``).
+    full_cost:
+        Cost ``C_0`` of the full network.
+    rates:
+        The candidate slice rates the deployed model was trained with.
+
+    Raises
+    ------
+    BudgetError
+        If even the smallest candidate rate exceeds the budget.
+    """
+    bound = max_rate_for_budget(budget, full_cost)
+    valid = [validate_rate(r) for r in rates]
+    feasible = [r for r in valid if r <= bound + 1e-12]
+    if not feasible:
+        raise BudgetError(
+            f"budget {budget} (bound r<={bound:.4f}) cannot be met; "
+            f"smallest candidate rate is {min(valid)}"
+        )
+    return max(feasible)
+
+
+def rate_for_latency(batch_size: int, full_latency_per_sample: float,
+                     latency_budget: float, rates: Sequence[float],
+                     processing_fraction: float = 0.5) -> float:
+    """Slice rate for a mini-batch under a latency SLO (Sec. 4.1).
+
+    The paper's controller builds a batch every ``T/2`` and spends the
+    remaining ``T/2`` processing it, so it picks the largest rate with
+    ``n * r**2 * t <= T * processing_fraction``.
+
+    Raises
+    ------
+    BudgetError
+        If even the smallest rate cannot process the batch in time.
+    """
+    if batch_size <= 0:
+        raise BudgetError("batch_size must be positive")
+    window = latency_budget * processing_fraction
+    per_sample = window / batch_size
+    return rate_for_budget(per_sample, full_latency_per_sample, rates)

@@ -1,0 +1,61 @@
+"""The global slice-rate context.
+
+The paper shares a single slice rate ``r`` across every sliced layer of the
+network (Sec. 3.1).  We model that with a process-wide stack: entering
+``with slice_rate(r):`` makes every sliced layer inside the block use the
+corresponding sub-layer.  The default rate is 1.0 (the full network), so
+untouched code paths always see the full model.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+from ..errors import SliceRateError
+
+_RATE_STACK: list[float] = [1.0]
+
+
+def validate_rate(rate: float) -> float:
+    """Check ``rate`` is a valid slice rate and return it as a float."""
+    rate = float(rate)
+    if not 0.0 < rate <= 1.0:
+        raise SliceRateError(f"slice rate must be in (0, 1], got {rate}")
+    return rate
+
+
+def current_rate() -> float:
+    """The slice rate active for the current forward pass."""
+    return _RATE_STACK[-1]
+
+
+@contextlib.contextmanager
+def slice_rate(rate: float):
+    """Run the enclosed block with the given slice rate.
+
+    Example
+    -------
+    >>> with slice_rate(0.5):
+    ...     logits = model(images)   # half-width subnet, ~25% FLOPs
+    """
+    _RATE_STACK.append(validate_rate(rate))
+    try:
+        yield
+    finally:
+        _RATE_STACK.pop()
+
+
+class SliceContext:
+    """Object-style access to the slice-rate context.
+
+    Functionally equivalent to :func:`slice_rate` / :func:`current_rate`;
+    provided for callers that prefer passing a handle around explicitly.
+    """
+
+    @staticmethod
+    def get() -> float:
+        return current_rate()
+
+    @staticmethod
+    def at(rate: float):
+        return slice_rate(rate)

@@ -1,0 +1,208 @@
+"""Materialize a deployed subnet as a standalone plain network.
+
+The paper's conclusion notes that "model slicing is readily applicable to
+the model compression scenario by deploying a proper subnet".  This
+module makes that concrete: :func:`materialize_subnet` walks a sliced
+model and produces an independent network built from *plain*
+:mod:`repro.nn` layers whose weights are the active prefixes at the
+chosen rate — nothing of the full model is retained, so the deployed
+artifact genuinely shrinks on disk and in memory.
+
+Rescaling factors (``full_in / active_in``) are baked into the
+materialized weights, so the deployed network computes exactly what the
+sliced model computes at that rate.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..nn.conv import Conv2d
+from ..nn.linear import Linear
+from ..nn.module import Module
+from ..nn.norm import GroupNorm
+from ..nn.norm import BatchNorm2d
+from ..nn.recurrent import GRUCell, LSTMCell, RNNCell
+from .context import validate_rate
+from .layers import (
+    MultiBatchNorm2d,
+    SlicedBatchNorm2d,
+    SlicedConv2d,
+    SlicedGroupNorm,
+    SlicedLinear,
+)
+from .recurrent import SlicedGRUCell, SlicedLSTMCell, SlicedRNNCell
+
+
+def _linear_from(layer: SlicedLinear, rate: float) -> Linear:
+    out_w = layer.out_partition.width_for(rate) if layer.slice_output \
+        else layer.out_features
+    in_w = layer.in_partition.width_for(rate) if layer.slice_input \
+        else layer.in_features
+    plain = Linear(in_w, out_w, bias=layer.bias is not None,
+                   rng=np.random.default_rng(0))
+    scale = (layer.in_features / in_w) if (layer.rescale and
+                                           layer.slice_input) else 1.0
+    plain.weight.data[...] = layer.weight.data[:out_w, :in_w] * scale
+    if layer.bias is not None:
+        # The sliced layer rescales (Wx + b); bake the same factor in.
+        plain.bias.data[...] = layer.bias.data[:out_w] * scale
+    return plain
+
+
+def _conv_from(layer: SlicedConv2d, rate: float) -> Conv2d:
+    out_w = layer.active_out_channels(rate)
+    in_w = layer.in_partition.width_for(rate) if layer.slice_input \
+        else layer.in_channels
+    plain = Conv2d(in_w, out_w, layer.kernel_size, stride=layer.stride,
+                   padding=layer.padding, bias=layer.bias is not None,
+                   rng=np.random.default_rng(0))
+    plain.weight.data[...] = layer.weight.data[:out_w, :in_w]
+    if layer.bias is not None:
+        plain.bias.data[...] = layer.bias.data[:out_w]
+    return plain
+
+
+def _groupnorm_from(layer: SlicedGroupNorm, rate: float) -> GroupNorm:
+    groups = max(1, min(round(rate * layer.num_groups), layer.num_groups))
+    channels = groups * layer.group_size
+    plain = GroupNorm(groups, channels, eps=layer.eps)
+    plain.weight.data[...] = layer.weight.data[:channels]
+    plain.bias.data[...] = layer.bias.data[:channels]
+    return plain
+
+
+def _rnn_cell_from(cell: SlicedRNNCell, rate: float) -> RNNCell:
+    hidden = cell.partition.width_for(rate)
+    in_w = cell.in_partition.width_for(rate) if cell.slice_input \
+        else cell.input_size
+    plain = RNNCell(in_w, hidden, rng=np.random.default_rng(0))
+    scale = 1.0
+    if cell.rescale:
+        scale = (cell.input_size / in_w + cell.hidden_size / hidden) / 2.0
+    plain.weight_ih.data[...] = cell.weight_ih.data[:hidden, :in_w] * scale
+    plain.weight_hh.data[...] = cell.weight_hh.data[:hidden, :hidden] * scale
+    plain.bias.data[...] = cell.bias.data[:hidden] * scale
+    return plain
+
+
+def _lstm_cell_from(cell: SlicedLSTMCell, rate: float) -> LSTMCell:
+    hidden = cell.partition.width_for(rate)
+    in_w = cell.in_partition.width_for(rate) if cell.slice_input \
+        else cell.input_size
+    plain = LSTMCell(in_w, hidden, rng=np.random.default_rng(0))
+    scale = 1.0
+    if cell.rescale:
+        scale = (cell.input_size / in_w + cell.hidden_size / hidden) / 2.0
+    for k, gate in enumerate(("i", "f", "g", "o")):
+        w_ih = getattr(cell, f"w_ih_{gate}").data[:hidden, :in_w]
+        w_hh = getattr(cell, f"w_hh_{gate}").data[:hidden, :hidden]
+        bias = getattr(cell, f"bias_{gate}").data[:hidden]
+        plain.weight_ih.data[k * hidden:(k + 1) * hidden] = w_ih * scale
+        plain.weight_hh.data[k * hidden:(k + 1) * hidden] = w_hh * scale
+        plain.bias.data[k * hidden:(k + 1) * hidden] = bias * scale
+    return plain
+
+
+def _gru_cell_from(cell: SlicedGRUCell, rate: float) -> GRUCell:
+    hidden = cell.partition.width_for(rate)
+    in_w = cell.in_partition.width_for(rate) if cell.slice_input \
+        else cell.input_size
+    plain = GRUCell(in_w, hidden, rng=np.random.default_rng(0))
+    scale = 1.0
+    if cell.rescale:
+        scale = (cell.input_size / in_w + cell.hidden_size / hidden) / 2.0
+    for k, gate in enumerate(("r", "z", "n")):
+        w_ih = getattr(cell, f"w_ih_{gate}").data[:hidden, :in_w]
+        w_hh = getattr(cell, f"w_hh_{gate}").data[:hidden, :hidden]
+        bias = getattr(cell, f"bias_{gate}").data[:hidden]
+        plain.weight_ih.data[k * hidden:(k + 1) * hidden] = w_ih * scale
+        plain.weight_hh.data[k * hidden:(k + 1) * hidden] = w_hh * scale
+        plain.bias_ih.data[k * hidden:(k + 1) * hidden] = bias * scale
+    return plain
+
+
+def _multi_bn_from(layer: MultiBatchNorm2d, rate: float) -> BatchNorm2d:
+    best = min(layer._rate_keys, key=lambda r: abs(r - rate))
+    source: BatchNorm2d = getattr(layer, f"bn_{layer._key(best)}")
+    plain = BatchNorm2d(source.num_features, eps=source.eps,
+                        momentum=source.momentum)
+    plain.weight.data[...] = source.weight.data
+    plain.bias.data[...] = source.bias.data
+    plain.running_mean = source.running_mean.copy()
+    plain.running_var = source.running_var.copy()
+    return plain
+
+
+_CONVERTERS = [
+    (SlicedLinear, _linear_from),
+    (SlicedConv2d, _conv_from),
+    (SlicedGroupNorm, _groupnorm_from),
+    (SlicedLSTMCell, _lstm_cell_from),
+    (SlicedRNNCell, _rnn_cell_from),
+    (SlicedGRUCell, _gru_cell_from),
+    (MultiBatchNorm2d, _multi_bn_from),
+]
+
+
+def materialize_subnet(model: Module, rate: float) -> Module:
+    """Return a standalone plain copy of ``Subnet-rate``.
+
+    The original model is untouched.  Sliced layers become plain layers
+    holding only the active prefix weights (with any rescaling baked in);
+    everything else (activations, pooling, containers, composite blocks)
+    is deep-copied.  The result no longer responds to ``slice_rate`` —
+    it *is* the subnet.
+
+    Raises
+    ------
+    ConfigError
+        If the model contains a sliced layer type with no converter
+        (e.g. :class:`SlicedBatchNorm2d`, whose running statistics are
+        not meaningful for a single deployed width).
+    """
+    validate_rate(rate)
+    clone = copy.deepcopy(model)
+    replaced = 0
+
+    def visit(module: Module) -> None:
+        nonlocal replaced
+        for name, child in list(module._modules.items()):
+            converted = None
+            for kind, converter in _CONVERTERS:
+                if type(child) is kind:
+                    converted = converter(child, rate)
+                    break
+            if converted is not None:
+                module.register_module(name, converted)
+                replaced += 1
+                # Composite modules may alias children in plain lists
+                # (e.g. SlicedVGG._ops, SlicedLSTM.cells); patch those.
+                _patch_aliases(module, child, converted)
+            else:
+                if isinstance(child, SlicedBatchNorm2d):
+                    raise ConfigError(
+                        "cannot materialize SlicedBatchNorm2d; train with "
+                        "group normalization for deployable subnets"
+                    )
+                visit(child)
+
+    visit(clone)
+    if replaced == 0:
+        raise ConfigError("model contains no sliceable layers")
+    return clone
+
+
+def _patch_aliases(parent: Module, old: Module, new: Module) -> None:
+    """Replace references to ``old`` inside plain-list attributes."""
+    for attr, value in vars(parent).items():
+        if isinstance(value, list):
+            for i, item in enumerate(value):
+                if item is old:
+                    value[i] = new
+                elif (isinstance(item, tuple) and len(item) == 2
+                        and item[1] is old):
+                    value[i] = (item[0], new)

@@ -1,0 +1,129 @@
+"""Eq. 8: parameterizing random scheduling with a continuous distribution.
+
+Sec. 3.4 of the paper defines random scheduling by sampling the slice
+rate from a continuous distribution ``F`` (e.g. uniform or normal) and
+shows (Eq. 8) how ``F`` induces a categorical distribution over the valid
+rate grid: each grid point ``r_i`` receives the probability mass of
+``F`` between the midpoints of its neighbouring rates,
+
+    p(r_1) = F((r_1 + r_2) / 2)
+    p(r_i) = F((r_i + r_{i+1}) / 2) - F((r_{i-1} + r_i) / 2)
+    p(r_G) = 1 - F((r_{G-1} + r_G) / 2).
+
+:func:`categorical_from_cdf` implements exactly that, and
+:class:`ContinuousScheme` wraps the result as a scheduling scheme, so any
+distribution with a CDF can drive Algorithm 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from ..errors import SchedulingError
+from .schemes import RandomScheme
+
+
+def categorical_from_cdf(rates: Sequence[float],
+                         cdf: Callable[[float], float]) -> list[float]:
+    """Discretize a continuous CDF onto a rate grid per Eq. 8."""
+    rates = sorted(float(r) for r in set(rates))
+    if not rates:
+        raise SchedulingError("need at least one rate")
+    if len(rates) == 1:
+        return [1.0]
+    probabilities = []
+    for i, rate in enumerate(rates):
+        upper = 1.0 if i == len(rates) - 1 \
+            else cdf((rate + rates[i + 1]) / 2.0)
+        lower = 0.0 if i == 0 else cdf((rates[i - 1] + rate) / 2.0)
+        mass = upper - lower
+        if mass < -1e-9:
+            raise SchedulingError("cdf is not monotone on the rate grid")
+        probabilities.append(max(mass, 0.0))
+    total = sum(probabilities)
+    if total <= 0:
+        raise SchedulingError("cdf places no mass on the rate grid")
+    return [p / total for p in probabilities]
+
+
+def uniform_cdf(low: float = 0.0, high: float = 1.0) -> Callable[[float], float]:
+    """CDF of U(low, high)."""
+    if high <= low:
+        raise SchedulingError("uniform requires high > low")
+
+    def cdf(x: float) -> float:
+        if x <= low:
+            return 0.0
+        if x >= high:
+            return 1.0
+        return (x - low) / (high - low)
+
+    return cdf
+
+
+def normal_cdf(mean: float, std: float) -> Callable[[float], float]:
+    """CDF of N(mean, std^2) via the error function."""
+    if std <= 0:
+        raise SchedulingError("normal requires std > 0")
+
+    def cdf(x: float) -> float:
+        return 0.5 * (1.0 + math.erf((x - mean) / (std * math.sqrt(2.0))))
+
+    return cdf
+
+
+def exponential_decay_cdf(scale: float) -> Callable[[float], float]:
+    """CDF of an Exp(scale) variable reflected to favour *large* rates.
+
+    ``P(rate <= x) = exp(-(1 - x) / scale)`` up to normalization on
+    [0, 1]: most mass near rate 1.0, decaying toward the base network —
+    a useful prior when the full model dominates the serving mix.
+    """
+    if scale <= 0:
+        raise SchedulingError("exponential requires scale > 0")
+    floor = math.exp(-1.0 / scale)
+
+    def cdf(x: float) -> float:
+        if x <= 0.0:
+            return 0.0
+        if x >= 1.0:
+            return 1.0
+        return (math.exp(-(1.0 - x) / scale) - floor) / (1.0 - floor)
+
+    return cdf
+
+
+class ContinuousScheme(RandomScheme):
+    """Random scheduling driven by a continuous distribution (Eq. 8).
+
+    Parameters
+    ----------
+    rates:
+        The valid rate grid.
+    cdf:
+        Cumulative distribution function of the sampling distribution
+        ``F`` over rates, e.g. :func:`uniform_cdf`, :func:`normal_cdf`.
+    num_samples:
+        Rates scheduled per training pass.
+    """
+
+    def __init__(self, rates: Sequence[float],
+                 cdf: Callable[[float], float], num_samples: int = 1):
+        probabilities = categorical_from_cdf(sorted(set(rates)), cdf)
+        super().__init__(rates, probabilities=probabilities,
+                         num_samples=num_samples)
+
+    @classmethod
+    def uniform(cls, rates: Sequence[float],
+                num_samples: int = 1) -> "ContinuousScheme":
+        """F = U(min rate, max rate): Eq. 8's uniform example."""
+        rates = sorted(set(float(r) for r in rates))
+        return cls(rates, uniform_cdf(rates[0], rates[-1]),
+                   num_samples=num_samples)
+
+    @classmethod
+    def normal(cls, rates: Sequence[float], mean: float, std: float,
+               num_samples: int = 1) -> "ContinuousScheme":
+        """F = N(mean, std^2): Eq. 8's normal example."""
+        return cls(rates, normal_cdf(mean, std), num_samples=num_samples)

@@ -1,0 +1,334 @@
+"""Sliceable layers: dense, convolutional and normalization variants.
+
+Each sliced layer holds the *full* parameter tensors and, on every forward
+pass, uses only the prefix selected by the ambient slice rate (see
+:mod:`repro.slicing.context`).  Because subnet parameters are literally
+prefixes of the full tensors, ``Subnet-r_a`` is contained in ``Subnet-r_b``
+whenever ``r_a < r_b`` — the structural constraint of Eq. 2.
+
+Input widths are taken from the incoming activation itself rather than
+recomputed from the rate: the previous sliced layer already produced the
+correctly sliced activation, and using its width makes layer composition
+robust to rounding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError, ShapeError
+from ..nn.init import kaiming_normal, ones, zeros
+from ..nn.module import Module, Parameter
+from ..nn.norm import BatchNorm2d
+from ..tensor import Tensor, conv2d
+from .context import current_rate
+from .partition import GroupPartition
+
+DEFAULT_GROUPS = 8
+
+
+class SlicedLinear(Module):
+    """Dense layer whose input/output neuron groups follow the slice rate.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Full widths.
+    slice_input, slice_output:
+        Whether each side participates in slicing.  Input layers keep
+        ``slice_input=False``; classifier heads keep ``slice_output=False``
+        (the paper leaves input and output layers unsliced).
+    rescale:
+        If True, multiply the output by ``full_in / active_in`` so the
+        pre-activation scale is independent of the rate (the "output
+        rescaling" used for the NNLM's dense layers).
+    num_groups:
+        Group count ``G`` for each sliced side.
+    """
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 slice_input: bool = True, slice_output: bool = True,
+                 rescale: bool = False, num_groups: int = DEFAULT_GROUPS,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.slice_input = slice_input
+        self.slice_output = slice_output
+        self.rescale = rescale
+        self.out_partition = GroupPartition(
+            out_features, min(num_groups, out_features)
+        ) if slice_output else None
+        self.in_partition = GroupPartition(
+            in_features, min(num_groups, in_features)
+        ) if slice_input else None
+        self.weight = Parameter(kaiming_normal(rng, (out_features, in_features)))
+        self.bias = Parameter(zeros((out_features,))) if bias else None
+
+    def active_param_count(self, rate: float) -> int:
+        """Parameters resident in memory when deployed at ``rate``."""
+        out_w = self.out_partition.width_for(rate) if self.slice_output \
+            else self.out_features
+        in_w = self.in_partition.width_for(rate) if self.slice_input \
+            else self.in_features
+        return out_w * in_w + (out_w if self.bias is not None else 0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        in_width = x.shape[-1]
+        if not self.slice_input and in_width != self.in_features:
+            raise ShapeError(
+                f"unsliced input expected {self.in_features} features, "
+                f"got {in_width}"
+            )
+        out_width = (
+            self.out_partition.width_for(current_rate())
+            if self.slice_output else self.out_features
+        )
+        weight = self.weight[:out_width, :in_width]
+        out = x @ weight.transpose()
+        if self.bias is not None:
+            out = out + self.bias[:out_width]
+        if self.rescale and self.slice_input and in_width != self.in_features:
+            out = out * (self.in_features / in_width)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"SlicedLinear({self.in_features}->{self.out_features}, "
+            f"in={self.slice_input}, out={self.slice_output})"
+        )
+
+
+class SlicedConv2d(Module):
+    """Convolution whose channel groups follow the slice rate (Eq. 4).
+
+    ``slice_input=False`` marks the stem conv (raw-image input);
+    ``slice_output=False`` would mark a conv feeding an unsliced consumer.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size,
+                 stride=1, padding=0, bias: bool = False,
+                 slice_input: bool = True, slice_output: bool = True,
+                 num_groups: int = DEFAULT_GROUPS,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng()
+        kh, kw = (kernel_size, kernel_size) if isinstance(kernel_size, int) \
+            else kernel_size
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        self.slice_input = slice_input
+        self.slice_output = slice_output
+        self.out_partition = GroupPartition(
+            out_channels, min(num_groups, out_channels)
+        ) if slice_output else None
+        self.in_partition = GroupPartition(
+            in_channels, min(num_groups, in_channels)
+        ) if slice_input else None
+        self.weight = Parameter(
+            kaiming_normal(rng, (out_channels, in_channels, kh, kw))
+        )
+        self.bias = Parameter(zeros((out_channels,))) if bias else None
+
+    def active_param_count(self, rate: float) -> int:
+        """Parameters resident in memory when deployed at ``rate``."""
+        out_w = self.active_out_channels(rate)
+        in_w = self.in_partition.width_for(rate) if self.slice_input \
+            else self.in_channels
+        kh, kw = self.kernel_size
+        return out_w * in_w * kh * kw + (out_w if self.bias is not None else 0)
+
+    def active_out_channels(self, rate: float | None = None) -> int:
+        """Output channels active at ``rate`` (current rate if omitted)."""
+        if not self.slice_output:
+            return self.out_channels
+        rate = current_rate() if rate is None else rate
+        return self.out_partition.width_for(rate)
+
+    def forward(self, x: Tensor) -> Tensor:
+        in_width = x.shape[1]
+        if not self.slice_input and in_width != self.in_channels:
+            raise ShapeError(
+                f"unsliced input expected {self.in_channels} channels, "
+                f"got {in_width}"
+            )
+        out_width = self.active_out_channels()
+        weight = self.weight[:out_width, :in_width]
+        bias = self.bias[:out_width] if self.bias is not None else None
+        return conv2d(x, weight, bias, stride=self.stride, padding=self.padding)
+
+    def __repr__(self) -> str:
+        return (
+            f"SlicedConv2d({self.in_channels}, {self.out_channels}, "
+            f"k={self.kernel_size}, s={self.stride})"
+        )
+
+
+class SlicedGroupNorm(Module):
+    """Group normalization aligned with the slice groups (Sec. 3.2).
+
+    The normalization groups coincide with the slice groups, so every
+    surviving group under any slice rate normalizes over exactly the
+    channels it was trained with — no running statistics are needed, which
+    is what makes GN the natural normalization for model slicing.
+    """
+
+    def __init__(self, num_channels: int, num_groups: int = DEFAULT_GROUPS,
+                 eps: float = 1e-5):
+        super().__init__()
+        num_groups = min(num_groups, num_channels)
+        if num_channels % num_groups != 0:
+            raise ConfigError(
+                f"SlicedGroupNorm needs num_channels ({num_channels}) "
+                f"divisible by num_groups ({num_groups})"
+            )
+        self.num_channels = num_channels
+        self.num_groups = num_groups
+        self.group_size = num_channels // num_groups
+        self.eps = eps
+        self.weight = Parameter(ones((num_channels,)))
+        self.bias = Parameter(zeros((num_channels,)))
+
+    def forward(self, x: Tensor) -> Tensor:
+        channels = x.shape[1]
+        if channels % self.group_size != 0:
+            raise ShapeError(
+                f"active width {channels} is not a multiple of the "
+                f"group size {self.group_size}"
+            )
+        groups = channels // self.group_size
+        batch = x.shape[0]
+        spatial = x.shape[2:]
+        flat = int(np.prod(spatial, dtype=int)) if spatial else 1
+        grouped = x.reshape(batch, groups, self.group_size * flat)
+        mean = grouped.mean(axis=2, keepdims=True)
+        centered = grouped - mean
+        var = (centered * centered).mean(axis=2, keepdims=True)
+        normed = centered * ((var + self.eps) ** -0.5)
+        normed = normed.reshape((batch, channels) + spatial)
+        shape = (1, channels) + (1,) * len(spatial)
+        gamma = self.weight[:channels].reshape(shape)
+        beta = self.bias[:channels].reshape(shape)
+        return normed * gamma + beta
+
+    def group_scale_means(self) -> np.ndarray:
+        """Mean |gamma| per slice group — the telemetry behind Figure 6."""
+        gamma = np.abs(self.weight.data)
+        return gamma.reshape(self.num_groups, self.group_size).mean(axis=1)
+
+    def active_param_count(self, rate: float) -> int:
+        """Parameters resident in memory when deployed at ``rate``."""
+        groups = max(1, min(round(rate * self.num_groups), self.num_groups))
+        return 2 * groups * self.group_size
+
+
+class SlicedBatchNorm2d(Module):
+    """Batch norm with a *single* set of running statistics under slicing.
+
+    This is the naive approach the paper argues breaks (Sec. 3.2): the
+    running estimates are shared across rates, so the eval-time statistics
+    are wrong for every subnet trained at a different width mix.  Kept as
+    the ablation baseline.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5,
+                 momentum: float = 0.1):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(ones((num_features,)))
+        self.bias = Parameter(zeros((num_features,)))
+        self.running_mean = np.zeros(num_features, dtype=np.float32)
+        self.running_var = np.ones(num_features, dtype=np.float32)
+
+    def extra_state(self) -> dict[str, np.ndarray]:
+        return {
+            "running_mean": self.running_mean,
+            "running_var": self.running_var,
+        }
+
+    def load_extra_state(self, key: str, value: np.ndarray) -> None:
+        if key == "running_mean":
+            self.running_mean = value.copy()
+        elif key == "running_var":
+            self.running_var = value.copy()
+        else:
+            raise ConfigError(f"SlicedBatchNorm2d has no extra state {key!r}")
+
+    def forward(self, x: Tensor) -> Tensor:
+        channels = x.shape[1]
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3), keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=(0, 2, 3), keepdims=True)
+            m = self.momentum
+            self.running_mean[:channels] = (
+                (1 - m) * self.running_mean[:channels]
+                + m * mean.data.reshape(-1)
+            )
+            self.running_var[:channels] = (
+                (1 - m) * self.running_var[:channels]
+                + m * var.data.reshape(-1)
+            )
+            normed = centered * ((var + self.eps) ** -0.5)
+        else:
+            mean = self.running_mean[:channels].reshape(1, channels, 1, 1)
+            var = self.running_var[:channels].reshape(1, channels, 1, 1)
+            normed = (x - mean) * ((Tensor(var) + self.eps) ** -0.5)
+        gamma = self.weight[:channels].reshape(1, channels, 1, 1)
+        beta = self.bias[:channels].reshape(1, channels, 1, 1)
+        return normed * gamma + beta
+
+
+class MultiBatchNorm2d(Module):
+    """One batch-norm layer per candidate slice rate (SlimmableNet [52]).
+
+    The forward pass dispatches on the current rate to the matching BN
+    instance, each of which keeps its own running statistics.  Memory grows
+    linearly with the number of candidate rates, which is the cost the
+    paper's GN-based solution avoids.
+    """
+
+    def __init__(self, num_features: int, rates: list[float],
+                 num_groups: int = DEFAULT_GROUPS,
+                 eps: float = 1e-5, momentum: float = 0.1):
+        super().__init__()
+        if not rates:
+            raise ConfigError("MultiBatchNorm2d needs at least one rate")
+        self.num_features = num_features
+        self.partition = GroupPartition(
+            num_features, min(num_groups, num_features)
+        )
+        self._rate_keys: list[float] = []
+        for rate in sorted(set(float(r) for r in rates)):
+            key = self._key(rate)
+            width = self.partition.width_for(rate)
+            self.register_module(f"bn_{key}", BatchNorm2d(
+                width, eps=eps, momentum=momentum,
+            ))
+            self._rate_keys.append(rate)
+
+    @staticmethod
+    def _key(rate: float) -> str:
+        return format(rate, ".4f").replace(".", "_")
+
+    def forward(self, x: Tensor) -> Tensor:
+        rate = current_rate()
+        best = min(self._rate_keys, key=lambda r: abs(r - rate))
+        if abs(best - rate) > 1e-6:
+            raise ShapeError(
+                f"MultiBatchNorm2d has no BN for rate {rate}; "
+                f"configured rates: {self._rate_keys}"
+            )
+        bn: BatchNorm2d = getattr(self, f"bn_{self._key(best)}")
+        if x.shape[1] != bn.num_features:
+            raise ShapeError(
+                f"rate {rate} BN expects {bn.num_features} channels, "
+                f"got {x.shape[1]}"
+            )
+        return bn(x)

@@ -1,0 +1,79 @@
+"""Group partitioning: mapping a slice rate to an active prefix width.
+
+Each sliceable layer divides its components (neurons or channels) into ``G``
+ordered, contiguous groups (Sec. 3.1 of the paper).  The partial-order
+constraint (Eq. 2) means a slice rate ``r`` activates the first
+``round(r * G)`` groups, i.e. a *prefix* of the layer's width.
+"""
+
+from __future__ import annotations
+
+from ..errors import SliceRateError
+from .context import validate_rate
+
+
+class GroupPartition:
+    """Maps slice rates to active prefix widths at group granularity.
+
+    Parameters
+    ----------
+    width:
+        The full number of components (neurons/channels) in the layer.
+    num_groups:
+        ``G``: how many contiguous groups the components form.  Rates are
+        snapped to the nearest group boundary, so the effective granularity
+        is ``1 / num_groups``.
+    """
+
+    def __init__(self, width: int, num_groups: int):
+        if width <= 0:
+            raise SliceRateError(f"partition width must be positive, got {width}")
+        if not 1 <= num_groups <= width:
+            raise SliceRateError(
+                f"num_groups must be in [1, width={width}], got {num_groups}"
+            )
+        self.width = width
+        self.num_groups = num_groups
+        self.boundaries = [
+            round(width * (i + 1) / num_groups) for i in range(num_groups)
+        ]
+
+    def groups_for(self, rate: float) -> int:
+        """Number of active groups under ``rate`` (always at least 1)."""
+        rate = validate_rate(rate)
+        active = round(rate * self.num_groups)
+        return min(max(active, 1), self.num_groups)
+
+    def width_for(self, rate: float) -> int:
+        """Active prefix width (component count) under ``rate``."""
+        return self.boundaries[self.groups_for(rate) - 1]
+
+    def rate_of_width(self, width: int) -> float:
+        """The canonical slice rate whose prefix is exactly ``width``."""
+        if width not in self.boundaries:
+            raise SliceRateError(
+                f"width {width} is not a group boundary of {self!r}"
+            )
+        return (self.boundaries.index(width) + 1) / self.num_groups
+
+    def valid_rates(self) -> list[float]:
+        """All distinct rates this partition can express, ascending."""
+        return [(i + 1) / self.num_groups for i in range(self.num_groups)]
+
+    def group_slices(self) -> list[tuple[int, int]]:
+        """``(start, stop)`` component ranges of each group, in order."""
+        starts = [0] + self.boundaries[:-1]
+        return list(zip(starts, self.boundaries))
+
+    def __repr__(self) -> str:
+        return f"GroupPartition(width={self.width}, groups={self.num_groups})"
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, GroupPartition)
+            and other.width == self.width
+            and other.num_groups == self.num_groups
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.width, self.num_groups))

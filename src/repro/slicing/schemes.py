@@ -1,0 +1,180 @@
+"""Slice-rate scheduling schemes (Sec. 3.4 of the paper).
+
+A scheme decides which subnets are trained on each batch, i.e. which list
+of slice rates Algorithm 1 iterates over.  The paper evaluates three
+families (Table 1):
+
+* **Random scheduling** — sample ``k`` rates from a categorical
+  distribution over the valid rates (uniform, or weighted to emphasise the
+  base and full networks).
+* **Static scheduling** — train *every* valid rate on every batch
+  (what SlimmableNet does).
+* **Random-static scheduling** — always include the base and/or full
+  network, plus randomly sampled middle rates (``R-min``, ``R-max``,
+  ``R-min-max``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SchedulingError
+from .context import validate_rate
+
+
+def _normalize_rates(rates: Sequence[float]) -> list[float]:
+    cleaned = sorted({validate_rate(r) for r in rates})
+    if not cleaned:
+        raise SchedulingError("a scheduling scheme needs at least one rate")
+    return cleaned
+
+
+class Scheme:
+    """Base class: a scheme yields a list of slice rates per training pass."""
+
+    def __init__(self, rates: Sequence[float]):
+        self.rates = _normalize_rates(rates)
+
+    @property
+    def min_rate(self) -> float:
+        return self.rates[0]
+
+    @property
+    def max_rate(self) -> float:
+        return self.rates[-1]
+
+    def sample(self, rng: np.random.Generator) -> list[float]:
+        """Rates to train on the next batch, in execution order."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(rates={self.rates})"
+
+
+class FixedScheme(Scheme):
+    """Always train one fixed rate — the conventional-training baseline.
+
+    ``FixedScheme([1.0])`` is the paper's ``r1 = 1.0 (single model)``
+    baseline; a narrower fixed rate trains an individual small model for
+    the fixed-ensemble baseline.
+    """
+
+    def __init__(self, rate: float = 1.0):
+        super().__init__([rate])
+
+    def sample(self, rng: np.random.Generator) -> list[float]:
+        return [self.rates[0]]
+
+
+class StaticScheme(Scheme):
+    """Train every candidate rate on every batch (cost grows linearly)."""
+
+    def sample(self, rng: np.random.Generator) -> list[float]:
+        return list(reversed(self.rates))
+
+
+class RandomScheme(Scheme):
+    """Sample ``num_samples`` rates per batch from a categorical distribution.
+
+    Parameters
+    ----------
+    rates:
+        Candidate slice rates.
+    probabilities:
+        Sampling probability of each rate, aligned with the *sorted*
+        ``rates``.  ``None`` means uniform.  The paper's ``R-weighted``
+        scheme puts extra mass on the base and full networks, e.g.
+        ``(0.5, 0.125, 0.125, 0.25)`` ordered from the largest rate in the
+        paper's notation; here probabilities align with ascending rates.
+    num_samples:
+        ``k`` in ``R-uniform-k`` / ``R-weighted-k``.
+    """
+
+    def __init__(self, rates: Sequence[float],
+                 probabilities: Sequence[float] | None = None,
+                 num_samples: int = 1):
+        super().__init__(rates)
+        if num_samples < 1:
+            raise SchedulingError("num_samples must be >= 1")
+        self.num_samples = num_samples
+        if probabilities is None:
+            self.probabilities = np.full(len(self.rates), 1.0 / len(self.rates))
+        else:
+            probs = np.asarray(probabilities, dtype=np.float64)
+            if probs.shape != (len(self.rates),):
+                raise SchedulingError(
+                    f"{len(self.rates)} rates need {len(self.rates)} "
+                    f"probabilities, got {probs.shape}"
+                )
+            if (probs < 0).any() or probs.sum() <= 0:
+                raise SchedulingError("probabilities must be non-negative")
+            self.probabilities = probs / probs.sum()
+
+    @classmethod
+    def weighted_min_max(cls, rates: Sequence[float], min_weight: float = 0.25,
+                         max_weight: float = 0.5, num_samples: int = 1
+                         ) -> "RandomScheme":
+        """The paper's R-weighted distribution: extra mass on base and full."""
+        rates = _normalize_rates(rates)
+        if len(rates) == 1:
+            return cls(rates, num_samples=num_samples)
+        middle = (1.0 - min_weight - max_weight) / max(len(rates) - 2, 1)
+        if middle < 0:
+            raise SchedulingError("min_weight + max_weight must be <= 1")
+        probs = [middle] * len(rates)
+        probs[0] = min_weight
+        probs[-1] = max_weight
+        return cls(rates, probabilities=probs, num_samples=num_samples)
+
+    def sample(self, rng: np.random.Generator) -> list[float]:
+        picks = rng.choice(
+            len(self.rates), size=self.num_samples, replace=False
+            if self.num_samples <= len(self.rates) else True,
+            p=self.probabilities,
+        )
+        chosen = sorted((self.rates[i] for i in np.atleast_1d(picks)),
+                        reverse=True)
+        return chosen
+
+
+class RandomStaticScheme(Scheme):
+    """Statically include base/full rates, randomly sample the rest.
+
+    ``include_min``/``include_max`` give ``R-min``, ``R-max`` and
+    ``R-min-max``; ``num_random`` middle rates are drawn uniformly from the
+    remaining candidates on each batch.
+    """
+
+    def __init__(self, rates: Sequence[float], include_min: bool = True,
+                 include_max: bool = True, num_random: int = 1):
+        super().__init__(rates)
+        if not include_min and not include_max:
+            raise SchedulingError(
+                "RandomStaticScheme needs include_min or include_max; "
+                "use RandomScheme for fully random scheduling"
+            )
+        if num_random < 0:
+            raise SchedulingError("num_random must be >= 0")
+        self.include_min = include_min
+        self.include_max = include_max
+        self.num_random = num_random
+        self._pool = [
+            r for r in self.rates
+            if not (include_min and r == self.min_rate)
+            and not (include_max and r == self.max_rate)
+        ]
+
+    def sample(self, rng: np.random.Generator) -> list[float]:
+        chosen = set()
+        if self.include_max:
+            chosen.add(self.max_rate)
+        if self.include_min:
+            chosen.add(self.min_rate)
+        pool = self._pool
+        if pool and self.num_random:
+            k = min(self.num_random, len(pool))
+            picks = rng.choice(len(pool), size=k, replace=False)
+            chosen.update(pool[i] for i in np.atleast_1d(picks))
+        return sorted(chosen, reverse=True)

@@ -1,0 +1,124 @@
+"""``upgrade_model``: convert a plain network into a sliceable one.
+
+Algorithm 1 begins with ``W0 <- upgrade_model(W0, L)``.  This module
+implements that step for networks built from the plain layers in
+:mod:`repro.nn`: every ``Linear``/``Conv2d`` is replaced by its sliced
+counterpart (weights copied), and every ``BatchNorm2d`` is replaced by
+either a :class:`~repro.slicing.layers.SlicedGroupNorm` (the paper's
+solution) or a :class:`~repro.slicing.layers.MultiBatchNorm2d` (the
+SlimmableNet solution), with the affine parameters copied.
+
+The first transform layer encountered in registration order keeps
+``slice_input=False`` (it consumes raw inputs) and the last ``Linear``
+keeps ``slice_output=False`` (it emits class logits), mirroring the
+paper's rule that input and output layers are not sliced.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..nn.conv import Conv2d
+from ..nn.linear import Linear
+from ..nn.module import Module
+from ..nn.norm import BatchNorm2d
+from .layers import (
+    DEFAULT_GROUPS,
+    MultiBatchNorm2d,
+    SlicedConv2d,
+    SlicedGroupNorm,
+    SlicedLinear,
+)
+
+
+def _collect(model: Module) -> list[tuple[Module, str, Module]]:
+    """All (parent, attr_name, child) triples in registration order."""
+    found: list[tuple[Module, str, Module]] = []
+
+    def visit(module: Module) -> None:
+        for name, child in list(module._modules.items()):
+            found.append((module, name, child))
+            visit(child)
+
+    visit(model)
+    return found
+
+
+def upgrade_model(model: Module, rates: Sequence[float] | None = None,
+                  num_groups: int = DEFAULT_GROUPS,
+                  norm: str = "group") -> Module:
+    """Replace plain layers with sliced counterparts, copying weights.
+
+    Parameters
+    ----------
+    model:
+        A network built from :mod:`repro.nn` layers.  Modified in place
+        and also returned.
+    rates:
+        Candidate slice rates; required when ``norm == "multi_bn"``.
+    num_groups:
+        Slice-group count ``G`` for every upgraded layer.
+    norm:
+        ``"group"`` (paper's GN solution) or ``"multi_bn"``
+        (SlimmableNet-style per-rate batch norms).
+    """
+    if norm not in ("group", "multi_bn"):
+        raise ConfigError(f"unknown norm upgrade {norm!r}")
+    if norm == "multi_bn" and not rates:
+        raise ConfigError("multi_bn upgrade requires the candidate rates")
+
+    triples = _collect(model)
+    transforms = [
+        (parent, name, child) for parent, name, child in triples
+        if isinstance(child, (Linear, Conv2d))
+    ]
+    if not transforms:
+        raise ConfigError("model contains no Linear or Conv2d layers")
+    first_transform = transforms[0][2]
+    linears = [t for t in transforms if isinstance(t[2], Linear)]
+    last_linear = linears[-1][2] if linears else None
+
+    for parent, name, child in triples:
+        replacement: Module | None = None
+        if isinstance(child, Linear):
+            replacement = SlicedLinear(
+                child.in_features, child.out_features,
+                bias=child.bias is not None,
+                slice_input=child is not first_transform,
+                slice_output=child is not last_linear,
+                num_groups=num_groups,
+                rng=np.random.default_rng(0),
+            )
+            replacement.weight.data[...] = child.weight.data
+            if child.bias is not None:
+                replacement.bias.data[...] = child.bias.data
+        elif isinstance(child, Conv2d):
+            replacement = SlicedConv2d(
+                child.in_channels, child.out_channels, child.kernel_size,
+                stride=child.stride, padding=child.padding,
+                bias=child.bias is not None,
+                slice_input=child is not first_transform,
+                num_groups=num_groups,
+                rng=np.random.default_rng(0),
+            )
+            replacement.weight.data[...] = child.weight.data
+            if child.bias is not None:
+                replacement.bias.data[...] = child.bias.data
+        elif isinstance(child, BatchNorm2d):
+            if norm == "group":
+                replacement = SlicedGroupNorm(
+                    child.num_features, num_groups=num_groups, eps=child.eps
+                )
+                replacement.weight.data[...] = child.weight.data
+                replacement.bias.data[...] = child.bias.data
+            else:
+                replacement = MultiBatchNorm2d(
+                    child.num_features, list(rates), num_groups=num_groups,
+                    eps=child.eps, momentum=child.momentum,
+                )
+        if replacement is not None:
+            parent.register_module(name, replacement)
+    return model

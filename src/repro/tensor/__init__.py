@@ -1,0 +1,63 @@
+"""Reverse-mode autograd tensor engine over numpy.
+
+This subpackage is the computational substrate for the whole library: a
+:class:`~repro.tensor.tensor.Tensor` type with broadcasting arithmetic,
+matmul, im2col convolution, pooling, embedding lookup, and the composite
+functions (softmax, losses, dropout) the models are built from.
+"""
+
+from .tensor import Tensor, concat, is_grad_enabled, no_grad, stack
+from .ops import (
+    avg_pool2d,
+    conv2d,
+    embedding,
+    global_avg_pool2d,
+    max_pool2d,
+    pad2d,
+    pad_channels,
+)
+from .functional import (
+    cross_entropy,
+    dropout,
+    log_softmax,
+    mse_loss,
+    nll_loss,
+    one_hot,
+    relu,
+    sigmoid,
+    softmax,
+    tanh,
+)
+from .gradcheck import check_gradients, numeric_gradient
+from .profile import FlopCounter, count_flops, profiling_active, record_flops
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "no_grad",
+    "is_grad_enabled",
+    "conv2d",
+    "max_pool2d",
+    "avg_pool2d",
+    "global_avg_pool2d",
+    "embedding",
+    "pad2d",
+    "pad_channels",
+    "relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "nll_loss",
+    "cross_entropy",
+    "dropout",
+    "one_hot",
+    "mse_loss",
+    "check_gradients",
+    "numeric_gradient",
+    "FlopCounter",
+    "count_flops",
+    "profiling_active",
+    "record_flops",
+]

@@ -1,0 +1,101 @@
+"""Composite differentiable functions built on the Tensor primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .tensor import Tensor
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return x.tanh()
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    a = x
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    logsum = np.log(exp.sum(axis=axis, keepdims=True))
+    out = shifted - logsum
+    softmax_vals = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        return (grad - softmax_vals * grad.sum(axis=axis, keepdims=True),)
+
+    return Tensor._make(out, (a,), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis``."""
+    return log_softmax(x, axis=axis).exp()
+
+
+def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean negative log-likelihood of integer ``targets``.
+
+    Parameters
+    ----------
+    log_probs:
+        ``(N, C)`` log-probabilities, e.g. from :func:`log_softmax`.
+    targets:
+        ``(N,)`` integer class indices.
+    """
+    targets = np.asarray(targets)
+    if log_probs.ndim != 2:
+        raise ShapeError("nll_loss expects (N, C) log-probabilities")
+    if targets.shape != (log_probs.shape[0],):
+        raise ShapeError(
+            f"targets shape {targets.shape} does not match batch {log_probs.shape[0]}"
+        )
+    n = log_probs.shape[0]
+    picked = log_probs[np.arange(n), targets]
+    return -(picked.sum() * (1.0 / n))
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``logits`` and integer ``targets``."""
+    return nll_loss(log_softmax(logits, axis=-1), targets)
+
+
+def dropout(x: Tensor, rate: float, rng: np.random.Generator,
+            training: bool = True) -> Tensor:
+    """Inverted dropout: zero with probability ``rate``, rescale survivors."""
+    if not 0.0 <= rate < 1.0:
+        raise ShapeError(f"dropout rate must be in [0, 1), got {rate}")
+    if not training or rate == 0.0:
+        return x
+    keep = 1.0 - rate
+    mask = (rng.random(x.shape) < keep).astype(x.dtype) / keep
+
+    def backward(grad):
+        return (grad * mask,)
+
+    return Tensor._make(x.data * mask, (x,), backward)
+
+
+def one_hot(indices: np.ndarray, num_classes: int) -> np.ndarray:
+    """Encode integer ``indices`` as a one-hot float array."""
+    idx = np.asarray(indices)
+    out = np.zeros(idx.shape + (num_classes,), dtype=np.float32)
+    np.put_along_axis(out, idx[..., None], 1.0, axis=-1)
+    return out
+
+
+def mse_loss(pred: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target.detach()
+    return (diff * diff).mean()

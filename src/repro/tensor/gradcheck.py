@@ -1,0 +1,69 @@
+"""Numeric gradient checking for tests.
+
+Central differences in float64 against the analytic gradients produced by
+:meth:`Tensor.backward`.  Used heavily in the test suite and exposed
+publicly because downstream users extending the op set need it too.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numeric_gradient(
+    func: Callable[[Sequence[Tensor]], Tensor],
+    inputs: Sequence[Tensor],
+    index: int,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Central-difference gradient of ``sum(func(inputs))`` w.r.t. one input."""
+    target = inputs[index]
+    grad = np.zeros_like(target.data, dtype=np.float64)
+    flat = target.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = float(func(inputs).data.sum())
+        flat[i] = original - eps
+        lower = float(func(inputs).data.sum())
+        flat[i] = original
+        grad_flat[i] = (upper - lower) / (2.0 * eps)
+    return grad
+
+
+def check_gradients(
+    func: Callable[[Sequence[Tensor]], Tensor],
+    inputs: Sequence[Tensor],
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+    eps: float = 1e-5,
+) -> None:
+    """Assert analytic gradients of ``func`` match numeric ones.
+
+    ``inputs`` should be float64 tensors with ``requires_grad=True`` for
+    every argument whose gradient is being checked.
+
+    Raises
+    ------
+    AssertionError
+        If any analytic gradient deviates from the numeric estimate.
+    """
+    for tensor in inputs:
+        tensor.zero_grad()
+    out = func(inputs)
+    out.sum().backward()
+    for i, tensor in enumerate(inputs):
+        if not tensor.requires_grad:
+            continue
+        analytic = tensor.grad
+        assert analytic is not None, f"input {i} received no gradient"
+        numeric = numeric_gradient(func, inputs, i, eps=eps)
+        np.testing.assert_allclose(
+            analytic, numeric, atol=atol, rtol=rtol,
+            err_msg=f"gradient mismatch for input {i}",
+        )

@@ -1,0 +1,227 @@
+"""Structured differentiable operations: convolution, pooling, embedding.
+
+The convolution is implemented with im2col + matmul, which is the right
+trade-off for a single-core numpy substrate: one BLAS call per layer does
+the heavy lifting, and the backward pass reuses the same column buffer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .profile import profiling_active, record_flops
+from .tensor import Tensor
+
+
+def _pair(value) -> tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        if len(value) != 2:
+            raise ShapeError(f"expected an int or a pair, got {value!r}")
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def _im2col(
+    x: np.ndarray, kh: int, kw: int, stride: tuple[int, int], padding: tuple[int, int]
+) -> tuple[np.ndarray, tuple[int, int]]:
+    """Unfold ``x`` (B, C, H, W) into columns (B, C*kh*kw, Hout*Wout)."""
+    batch, channels, height, width = x.shape
+    ph, pw = padding
+    sh, sw = stride
+    if ph or pw:
+        x = np.pad(x, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    h_out = (x.shape[2] - kh) // sh + 1
+    w_out = (x.shape[3] - kw) // sw + 1
+    if h_out <= 0 or w_out <= 0:
+        raise ShapeError(
+            f"conv output would be empty for input {x.shape}, kernel ({kh},{kw})"
+        )
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::sh, ::sw, :, :]
+    # (B, C, Hout, Wout, kh, kw) -> (B, C, kh, kw, Hout, Wout)
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(
+        batch, channels * kh * kw, h_out * w_out
+    )
+    return np.ascontiguousarray(cols), (h_out, w_out)
+
+
+def _col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: tuple[int, int],
+    padding: tuple[int, int],
+    out_hw: tuple[int, int],
+) -> np.ndarray:
+    """Adjoint of :func:`_im2col`: scatter-add columns back into an image."""
+    batch, channels, height, width = x_shape
+    ph, pw = padding
+    sh, sw = stride
+    h_out, w_out = out_hw
+    padded = np.zeros(
+        (batch, channels, height + 2 * ph, width + 2 * pw), dtype=cols.dtype
+    )
+    cols = cols.reshape(batch, channels, kh, kw, h_out, w_out)
+    for i in range(kh):
+        i_end = i + sh * h_out
+        for j in range(kw):
+            j_end = j + sw * w_out
+            padded[:, :, i:i_end:sh, j:j_end:sw] += cols[:, :, i, j]
+    if ph or pw:
+        return padded[:, :, ph : ph + height, pw : pw + width]
+    return padded
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+           stride=1, padding=0) -> Tensor:
+    """2D convolution over an NCHW tensor.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(B, C_in, H, W)``.
+    weight:
+        Filters of shape ``(C_out, C_in, kh, kw)``.
+    bias:
+        Optional per-output-channel bias of shape ``(C_out,)``.
+    """
+    stride = _pair(stride)
+    padding = _pair(padding)
+    if x.ndim != 4 or weight.ndim != 4:
+        raise ShapeError("conv2d expects 4D input and 4D weight")
+    c_out, c_in, kh, kw = weight.shape
+    if x.shape[1] != c_in:
+        raise ShapeError(
+            f"conv2d input has {x.shape[1]} channels but weight expects {c_in}"
+        )
+    cols, (h_out, w_out) = _im2col(x.data, kh, kw, stride, padding)
+    w_mat = weight.data.reshape(c_out, c_in * kh * kw)
+    out = w_mat @ cols  # (B, C_out, Hout*Wout) via broadcasting over batch
+    out = out.reshape(x.shape[0], c_out, h_out, w_out)
+    if profiling_active():
+        record_flops(
+            "conv2d", x.shape[0] * c_out * c_in * kh * kw * h_out * w_out
+        )
+    if bias is not None:
+        out = out + bias.data.reshape(1, c_out, 1, 1)
+
+    parents = [x, weight] if bias is None else [x, weight, bias]
+    x_shape = x.shape
+
+    def backward(grad):
+        grad_mat = grad.reshape(grad.shape[0], c_out, h_out * w_out)
+        grad_w = np.einsum("boL,bkL->ok", grad_mat, cols, optimize=True)
+        grad_w = grad_w.reshape(weight.shape)
+        grad_cols = w_mat.T @ grad_mat  # (B, C_in*kh*kw, L)
+        grad_x = _col2im(grad_cols, x_shape, kh, kw, stride, padding, (h_out, w_out))
+        if bias is None:
+            return (grad_x, grad_w)
+        grad_b = grad.sum(axis=(0, 2, 3))
+        return (grad_x, grad_w, grad_b)
+
+    return Tensor._make(out, parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel_size: int) -> Tensor:
+    """Non-overlapping max pooling with square kernel ``kernel_size``."""
+    k = int(kernel_size)
+    batch, channels, height, width = x.shape
+    if height % k or width % k:
+        raise ShapeError(f"max_pool2d: spatial dims {height}x{width} not divisible by {k}")
+    h_out, w_out = height // k, width // k
+    view = x.data.reshape(batch, channels, h_out, k, w_out, k)
+    out = view.max(axis=(3, 5))
+    mask = view == out[:, :, :, None, :, None]
+    counts = mask.sum(axis=(3, 5), keepdims=True)
+
+    def backward(grad):
+        g = grad[:, :, :, None, :, None] / counts
+        return ((mask * g).reshape(batch, channels, height, width),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel_size: int) -> Tensor:
+    """Non-overlapping average pooling with square kernel ``kernel_size``."""
+    k = int(kernel_size)
+    batch, channels, height, width = x.shape
+    if height % k or width % k:
+        raise ShapeError(f"avg_pool2d: spatial dims {height}x{width} not divisible by {k}")
+    h_out, w_out = height // k, width // k
+    view = x.data.reshape(batch, channels, h_out, k, w_out, k)
+    out = view.mean(axis=(3, 5))
+    scale = 1.0 / (k * k)
+
+    def backward(grad):
+        g = np.broadcast_to(
+            grad[:, :, :, None, :, None] * scale,
+            (batch, channels, h_out, k, w_out, k),
+        )
+        return (g.reshape(batch, channels, height, width).astype(x.dtype, copy=False),)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over the spatial dimensions, returning ``(B, C)``."""
+    return x.mean(axis=(2, 3))
+
+
+def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
+    """Gather rows of ``weight`` at ``indices`` (any integer-array shape).
+
+    Returns a tensor of shape ``indices.shape + (embed_dim,)``.
+    """
+    idx = np.asarray(indices)
+    if idx.dtype.kind not in "iu":
+        raise ShapeError("embedding indices must be integers")
+    vocab = weight.shape[0]
+    if idx.size and (idx.min() < 0 or idx.max() >= vocab):
+        raise ShapeError("embedding index out of range")
+    out = weight.data[idx]
+
+    def backward(grad):
+        grad_w = np.zeros_like(weight.data)
+        np.add.at(grad_w, idx.reshape(-1), grad.reshape(-1, grad.shape[-1]))
+        return (grad_w,)
+
+    return Tensor._make(out, (weight,), backward)
+
+
+def pad2d(x: Tensor, pad: int) -> Tensor:
+    """Zero-pad the two trailing spatial dimensions by ``pad`` on each side."""
+    p = int(pad)
+    if p == 0:
+        return x
+    out = np.pad(x.data, ((0, 0), (0, 0), (p, p), (p, p)))
+
+    def backward(grad):
+        return (grad[:, :, p:-p, p:-p],)
+
+    return Tensor._make(out, (x,), backward)
+
+
+def pad_channels(x: Tensor, total_channels: int) -> Tensor:
+    """Zero-pad the channel dimension of an NCHW tensor up to ``total_channels``.
+
+    Used by residual shortcuts when a sliced block emits fewer channels
+    than its identity path expects.
+    """
+    current = x.shape[1]
+    if current == total_channels:
+        return x
+    if current > total_channels:
+        raise ShapeError(
+            f"cannot pad {current} channels down to {total_channels}"
+        )
+    width = total_channels - current
+    pads = [(0, 0)] * x.ndim
+    pads[1] = (0, width)
+    out = np.pad(x.data, pads)
+
+    def backward(grad):
+        return (grad[:, :current],)
+
+    return Tensor._make(out, (x,), backward)

@@ -1,0 +1,50 @@
+"""Operation-level FLOPs accounting.
+
+A :class:`FlopCounter` registered via :func:`count_flops` receives the
+multiply-add count of every matmul and convolution executed inside the
+``with`` block.  This measures the *actual* cost of a forward pass — so a
+model sliced to rate ``r`` reports the genuinely reduced cost, which is how
+the ``Ct`` columns of the paper's Tables 2 and 4 are produced.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+_ACTIVE: list["FlopCounter"] = []
+
+
+class FlopCounter:
+    """Accumulates multiply-add counts reported by tensor operations."""
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.by_kind: dict[str, int] = {}
+
+    def add(self, kind: str, flops: int) -> None:
+        self.total += flops
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + flops
+
+
+@contextlib.contextmanager
+def count_flops():
+    """Context manager yielding a :class:`FlopCounter` for the block."""
+    counter = FlopCounter()
+    _ACTIVE.append(counter)
+    try:
+        yield counter
+    finally:
+        _ACTIVE.pop()
+
+
+def record_flops(kind: str, flops: int) -> None:
+    """Report ``flops`` multiply-adds to every active counter (if any)."""
+    if not _ACTIVE:
+        return
+    for counter in _ACTIVE:
+        counter.add(kind, flops)
+
+
+def profiling_active() -> bool:
+    """Whether any FLOPs counter is currently registered."""
+    return bool(_ACTIVE)

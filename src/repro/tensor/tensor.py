@@ -1,0 +1,518 @@
+"""Core reverse-mode autograd tensor.
+
+This module implements the minimal-but-complete differentiable tensor the
+rest of the library is built on.  A :class:`Tensor` wraps a numpy array and
+records, for every produced value, the parent tensors and a closure that
+propagates the output gradient to them.  Calling :meth:`Tensor.backward`
+runs the closures in reverse topological order.
+
+The design favours explicitness over magic: every differentiable operation
+is a plain function or method that builds exactly one graph node.  There is
+no tape object and no global state other than the no-grad flag.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..errors import GradError, ShapeError
+from . import profile as _profile
+
+DEFAULT_DTYPE = np.float32
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph construction.
+
+    Used during evaluation to avoid retaining activations.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after numpy broadcasting.
+
+    Summation over the broadcast axes is the adjoint of broadcasting.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes that were added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were size 1 in the original shape.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value, dtype=None) -> np.ndarray:
+    arr = np.asarray(value, dtype=dtype if dtype is not None else None)
+    if arr.dtype.kind not in "fiu":
+        raise ShapeError(f"cannot build a tensor from dtype {arr.dtype}")
+    if arr.dtype.kind in "iu" and dtype is None:
+        # Integer payloads (labels, indices) are kept as-is; float payloads
+        # default to the library dtype.
+        return arr
+    if dtype is None and arr.dtype != DEFAULT_DTYPE and arr.dtype.kind == "f":
+        arr = arr.astype(DEFAULT_DTYPE)
+    return arr
+
+
+class Tensor:
+    """A numpy-backed array that supports reverse-mode differentiation.
+
+    Parameters
+    ----------
+    data:
+        Anything ``np.asarray`` accepts.  Float payloads are stored with the
+        library default dtype (float32) unless ``dtype`` says otherwise.
+    requires_grad:
+        Whether gradients should flow into this tensor.  Gradients are
+        accumulated into :attr:`grad` by :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False, dtype=None):
+        self.data = _as_array(data, dtype)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad) and is_grad_enabled()
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Graph plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Build a graph node from ``parents`` with gradient rule ``backward``."""
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.grad = None
+        needs = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out.requires_grad = needs
+        if needs:
+            out._parents = tuple(parents)
+            out._backward = backward
+        else:
+            out._parents = ()
+            out._backward = None
+        return out
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        Parameters
+        ----------
+        grad:
+            Gradient of the objective with respect to this tensor.  May be
+            omitted only for scalar tensors, in which case it defaults to 1.
+        """
+        if not self.requires_grad:
+            raise GradError("backward() called on a tensor without grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise GradError("backward() without grad requires a scalar")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            raise ShapeError(
+                f"grad shape {grad.shape} does not match tensor {self.data.shape}"
+            )
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                # Leaf tensor: accumulate into .grad
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+                continue
+            node._propagate(node_grad, grads)
+
+    def _propagate(self, node_grad: np.ndarray, grads: dict[int, np.ndarray]) -> None:
+        """Run the backward closure, routing parent grads into ``grads``."""
+        parent_grads = self._backward(node_grad)
+        if not isinstance(parent_grads, tuple):
+            parent_grads = (parent_grads,)
+        if len(parent_grads) != len(self._parents):
+            raise GradError(
+                f"backward produced {len(parent_grads)} grads for "
+                f"{len(self._parents)} parents"
+            )
+        for parent, pgrad in zip(self._parents, parent_grads):
+            if pgrad is None or not parent.requires_grad:
+                continue
+            key = id(parent)
+            if parent._backward is None:
+                # Leaf: accumulate immediately so repeated use sums up.
+                if parent.grad is None:
+                    parent.grad = pgrad.copy()
+                else:
+                    parent.grad = parent.grad + pgrad
+            elif key in grads:
+                grads[key] = grads[key] + pgrad
+            else:
+                grads[key] = pgrad
+
+    def _is_leaf_like(self) -> bool:
+        return self._backward is None
+
+    def zero_grad(self) -> None:
+        """Drop any accumulated gradient."""
+        self.grad = None
+
+    def detach(self) -> "Tensor":
+        """Return a view of the data cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying numpy array (shared, not copied)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.item())
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}, dtype={self.data.dtype}{grad_flag})"
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce(value) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def __add__(self, other):
+        other = Tensor._coerce(other)
+        a, b = self, other
+        data = a.data + b.data
+
+        def backward(grad):
+            return (_unbroadcast(grad, a.shape), _unbroadcast(grad, b.shape))
+
+        return Tensor._make(data, (a, b), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        a = self
+        return Tensor._make(-a.data, (a,), lambda grad: (-grad,))
+
+    def __sub__(self, other):
+        return self + (-Tensor._coerce(other))
+
+    def __rsub__(self, other):
+        return Tensor._coerce(other) + (-self)
+
+    def __mul__(self, other):
+        other = Tensor._coerce(other)
+        a, b = self, other
+        data = a.data * b.data
+
+        def backward(grad):
+            return (
+                _unbroadcast(grad * b.data, a.shape),
+                _unbroadcast(grad * a.data, b.shape),
+            )
+
+        return Tensor._make(data, (a, b), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = Tensor._coerce(other)
+        a, b = self, other
+        data = a.data / b.data
+
+        def backward(grad):
+            return (
+                _unbroadcast(grad / b.data, a.shape),
+                _unbroadcast(-grad * a.data / (b.data * b.data), b.shape),
+            )
+
+        return Tensor._make(data, (a, b), backward)
+
+    def __rtruediv__(self, other):
+        return Tensor._coerce(other) / self
+
+    def __pow__(self, exponent: float):
+        if not isinstance(exponent, (int, float)):
+            raise ShapeError("tensor ** exponent requires a python scalar")
+        a = self
+        data = a.data ** exponent
+
+        def backward(grad):
+            return (grad * exponent * a.data ** (exponent - 1),)
+
+        return Tensor._make(data, (a,), backward)
+
+    def __matmul__(self, other):
+        other = Tensor._coerce(other)
+        a, b = self, other
+        if a.ndim < 2 or b.ndim < 2:
+            raise ShapeError("matmul requires tensors with ndim >= 2")
+        data = a.data @ b.data
+        if _profile.profiling_active():
+            _profile.record_flops("matmul", int(data.size) * a.shape[-1])
+
+        def backward(grad):
+            grad_a = grad @ np.swapaxes(b.data, -1, -2)
+            grad_b = np.swapaxes(a.data, -1, -2) @ grad
+            return (_unbroadcast(grad_a, a.shape), _unbroadcast(grad_b, b.shape))
+
+        return Tensor._make(data, (a, b), backward)
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        a = self
+        old_shape = a.shape
+        data = a.data.reshape(shape)
+
+        def backward(grad):
+            return (grad.reshape(old_shape),)
+
+        return Tensor._make(data, (a,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        a = self
+        inverse = np.argsort(axes)
+        data = a.data.transpose(axes)
+
+        def backward(grad):
+            return (grad.transpose(inverse),)
+
+        return Tensor._make(data, (a,), backward)
+
+    def __getitem__(self, key) -> "Tensor":
+        a = self
+        data = a.data[key]
+        full_shape = a.shape
+        dtype = a.data.dtype
+
+        def backward(grad):
+            out = np.zeros(full_shape, dtype=dtype)
+            np.add.at(out, key, grad)
+            return (out,)
+
+        return Tensor._make(data, (a,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        data = a.data.sum(axis=axis, keepdims=keepdims)
+        shape = a.shape
+
+        def backward(grad):
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis=axis)
+            return (np.broadcast_to(g, shape).astype(a.data.dtype, copy=False),)
+
+        return Tensor._make(np.asarray(data), (a,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = 1
+            for ax in axes:
+                count *= self.shape[ax]
+        return self.sum(axis=axis, keepdims=keepdims).scale(1.0 / count)
+
+    def scale(self, factor: float) -> "Tensor":
+        """Multiply by a python scalar without dtype coercion."""
+        a = self
+        data = a.data * factor
+
+        def backward(grad):
+            return (grad * factor,)
+
+        return Tensor._make(data, (a,), backward)
+
+    def max(self, axis: int, keepdims: bool = False) -> "Tensor":
+        a = self
+        data = a.data.max(axis=axis, keepdims=True)
+        mask = (a.data == data)
+        counts = mask.sum(axis=axis, keepdims=True)
+        out = data if keepdims else np.squeeze(data, axis=axis)
+
+        def backward(grad):
+            g = grad if keepdims else np.expand_dims(grad, axis=axis)
+            return ((mask * (g / counts)).astype(a.data.dtype, copy=False),)
+
+        return Tensor._make(out, (a,), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise transcendental
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        a = self
+        data = np.exp(a.data)
+
+        def backward(grad):
+            return (grad * data,)
+
+        return Tensor._make(data, (a,), backward)
+
+    def log(self) -> "Tensor":
+        a = self
+        data = np.log(a.data)
+
+        def backward(grad):
+            return (grad / a.data,)
+
+        return Tensor._make(data, (a,), backward)
+
+    def sqrt(self) -> "Tensor":
+        a = self
+        data = np.sqrt(a.data)
+
+        def backward(grad):
+            return (grad * (0.5 / data),)
+
+        return Tensor._make(data, (a,), backward)
+
+    def tanh(self) -> "Tensor":
+        a = self
+        data = np.tanh(a.data)
+
+        def backward(grad):
+            return (grad * (1.0 - data * data),)
+
+        return Tensor._make(data, (a,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        a = self
+        data = 1.0 / (1.0 + np.exp(-a.data))
+
+        def backward(grad):
+            return (grad * data * (1.0 - data),)
+
+        return Tensor._make(data, (a,), backward)
+
+    def abs(self) -> "Tensor":
+        a = self
+        sign = np.sign(a.data)
+        data = a.data * sign
+
+        def backward(grad):
+            return (grad * sign,)
+
+        return Tensor._make(data, (a,), backward)
+
+    def relu(self) -> "Tensor":
+        a = self
+        mask = a.data > 0
+        data = a.data * mask
+
+        def backward(grad):
+            return (grad * mask,)
+
+        return Tensor._make(data, (a,), backward)
+
+
+def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    parts = [Tensor._coerce(t) for t in tensors]
+    if not parts:
+        raise ShapeError("concat() of an empty sequence")
+    data = np.concatenate([p.data for p in parts], axis=axis)
+    sizes = [p.shape[axis] for p in parts]
+    splits = np.cumsum(sizes)[:-1]
+
+    def backward(grad):
+        return tuple(np.split(grad, splits, axis=axis))
+
+    return Tensor._make(data, parts, backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new ``axis`` with gradient support."""
+    parts = [Tensor._coerce(t) for t in tensors]
+    if not parts:
+        raise ShapeError("stack() of an empty sequence")
+    data = np.stack([p.data for p in parts], axis=axis)
+
+    def backward(grad):
+        slabs = np.split(grad, len(parts), axis=axis)
+        return tuple(np.squeeze(s, axis=axis) for s in slabs)
+
+    return Tensor._make(data, parts, backward)

@@ -1,0 +1,9 @@
+"""Utilities: seeding, table formatting, serialization."""
+
+from .seeding import child_rngs, rng_from
+from .tables import format_table
+from .serialization import load_model, save_model
+from .ascii_plots import curve_panel, heatmap, sparkline
+
+__all__ = ["rng_from", "child_rngs", "format_table", "save_model",
+           "load_model", "heatmap", "sparkline", "curve_panel"]

@@ -1,0 +1,89 @@
+"""Terminal-friendly renderings of the paper's figures.
+
+The benchmark harness reports tables; for the figure artifacts that are
+inherently visual (heatmaps, curves) these helpers add an ASCII rendering
+so the reproduced shape is visible at a glance in the benchmark output.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+
+_SHADES = " .:-=+*#%@"
+
+
+def heatmap(matrix: np.ndarray, row_labels: Sequence[str] | None = None,
+            col_labels: Sequence[str] | None = None,
+            vmin: float | None = None, vmax: float | None = None,
+            title: str | None = None) -> str:
+    """Render a matrix as a character-shade heatmap."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2:
+        raise ConfigError("heatmap expects a 2D matrix")
+    lo = matrix.min() if vmin is None else vmin
+    hi = matrix.max() if vmax is None else vmax
+    span = (hi - lo) or 1.0
+    rows, cols = matrix.shape
+    if row_labels is None:
+        row_labels = [str(i) for i in range(rows)]
+    if col_labels is None:
+        col_labels = [str(j) for j in range(cols)]
+    label_width = max(len(str(l)) for l in row_labels)
+
+    lines = []
+    if title:
+        lines.append(title)
+    header = " " * (label_width + 1) + " ".join(
+        str(c)[:2].rjust(2) for c in col_labels)
+    lines.append(header)
+    for i in range(rows):
+        cells = []
+        for j in range(cols):
+            level = (matrix[i, j] - lo) / span
+            idx = int(round(level * (len(_SHADES) - 1)))
+            idx = min(max(idx, 0), len(_SHADES) - 1)
+            cells.append(_SHADES[idx] * 2)
+        lines.append(str(row_labels[i]).rjust(label_width) + " "
+                     + " ".join(cells))
+    lines.append(f"scale: '{_SHADES[0]}'={lo:.3g} .. "
+                 f"'{_SHADES[-1]}'={hi:.3g}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """Render a sequence as a one-line unicode sparkline."""
+    blocks = "▁▂▃▄▅▆▇█"
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        raise ConfigError("sparkline needs at least one value")
+    if width is not None and values.size > width:
+        # Downsample by averaging buckets.
+        edges = np.linspace(0, values.size, width + 1).astype(int)
+        values = np.array([values[a:b].mean() if b > a else values[a - 1]
+                           for a, b in zip(edges, edges[1:])])
+    lo, hi = values.min(), values.max()
+    span = (hi - lo) or 1.0
+    chars = []
+    for value in values:
+        idx = int(round((value - lo) / span * (len(blocks) - 1)))
+        chars.append(blocks[min(max(idx, 0), len(blocks) - 1)])
+    return "".join(chars)
+
+
+def curve_panel(series: dict[str, Sequence[float]], width: int = 60,
+                title: str | None = None) -> str:
+    """Render several curves as labelled sparklines with endpoints."""
+    if not series:
+        raise ConfigError("curve_panel needs at least one series")
+    label_width = max(len(name) for name in series)
+    lines = [title] if title else []
+    for name, values in series.items():
+        values = list(values)
+        spark = sparkline(values, width=width)
+        lines.append(f"{name.rjust(label_width)} {spark} "
+                     f"[{values[0]:.3g} -> {values[-1]:.3g}]")
+    return "\n".join(lines)

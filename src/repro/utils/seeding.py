@@ -1,0 +1,16 @@
+"""Deterministic seeding helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rng_from(seed: int) -> np.random.Generator:
+    """A fresh generator for ``seed``."""
+    return np.random.default_rng(seed)
+
+
+def child_rngs(seed: int, count: int) -> list[np.random.Generator]:
+    """Independent child generators derived from one master seed."""
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seq.spawn(count)]

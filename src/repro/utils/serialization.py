@@ -1,0 +1,28 @@
+"""Model (de)serialization to ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..nn.module import Module
+
+
+def save_model(model: Module, path: str) -> None:
+    """Write the model's ``state_dict`` to ``path`` (npz archive)."""
+    state = model.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_model(model: Module, path: str) -> Module:
+    """Load a ``state_dict`` previously written by :func:`save_model`."""
+    if not os.path.exists(path):
+        raise ConfigError(f"no checkpoint at {path}")
+    with np.load(path) as archive:
+        state = {key: archive[key] for key in archive.files}
+    model.load_state_dict(state)
+    return model

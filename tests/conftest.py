@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+from hypothesis import settings
+
+# Derandomize hypothesis so the suite is reproducible run to run; the
+# property tests still sweep their example space deterministically.
+settings.register_profile("deterministic", derandomize=True,
+                          deadline=None)
+settings.load_profile("deterministic")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def rng2():
+    return np.random.default_rng(1)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running integration tests")

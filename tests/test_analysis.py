@@ -1,0 +1,104 @@
+"""Unit tests for the sliced-model analysis tools."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, DataLoader
+from repro.errors import ConfigError
+from repro.models import MLP, SlicedVGG
+from repro.optim import SGD
+from repro.slicing import RandomStaticScheme, SliceTrainer
+from repro.slicing.analysis import (
+    group_scale_profile,
+    marginal_gain_curve,
+    stratification_score,
+    subnet_agreement_matrix,
+)
+
+RATES = [0.25, 0.5, 1.0]
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(0)
+    w = rng.normal(size=(10, 3))
+    x = rng.normal(size=(512, 10)).astype(np.float32)
+    y = (x @ w).argmax(axis=1)
+    model = MLP(10, [24, 24], 3, seed=0)
+    trainer = SliceTrainer(model, RandomStaticScheme(RATES, num_random=1),
+                           SGD(model.parameters(), lr=0.05, momentum=0.9),
+                           rng=np.random.default_rng(1))
+    data = ArrayDataset(x[:384], y[:384])
+    for _ in range(20):
+        trainer.train_epoch(DataLoader(data, 64, shuffle=True,
+                                       rng=np.random.default_rng(2)))
+    return model, x[384:], y[384:]
+
+
+class TestAgreementMatrix:
+    def test_shape_and_diagonal(self, trained):
+        model, inputs, _ = trained
+        matrix = subnet_agreement_matrix(model, inputs, RATES)
+        assert matrix.shape == (3, 3)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+
+    def test_symmetric(self, trained):
+        model, inputs, _ = trained
+        matrix = subnet_agreement_matrix(model, inputs, RATES)
+        np.testing.assert_allclose(matrix, matrix.T)
+
+    def test_subnets_agree_above_chance(self, trained):
+        model, inputs, _ = trained
+        matrix = subnet_agreement_matrix(model, inputs, RATES)
+        # 3 classes -> chance agreement ~ 1/3 for independent predictors.
+        off_diag = matrix[~np.eye(3, dtype=bool)]
+        assert off_diag.min() > 0.5
+
+
+class TestMarginalGain:
+    def test_curve_structure(self, trained):
+        model, inputs, labels = trained
+        curve = marginal_gain_curve(model, inputs, labels, RATES)
+        assert [point["rate"] for point in curve] == RATES
+        assert curve[0]["marginal_gain"] == curve[0]["accuracy"]
+
+    def test_gains_sum_to_final_accuracy(self, trained):
+        model, inputs, labels = trained
+        curve = marginal_gain_curve(model, inputs, labels, RATES)
+        total = sum(point["marginal_gain"] for point in curve)
+        assert total == pytest.approx(curve[-1]["accuracy"], abs=1e-9)
+
+    def test_base_carries_bulk_of_accuracy(self, trained):
+        """Group-residual effect: the base subnet contributes more than
+        any later refinement step."""
+        model, inputs, labels = trained
+        curve = marginal_gain_curve(model, inputs, labels, RATES)
+        base = curve[0]["marginal_gain"]
+        later = [abs(point["marginal_gain"]) for point in curve[1:]]
+        assert base > max(later)
+
+
+class TestScaleProfile:
+    def test_profile_covers_gn_layers(self):
+        model = SlicedVGG.cifar_mini(num_classes=4, width=8, stages=2)
+        profile = group_scale_profile(model)
+        assert len(profile) == len(model.group_norm_layers())
+        for scales in profile.values():
+            np.testing.assert_allclose(scales, 1.0)  # untrained gammas
+
+    def test_stratification_score_zero_untrained(self):
+        model = SlicedVGG.cifar_mini(num_classes=4, width=8, stages=2)
+        score = stratification_score(group_scale_profile(model))
+        assert score == pytest.approx(0.0)
+
+    def test_stratification_score_sign(self):
+        model = SlicedVGG.cifar_mini(num_classes=4, width=8, stages=2)
+        for layer in model.group_norm_layers():
+            gamma = layer.weight.data
+            gamma[: len(gamma) // 2] = 2.0  # base groups dominate
+        score = stratification_score(group_scale_profile(model))
+        assert score > 0.3
+
+    def test_requires_gn_model(self):
+        with pytest.raises(ConfigError):
+            group_scale_profile(MLP(4, [8], 2))

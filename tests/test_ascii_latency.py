@@ -1,0 +1,105 @@
+"""Unit tests for ASCII plot helpers and latency measurement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics import (
+    calibrate_full_latency,
+    latency_table,
+    measure_latency,
+)
+from repro.models import MLP
+from repro.utils import curve_panel, heatmap, sparkline
+
+
+class TestHeatmap:
+    MATRIX = np.array([[1.0, 0.5], [0.0, 1.0]])
+
+    def test_contains_labels_and_scale(self):
+        out = heatmap(self.MATRIX, row_labels=["a", "b"],
+                      col_labels=["x", "y"], title="T")
+        assert out.startswith("T")
+        assert "a" in out and "scale:" in out
+
+    def test_extremes_use_extreme_shades(self):
+        out = heatmap(self.MATRIX)
+        assert "@@" in out  # max cell
+        assert "  " in out  # min cell
+
+    def test_constant_matrix_ok(self):
+        out = heatmap(np.ones((2, 2)))
+        assert "scale:" in out
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ConfigError):
+            heatmap(np.ones(3))
+
+    def test_explicit_bounds(self):
+        out = heatmap(self.MATRIX, vmin=0.0, vmax=2.0)
+        assert "'@'=2" in out.replace(" ", "")
+
+
+class TestSparkline:
+    def test_length_matches_values(self):
+        assert len(sparkline([1, 2, 3])) == 3
+
+    def test_monotone_values_monotone_blocks(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line == "".join(sorted(line))
+
+    def test_downsampling(self):
+        assert len(sparkline(range(100), width=10)) == 10
+
+    def test_constant_series(self):
+        assert set(sparkline([5, 5, 5])) <= set("▁▂▃▄▅▆▇█")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            sparkline([])
+
+
+class TestCurvePanel:
+    def test_labels_and_endpoints(self):
+        out = curve_panel({"err": [0.9, 0.5, 0.1]}, title="curves")
+        assert out.startswith("curves")
+        assert "err" in out
+        assert "0.9" in out and "0.1" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            curve_panel({})
+
+
+class TestLatency:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return MLP(16, [64, 64], 4, seed=0)
+
+    def test_measure_positive(self, model, rng):
+        inputs = rng.normal(size=(32, 16)).astype(np.float32)
+        assert measure_latency(model, inputs, 1.0, repeats=2) > 0
+
+    def test_restores_training_mode(self, model, rng):
+        inputs = rng.normal(size=(8, 16)).astype(np.float32)
+        model.train()
+        measure_latency(model, inputs, 0.5, repeats=1)
+        assert model.training
+
+    def test_table_fractions(self, rng):
+        # Wide layers so the quarter-width pass is ~16x cheaper: robust
+        # to scheduler noise even on a loaded machine.
+        model = MLP(64, [256, 256], 4, seed=0)
+        inputs = rng.normal(size=(512, 64)).astype(np.float32)
+        table = latency_table(model, inputs, [0.25, 1.0], repeats=5)
+        assert table[1.0]["fraction_of_full"] == pytest.approx(1.0)
+        assert table[0.25]["latency"] < table[1.0]["latency"]
+
+    def test_calibrate_per_sample(self, model):
+        per_sample = calibrate_full_latency(model, (64, 16), repeats=2)
+        assert per_sample > 0
+
+    def test_repeats_validated(self, model, rng):
+        inputs = rng.normal(size=(4, 16)).astype(np.float32)
+        with pytest.raises(ConfigError):
+            measure_latency(model, inputs, 1.0, repeats=0)

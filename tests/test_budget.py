@@ -1,0 +1,88 @@
+"""Unit tests for Eq. 3 budget→rate mapping and the latency variant."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BudgetError
+from repro.slicing import max_rate_for_budget, rate_for_budget, rate_for_latency
+
+RATES = [0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0]
+
+
+class TestMaxRate:
+    def test_full_budget_gives_one(self):
+        assert max_rate_for_budget(100, 100) == 1.0
+
+    def test_quarter_budget_gives_half_rate(self):
+        assert max_rate_for_budget(25, 100) == pytest.approx(0.5)
+
+    def test_surplus_budget_capped_at_one(self):
+        assert max_rate_for_budget(500, 100) == 1.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(BudgetError):
+            max_rate_for_budget(0, 100)
+        with pytest.raises(BudgetError):
+            max_rate_for_budget(10, 0)
+
+
+class TestRateForBudget:
+    def test_picks_largest_feasible(self):
+        # sqrt(0.3) ~= 0.547 -> largest candidate <= that is 0.5.
+        assert rate_for_budget(30, 100, RATES) == 0.5
+
+    def test_exact_boundary_included(self):
+        assert rate_for_budget(25, 100, RATES) == 0.5
+
+    def test_full_budget(self):
+        assert rate_for_budget(100, 100, RATES) == 1.0
+
+    def test_infeasible_raises(self):
+        with pytest.raises(BudgetError):
+            rate_for_budget(1, 100, RATES)  # sqrt(0.01) = 0.1 < 0.25
+
+    def test_respects_candidate_grid(self):
+        assert rate_for_budget(60, 100, [0.25, 1.0]) == 0.25
+
+
+class TestRateForLatency:
+    def test_paper_rule(self):
+        # n * r^2 * t <= T/2 with n=10, t=0.002, T=0.1 -> r <= sqrt(2.5)→1.0
+        assert rate_for_latency(10, 0.002, 0.1, RATES) == 1.0
+
+    def test_heavier_batch_slices_down(self):
+        # n=100 -> r <= sqrt(0.05/0.2) = 0.5
+        assert rate_for_latency(100, 0.002, 0.1, RATES) == 0.5
+
+    def test_overload_raises(self):
+        with pytest.raises(BudgetError):
+            rate_for_latency(10000, 0.002, 0.1, RATES)
+
+    def test_invalid_batch(self):
+        with pytest.raises(BudgetError):
+            rate_for_latency(0, 0.002, 0.1, RATES)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.floats(0.1, 1000.0), st.floats(0.1, 1000.0))
+def test_chosen_rate_always_fits_budget(budget, full_cost):
+    """Eq. 3 invariant: the chosen rate's quadratic cost fits the budget."""
+    try:
+        rate = rate_for_budget(budget, full_cost, RATES)
+    except BudgetError:
+        # Infeasible only when even the smallest rate exceeds the bound.
+        assert (0.25 ** 2) * full_cost > budget * (1 + 1e-9)
+        return
+    assert rate in RATES
+    assert rate ** 2 * full_cost <= budget * (1 + 1e-6)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.floats(0.5, 50.0), st.floats(1.0, 100.0))
+def test_rate_monotone_in_budget(budget, full_cost):
+    try:
+        low = rate_for_budget(budget, full_cost, RATES)
+        high = rate_for_budget(budget * 2, full_cost, RATES)
+    except BudgetError:
+        return
+    assert high >= low

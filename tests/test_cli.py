@@ -1,0 +1,59 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import ARTIFACTS, build_parser, main
+
+
+class TestParser:
+    def test_info_parses(self):
+        args = build_parser().parse_args(["info"])
+        assert args.command == "info"
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.epochs == 20
+        assert args.seed == 0
+
+    def test_reproduce_requires_known_artifact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["reproduce", "table99"])
+
+    def test_all_artifacts_parse(self):
+        parser = build_parser()
+        for artifact in ARTIFACTS:
+            args = parser.parse_args(["reproduce", artifact])
+            assert args.artifact == artifact
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_info_prints_protocols(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "image experiment protocol" in out
+        assert "vocab_size" in out
+
+    def test_demo_trains_and_reports(self, capsys):
+        assert main(["demo", "--epochs", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Subnet-1.0" in out
+        assert "accuracy" in out
+
+    def test_serve_demo_reports_policies(self, capsys):
+        assert main(["serve-demo", "--duration", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "model slicing" in out
+        assert "fixed full" in out
+
+    def test_artifact_table_registry_is_consistent(self):
+        import importlib
+        for artifact, (module_name, func_name) in ARTIFACTS.items():
+            module = importlib.import_module(
+                f"repro.experiments.{module_name}")
+            assert hasattr(module, func_name), artifact

@@ -1,0 +1,217 @@
+"""Unit tests for datasets, loaders, augmentation and synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    ArrayDataset,
+    DataLoader,
+    SyntheticImageTask,
+    SyntheticTextCorpus,
+    batchify,
+    bptt_windows,
+    normalize,
+    pad_crop_flip,
+)
+from repro.errors import DataError
+
+
+class TestArrayDataset:
+    def test_length(self):
+        ds = ArrayDataset(np.zeros((5, 2)), np.zeros(5))
+        assert len(ds) == 5
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(DataError):
+            ArrayDataset(np.zeros((5, 2)), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            ArrayDataset(np.zeros((0, 2)), np.zeros(0))
+
+    def test_subset(self):
+        ds = ArrayDataset(np.arange(10).reshape(5, 2), np.arange(5))
+        sub = ds.subset(np.array([1, 3]))
+        np.testing.assert_array_equal(sub.targets, [1, 3])
+
+    def test_split_partitions(self, rng):
+        ds = ArrayDataset(np.arange(20).reshape(10, 2), np.arange(10))
+        a, b = ds.split(0.7, rng)
+        assert len(a) == 7 and len(b) == 3
+        combined = sorted(list(a.targets) + list(b.targets))
+        assert combined == list(range(10))
+
+    def test_split_bad_fraction(self, rng):
+        ds = ArrayDataset(np.zeros((4, 1)), np.zeros(4))
+        with pytest.raises(DataError):
+            ds.split(0.0, rng)
+
+
+class TestDataLoader:
+    def make(self, n=10, batch=3, **kwargs):
+        ds = ArrayDataset(np.arange(n)[:, None].astype(np.float32),
+                          np.arange(n))
+        return DataLoader(ds, batch, **kwargs)
+
+    def test_batch_count_includes_partial(self):
+        assert len(self.make(10, 3)) == 4
+
+    def test_iteration_covers_everything(self):
+        seen = []
+        for _, targets in self.make(10, 3):
+            seen.extend(targets)
+        assert sorted(seen) == list(range(10))
+
+    def test_shuffle_changes_order(self):
+        loader = self.make(50, 50, shuffle=True,
+                           rng=np.random.default_rng(0))
+        (_, first), = list(loader)
+        (_, second), = list(loader)
+        assert not np.array_equal(first, second)
+
+    def test_no_shuffle_is_stable(self):
+        loader = self.make(10, 10)
+        (_, a), = list(loader)
+        (_, b), = list(loader)
+        np.testing.assert_array_equal(a, b)
+
+    def test_transform_applied(self):
+        loader = self.make(6, 2, transform=lambda x, rng: x + 100.0)
+        inputs, _ = next(iter(loader))
+        assert inputs.min() >= 100.0
+
+    def test_invalid_batch_size(self):
+        with pytest.raises(DataError):
+            self.make(10, 0)
+
+
+class TestSyntheticImages:
+    def test_build_shapes(self):
+        task = SyntheticImageTask(num_classes=4, image_size=8, seed=0)
+        splits = task.build(train_size=20, test_size=10)
+        assert splits["train"].inputs.shape == (20, 3, 8, 8)
+        assert splits["test"].inputs.shape == (10, 3, 8, 8)
+
+    def test_deterministic_given_seed(self):
+        a = SyntheticImageTask(seed=5).build(train_size=8, test_size=8)
+        b = SyntheticImageTask(seed=5).build(train_size=8, test_size=8)
+        np.testing.assert_array_equal(a["train"].inputs, b["train"].inputs)
+        np.testing.assert_array_equal(a["train"].targets, b["train"].targets)
+
+    def test_different_seeds_differ(self):
+        a = SyntheticImageTask(seed=5).build(train_size=8, test_size=8)
+        b = SyntheticImageTask(seed=6).build(train_size=8, test_size=8)
+        assert not np.array_equal(a["train"].inputs, b["train"].inputs)
+
+    def test_classes_are_distinguishable(self):
+        """Class-conditional means differ: a linear probe beats chance."""
+        task = SyntheticImageTask(num_classes=2, image_size=8, noise=0.3,
+                                  seed=0)
+        rng = np.random.default_rng(0)
+        labels = np.repeat([0, 1], 64)
+        images = task.sample(labels, rng)
+        flat = images.reshape(len(labels), -1)
+        mean0 = flat[labels == 0].mean(axis=0)
+        mean1 = flat[labels == 1].mean(axis=0)
+        # Nearest-class-mean classification on held-out samples.
+        test = task.sample(labels, np.random.default_rng(1)).reshape(
+            len(labels), -1)
+        d0 = ((test - mean0) ** 2).sum(axis=1)
+        d1 = ((test - mean1) ** 2).sum(axis=1)
+        acc = ((d1 > d0) == (labels == 0)).mean()
+        assert acc > 0.55
+
+    def test_invalid_configs(self):
+        with pytest.raises(DataError):
+            SyntheticImageTask(num_classes=1)
+        with pytest.raises(DataError):
+            SyntheticImageTask(image_size=2)
+
+    def test_valid_split(self):
+        task = SyntheticImageTask(seed=0)
+        splits = task.build(train_size=8, test_size=8, valid_size=4)
+        assert len(splits["valid"]) == 4
+
+
+class TestSyntheticText:
+    def test_streams_deterministic(self):
+        a = SyntheticTextCorpus(seed=3).build(2000, 400, 400)
+        b = SyntheticTextCorpus(seed=3).build(2000, 400, 400)
+        np.testing.assert_array_equal(a["train"], b["train"])
+
+    def test_tokens_in_vocab(self):
+        corpus = SyntheticTextCorpus(vocab_size=100, seed=0)
+        stream = corpus.build(1000, 100, 100)["train"]
+        assert stream.min() >= 0
+        assert stream.max() < 100
+
+    def test_structure_beats_unigram(self):
+        """Bigram context carries information: structure is learnable."""
+        corpus = SyntheticTextCorpus(vocab_size=60, num_states=4,
+                                     stickiness=0.95, seed=0)
+        stream = corpus.build(30000, 100, 100)["train"]
+        # Entropy of next token given previous token < unigram entropy.
+        from collections import Counter
+        uni = Counter(stream.tolist())
+        total = len(stream)
+        h_uni = -sum((c / total) * np.log(c / total) for c in uni.values())
+        pairs = Counter(zip(stream[:-1].tolist(), stream[1:].tolist()))
+        h_joint = -sum((c / (total - 1)) * np.log(c / (total - 1))
+                       for c in pairs.values())
+        h_cond = h_joint - h_uni
+        assert h_cond < h_uni - 0.1
+
+    def test_invalid_configs(self):
+        with pytest.raises(DataError):
+            SyntheticTextCorpus(vocab_size=10, num_states=8, shared_words=5)
+        with pytest.raises(DataError):
+            SyntheticTextCorpus(stickiness=1.5)
+
+    def test_generate_length_validated(self):
+        corpus = SyntheticTextCorpus(seed=0)
+        with pytest.raises(DataError):
+            corpus.generate(0, np.random.default_rng(0))
+
+
+class TestBatchify:
+    def test_shape(self):
+        stream = np.arange(103)
+        out = batchify(stream, 10)
+        assert out.shape == (10, 10)
+
+    def test_columns_are_contiguous_chunks(self):
+        out = batchify(np.arange(12), 3)
+        np.testing.assert_array_equal(out[:, 0], [0, 1, 2, 3])
+
+    def test_too_short_raises(self):
+        with pytest.raises(DataError):
+            batchify(np.arange(3), 10)
+
+    def test_bptt_windows_shift_targets(self):
+        batched = batchify(np.arange(20), 2)
+        windows = list(bptt_windows(batched, 4))
+        inputs, targets = windows[0]
+        np.testing.assert_array_equal(targets[:, 0], inputs[:, 0] + 1)
+
+    def test_bptt_covers_stream(self):
+        batched = batchify(np.arange(40), 2)
+        total = sum(t.shape[0] for _, t in bptt_windows(batched, 7))
+        assert total == batched.shape[0] - 1
+
+
+class TestAugment:
+    def test_pad_crop_flip_preserves_shape(self, rng):
+        images = rng.normal(size=(4, 3, 8, 8)).astype(np.float32)
+        out = pad_crop_flip(pad=2)(images, rng)
+        assert out.shape == images.shape
+
+    def test_augmentation_changes_images(self, rng):
+        images = rng.normal(size=(8, 3, 8, 8)).astype(np.float32)
+        out = pad_crop_flip(pad=2)(images, rng)
+        assert not np.array_equal(out, images)
+
+    def test_normalize_standardizes_channels(self, rng):
+        images = (rng.normal(size=(16, 3, 8, 8)) * 5 + 2).astype(np.float32)
+        out = normalize(images)
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-4)
+        np.testing.assert_allclose(out.std(axis=(0, 2, 3)), 1.0, atol=1e-3)

@@ -1,0 +1,133 @@
+"""Unit + property tests for Eq. 8 distribution discretization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchedulingError
+from repro.slicing import (
+    ContinuousScheme,
+    categorical_from_cdf,
+    exponential_decay_cdf,
+    normal_cdf,
+    uniform_cdf,
+)
+
+RATES = [0.25, 0.5, 0.75, 1.0]
+
+
+class TestCdfs:
+    def test_uniform_cdf_endpoints(self):
+        cdf = uniform_cdf(0.25, 1.0)
+        assert cdf(0.25) == 0.0
+        assert cdf(1.0) == 1.0
+        assert cdf(0.625) == pytest.approx(0.5)
+
+    def test_uniform_cdf_validation(self):
+        with pytest.raises(SchedulingError):
+            uniform_cdf(1.0, 1.0)
+
+    def test_normal_cdf_symmetry(self):
+        cdf = normal_cdf(0.5, 0.2)
+        assert cdf(0.5) == pytest.approx(0.5)
+        assert cdf(0.3) + cdf(0.7) == pytest.approx(1.0, abs=1e-9)
+
+    def test_normal_cdf_validation(self):
+        with pytest.raises(SchedulingError):
+            normal_cdf(0.5, 0.0)
+
+    def test_exponential_decay_monotone(self):
+        cdf = exponential_decay_cdf(0.3)
+        values = [cdf(x) for x in np.linspace(0, 1, 21)]
+        assert values == sorted(values)
+        assert values[0] == 0.0
+        assert values[-1] == pytest.approx(1.0)
+
+    def test_exponential_validation(self):
+        with pytest.raises(SchedulingError):
+            exponential_decay_cdf(0.0)
+
+
+class TestEq8Discretization:
+    def test_probabilities_sum_to_one(self):
+        probs = categorical_from_cdf(RATES, uniform_cdf(0.0, 1.0))
+        assert sum(probs) == pytest.approx(1.0)
+
+    def test_uniform_interior_masses(self):
+        """Eq. 8 with U(0,1): p(r_i) is the midpoint-interval length."""
+        probs = categorical_from_cdf(RATES, uniform_cdf(0.0, 1.0))
+        # p(0.25)=F(0.375)=0.375; p(0.5)=F(0.625)-F(0.375)=0.25;
+        # p(0.75)=F(0.875)-F(0.625)=0.25; p(1.0)=1-F(0.875)=0.125.
+        np.testing.assert_allclose(probs, [0.375, 0.25, 0.25, 0.125])
+
+    def test_normal_concentrates_near_mean(self):
+        probs = categorical_from_cdf(RATES, normal_cdf(0.5, 0.1))
+        assert probs[1] == max(probs)  # mass on r=0.5
+
+    def test_decay_favours_full_network(self):
+        probs = categorical_from_cdf(RATES, exponential_decay_cdf(0.2))
+        assert probs[-1] == max(probs)
+
+    def test_single_rate(self):
+        assert categorical_from_cdf([1.0], uniform_cdf(0.0, 1.0)) == [1.0]
+
+    def test_degenerate_cdf_masses_largest_rate(self):
+        """A CDF with no mass below 1.0 puts everything on the top rate
+        (the 1 - F tail of Eq. 8)."""
+        probs = categorical_from_cdf(RATES, lambda x: 0.0)
+        np.testing.assert_allclose(probs, [0.0, 0.0, 0.0, 1.0])
+
+    def test_non_monotone_cdf_rejected(self):
+        with pytest.raises(SchedulingError):
+            categorical_from_cdf(RATES, lambda x: 1.0 - x)
+
+
+class TestContinuousScheme:
+    def test_sampling_matches_eq8_masses(self):
+        scheme = ContinuousScheme.normal(RATES, mean=1.0, std=0.3)
+        rng = np.random.default_rng(0)
+        counts = {r: 0 for r in RATES}
+        for _ in range(4000):
+            counts[scheme.sample(rng)[0]] += 1
+        empirical = np.array([counts[r] / 4000 for r in RATES])
+        np.testing.assert_allclose(empirical, scheme.probabilities,
+                                   atol=0.03)
+
+    def test_uniform_factory(self):
+        scheme = ContinuousScheme.uniform(RATES)
+        assert sum(scheme.probabilities) == pytest.approx(1.0)
+
+    def test_is_a_scheme(self, rng):
+        scheme = ContinuousScheme.uniform(RATES, num_samples=2)
+        out = scheme.sample(rng)
+        assert len(out) == 2
+        assert set(out) <= set(RATES)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.sampled_from([i / 16 for i in range(1, 17)]),
+                min_size=2, max_size=10, unique=True),
+       st.floats(0.05, 0.6), st.floats(0.1, 1.2))
+def test_eq8_always_a_distribution(rates, mean_offset, std):
+    """Any normal F yields a valid categorical over any rate grid."""
+    rates = sorted(rates)
+    probs = categorical_from_cdf(
+        rates, normal_cdf(rates[0] + mean_offset, std))
+    assert all(p >= 0 for p in probs)
+    assert sum(probs) == pytest.approx(1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 12))
+def test_eq8_matches_numeric_integration(n):
+    """Eq. 8's closed form equals numeric integration of the density."""
+    rates = [(i + 1) / n for i in range(n)]
+    cdf = normal_cdf(0.6, 0.25)
+    probs = categorical_from_cdf(rates, cdf)
+    # Numeric: integrate a fine-grained difference of the CDF.
+    for i, rate in enumerate(rates):
+        lower = -np.inf if i == 0 else (rates[i - 1] + rate) / 2
+        upper = np.inf if i == n - 1 else (rate + rates[i + 1]) / 2
+        lo = 0.0 if lower == -np.inf else cdf(lower)
+        hi = 1.0 if upper == np.inf else cdf(upper)
+        assert probs[i] == pytest.approx((hi - lo), abs=1e-9)

@@ -1,0 +1,121 @@
+"""Exception-hierarchy tests and cross-cutting property tests.
+
+The property tests pin the library's load-bearing invariant — narrow
+passes equal prefix computations of the full weights — across layer
+types, widths, group counts and rates.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import errors
+from repro.slicing import (
+    SlicedConv2d,
+    SlicedGroupNorm,
+    SlicedLinear,
+    slice_rate,
+)
+from repro.tensor import Tensor
+
+
+class TestErrorHierarchy:
+    ALL = [errors.ShapeError, errors.GradError, errors.SliceRateError,
+           errors.SchedulingError, errors.BudgetError, errors.ConfigError,
+           errors.DataError, errors.ServingError]
+
+    def test_all_derive_from_repro_error(self):
+        for exc in self.ALL:
+            assert issubclass(exc, errors.ReproError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.BudgetError("x")
+
+    def test_distinct_types(self):
+        assert len(set(self.ALL)) == len(self.ALL)
+
+    def test_not_catching_unrelated(self):
+        with pytest.raises(ValueError):
+            try:
+                raise ValueError("unrelated")
+            except errors.ReproError:  # pragma: no cover
+                pytest.fail("ReproError must not catch ValueError")
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(4, 48), st.integers(4, 32), st.integers(1, 8),
+       st.sampled_from([0.25, 0.375, 0.5, 0.625, 0.75, 1.0]),
+       st.integers(0, 2 ** 31 - 1))
+def test_sliced_linear_prefix_property(out_f, in_f, groups, rate, seed):
+    """Narrow output == the prefix of the full weights applied to input."""
+    groups = min(groups, out_f)
+    layer = SlicedLinear(in_f, out_f, slice_input=False, num_groups=groups,
+                         rng=np.random.default_rng(seed))
+    x = np.random.default_rng(seed + 1).normal(
+        size=(3, in_f)).astype(np.float32)
+    with slice_rate(rate):
+        narrow = layer(Tensor(x)).data
+    width = layer.out_partition.width_for(rate)
+    manual = x @ layer.weight.data[:width].T + layer.bias.data[:width]
+    np.testing.assert_allclose(narrow, manual, rtol=1e-4, atol=1e-5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 4), st.sampled_from([8, 16, 24]),
+       st.sampled_from([0.25, 0.5, 0.75, 1.0]),
+       st.integers(0, 2 ** 31 - 1))
+def test_sliced_conv_prefix_property(in_c, out_c, rate, seed):
+    """Narrow conv output equals the corresponding full-output prefix."""
+    layer = SlicedConv2d(in_c, out_c, 3, padding=1, slice_input=False,
+                         num_groups=8, rng=np.random.default_rng(seed))
+    x = Tensor(np.random.default_rng(seed + 1).normal(
+        size=(2, in_c, 5, 5)).astype(np.float32))
+    full = layer(x).data
+    with slice_rate(rate):
+        narrow = layer(x).data
+    np.testing.assert_allclose(narrow, full[:, :narrow.shape[1]],
+                               rtol=2e-3, atol=1e-4)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.sampled_from([(8, 2), (8, 4), (16, 8), (24, 8)]),
+       st.sampled_from([0.25, 0.5, 0.75, 1.0]),
+       st.integers(0, 2 ** 31 - 1))
+def test_group_norm_slice_independence(shape, rate, seed):
+    """Surviving groups normalize identically whether or not the tail
+    groups are present — the property that makes GN slicing-safe."""
+    channels, groups = shape
+    gn = SlicedGroupNorm(channels, num_groups=groups)
+    rng = np.random.default_rng(seed)
+    gn.weight.data[:] = rng.normal(size=channels).astype(np.float32)
+    gn.bias.data[:] = rng.normal(size=channels).astype(np.float32)
+    active_groups = max(1, min(round(rate * groups), groups))
+    active = active_groups * (channels // groups)
+    x = rng.normal(size=(2, channels, 3, 3)).astype(np.float32)
+    full = gn(Tensor(x)).data
+    narrow = gn(Tensor(x[:, :active])).data
+    np.testing.assert_allclose(narrow, full[:, :active],
+                               rtol=1e-3, atol=1e-4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(8, 32), st.sampled_from([0.25, 0.5, 0.75, 1.0]),
+       st.sampled_from([0.25, 0.5, 0.75, 1.0]),
+       st.integers(0, 2 ** 31 - 1))
+def test_subnet_subsumption(width, rate_a, rate_b, seed):
+    """Subnet-r_a's computation appears verbatim inside Subnet-r_b for
+    r_a <= r_b: shared weights, shared prefix activations."""
+    if rate_a > rate_b:
+        rate_a, rate_b = rate_b, rate_a
+    layer = SlicedLinear(width, width, slice_input=False,
+                         num_groups=min(8, width),
+                         rng=np.random.default_rng(seed))
+    x = Tensor(np.random.default_rng(seed + 1).normal(
+        size=(2, width)).astype(np.float32))
+    with slice_rate(rate_a):
+        small = layer(x).data
+    with slice_rate(rate_b):
+        large = layer(x).data
+    np.testing.assert_allclose(small, large[:, :small.shape[1]],
+                               rtol=1e-4, atol=1e-5)

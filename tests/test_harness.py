@@ -1,0 +1,93 @@
+"""Unit tests for the experiment harness helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ImageExperimentConfig
+from repro.experiments.harness import (
+    accuracy_table,
+    build_image_task,
+    default_scheme,
+    make_optimizer,
+    make_resnet,
+    make_vgg,
+    predictions_at_rates,
+    eval_loader_fn,
+    train_loader_fn,
+)
+from repro.slicing import FixedScheme, RandomStaticScheme
+
+
+@pytest.fixture(scope="module")
+def tiny_cfg():
+    return ImageExperimentConfig(train_size=64, test_size=32, epochs=1,
+                                 vgg_width=8)
+
+
+class TestBuilders:
+    def test_task_shapes(self, tiny_cfg):
+        splits = build_image_task(tiny_cfg)
+        assert len(splits["train"]) == 64
+        assert len(splits["test"]) == 32
+        assert splits["train"].inputs.shape[1:] == (
+            3, tiny_cfg.image_size, tiny_cfg.image_size)
+
+    def test_task_deterministic(self, tiny_cfg):
+        a = build_image_task(tiny_cfg)
+        b = build_image_task(tiny_cfg)
+        np.testing.assert_array_equal(a["train"].inputs, b["train"].inputs)
+
+    def test_model_factories(self, tiny_cfg):
+        vgg = make_vgg(tiny_cfg)
+        resnet = make_resnet(tiny_cfg)
+        assert vgg.num_classes == tiny_cfg.num_classes
+        assert resnet.num_classes == tiny_cfg.num_classes
+
+    def test_optimizer_uses_config(self, tiny_cfg):
+        opt = make_optimizer(tiny_cfg, make_vgg(tiny_cfg))
+        assert opt.lr == tiny_cfg.lr
+        assert opt.momentum == tiny_cfg.momentum
+
+    def test_default_scheme_is_min_max(self, tiny_cfg):
+        scheme = default_scheme(tiny_cfg)
+        assert isinstance(scheme, RandomStaticScheme)
+        assert scheme.min_rate == min(tiny_cfg.rates)
+        assert scheme.max_rate == max(tiny_cfg.rates)
+
+    def test_single_rate_scheme_is_fixed(self, tiny_cfg):
+        assert isinstance(default_scheme(tiny_cfg, [1.0]), FixedScheme)
+
+
+class TestLoaders:
+    def test_train_loader_shuffles_and_augments(self, tiny_cfg):
+        splits = build_image_task(tiny_cfg)
+        loader = train_loader_fn(tiny_cfg, splits)()
+        inputs, targets = next(iter(loader))
+        assert len(inputs) == min(tiny_cfg.batch_size, 64)
+        # Augmented inputs differ from the raw ones (pad+crop shifts).
+        raw = splits["train"].inputs[:len(inputs)]
+        assert inputs.shape == raw.shape
+
+    def test_test_loader_covers_everything(self, tiny_cfg):
+        splits = build_image_task(tiny_cfg)
+        loader = eval_loader_fn(tiny_cfg, splits)()
+        total = sum(len(t) for _, t in loader)
+        assert total == tiny_cfg.test_size
+
+
+class TestPredictionHelpers:
+    def test_predictions_per_rate(self, tiny_cfg):
+        splits = build_image_task(tiny_cfg)
+        model = make_vgg(tiny_cfg)
+        preds = predictions_at_rates(model, splits["test"].inputs,
+                                     [0.5, 1.0], batch_size=16)
+        assert set(preds) == {0.5, 1.0}
+        for arr in preds.values():
+            assert arr.shape == (tiny_cfg.test_size,)
+
+    def test_accuracy_table(self):
+        labels = np.array([0, 1, 1, 0])
+        preds = {1.0: np.array([0, 1, 0, 0]), 0.5: np.array([1, 0, 0, 1])}
+        table = accuracy_table(preds, labels)
+        assert table[1.0] == pytest.approx(0.75)
+        assert table[0.5] == pytest.approx(0.0)

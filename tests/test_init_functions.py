@@ -1,0 +1,51 @@
+"""Unit tests for the weight initializers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestKaiming:
+    def test_std_matches_fan_in(self, rng):
+        w = init.kaiming_normal(rng, (2000, 50))
+        assert w.std() == pytest.approx(np.sqrt(2 / 50), rel=0.1)
+
+    def test_conv_fan_in(self, rng):
+        w = init.kaiming_normal(rng, (64, 16, 3, 3))
+        assert w.std() == pytest.approx(np.sqrt(2 / (16 * 9)), rel=0.1)
+
+    def test_explicit_fan_in(self, rng):
+        w = init.kaiming_normal(rng, (100, 100), fan_in=4)
+        assert w.std() == pytest.approx(np.sqrt(0.5), rel=0.1)
+
+    def test_dtype_float32(self, rng):
+        assert init.kaiming_normal(rng, (4, 4)).dtype == np.float32
+
+
+class TestXavier:
+    def test_bound_respected(self, rng):
+        w = init.xavier_uniform(rng, (100, 100))
+        bound = np.sqrt(6 / 200)
+        assert np.abs(w).max() <= bound + 1e-7
+
+    def test_roughly_uniform(self, rng):
+        w = init.xavier_uniform(rng, (300, 300))
+        bound = np.sqrt(6 / 600)
+        assert w.mean() == pytest.approx(0.0, abs=bound / 10)
+
+
+class TestSimpleInits:
+    def test_uniform_bound(self, rng):
+        w = init.uniform(rng, (50, 50), 0.1)
+        assert np.abs(w).max() <= 0.1
+
+    def test_zeros_and_ones(self):
+        np.testing.assert_allclose(init.zeros((3,)), 0.0)
+        np.testing.assert_allclose(init.ones((3,)), 1.0)
+
+    def test_default_fan_in_1d(self):
+        assert init._default_fan_in((7,)) == 7
+
+    def test_default_fan_in_3d(self):
+        assert init._default_fan_in((4, 5, 6)) == 30

@@ -1,0 +1,122 @@
+"""Unit tests for metrics: accuracy, perplexity, consistency, cost."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.metrics import (
+    accuracy,
+    active_params,
+    cost_table,
+    error_rate,
+    inclusion_coefficient,
+    inclusion_matrix,
+    measured_flops,
+    perplexity,
+    top_k_accuracy,
+)
+
+
+class TestClassificationMetrics:
+    LOGITS = np.array([[2.0, 1.0, 0.0],
+                       [0.0, 2.0, 1.0],
+                       [0.0, 1.0, 2.0]])
+
+    def test_accuracy(self):
+        assert accuracy(self.LOGITS, np.array([0, 1, 0])) == pytest.approx(2 / 3)
+
+    def test_error_rate_complements(self):
+        targets = np.array([0, 1, 2])
+        assert error_rate(self.LOGITS, targets) == pytest.approx(
+            1 - accuracy(self.LOGITS, targets))
+
+    def test_topk(self):
+        targets = np.array([1, 0, 1])
+        assert top_k_accuracy(self.LOGITS, targets, 2) == pytest.approx(2 / 3)
+        assert top_k_accuracy(self.LOGITS, targets, 1) == pytest.approx(0.0)
+        assert top_k_accuracy(self.LOGITS, targets, 3) == pytest.approx(1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            accuracy(np.zeros((2, 3)), np.zeros(3))
+        with pytest.raises(ShapeError):
+            top_k_accuracy(self.LOGITS, np.array([0, 0, 0]), 5)
+
+
+class TestPerplexity:
+    def test_uniform(self):
+        assert perplexity(np.log(100)) == pytest.approx(100.0)
+
+    def test_zero_nll(self):
+        assert perplexity(0.0) == pytest.approx(1.0)
+
+
+class TestInclusionCoefficient:
+    def test_identical_errors(self):
+        mask = np.array([True, False, True])
+        assert inclusion_coefficient(mask, mask) == 1.0
+
+    def test_disjoint_errors(self):
+        a = np.array([True, False, False])
+        b = np.array([False, True, False])
+        assert inclusion_coefficient(a, b) == 0.0
+
+    def test_partial_overlap(self):
+        large = np.array([True, True, False, False])
+        small = np.array([True, False, True, False])
+        assert inclusion_coefficient(large, small) == pytest.approx(0.5)
+
+    def test_no_errors_defined_as_one(self):
+        none = np.zeros(4, dtype=bool)
+        some = np.array([True, False, False, False])
+        assert inclusion_coefficient(none, some) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            inclusion_coefficient(np.zeros(3, bool), np.zeros(4, bool))
+
+    def test_matrix_diagonal_ones(self):
+        masks = {1.0: np.array([True, False]),
+                 0.5: np.array([False, True])}
+        matrix = inclusion_matrix(masks)
+        np.testing.assert_allclose(np.diag(matrix), 1.0)
+        assert matrix[0, 1] == 0.0
+
+
+class TestCostAccounting:
+    def test_measured_flops_positive_and_quadratic(self):
+        from repro.models import MLP
+        model = MLP(16, [32, 32], 4)
+        full = measured_flops(model, (1, 16), 1.0)
+        half = measured_flops(model, (1, 16), 0.5)
+        assert full > 0
+        assert half < full * 0.5
+
+    def test_active_params_full_equals_total(self):
+        from repro.models import MLP
+        model = MLP(16, [32, 32], 4)
+        assert active_params(model, 1.0) == model.num_parameters()
+
+    def test_cost_table_fractions(self):
+        from repro.models import MLP
+        model = MLP(16, [32, 32], 4)
+        table = cost_table(model, (1, 16), [0.5, 1.0])
+        assert table[1.0]["flops_fraction"] == pytest.approx(1.0)
+        assert table[0.5]["flops_fraction"] < 0.5
+        assert table[0.5]["params_fraction"] < 0.5
+
+    def test_measured_flops_restores_training_mode(self):
+        from repro.models import MLP
+        model = MLP(8, [8], 2)
+        model.train()
+        measured_flops(model, (1, 8), 1.0)
+        assert model.training
+
+    def test_token_input_builder(self):
+        from repro.models import NNLM
+        model = NNLM(vocab_size=20, embed_dim=8, hidden_size=8)
+        flops = measured_flops(
+            model, (4, 2), rate=1.0,
+            input_builder=lambda shape: np.zeros(shape, dtype=np.int64),
+        )
+        assert flops > 0

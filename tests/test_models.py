@@ -1,0 +1,163 @@
+"""Unit tests for the sliceable reference models (MLP, VGG, ResNet, NNLM)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import MLP, NNLM, SlicedResNet, SlicedVGG, VGG13_PLAN
+from repro.metrics import active_params, measured_flops
+from repro.slicing import slice_rate
+from repro.tensor import Tensor
+
+
+def images(rng, n=2, size=16):
+    return Tensor(rng.normal(size=(n, 3, size, size)).astype(np.float32))
+
+
+class TestMLP:
+    def test_forward_shape_all_rates(self, rng):
+        model = MLP(10, [16, 16], 4)
+        x = Tensor(rng.normal(size=(3, 10)).astype(np.float32))
+        for rate in (1.0, 0.5, 0.25):
+            with slice_rate(rate):
+                assert model(x).shape == (3, 4)
+
+    def test_needs_hidden_layers(self):
+        with pytest.raises(ConfigError):
+            MLP(10, [], 4)
+
+    def test_features_width_follows_rate(self, rng):
+        model = MLP(10, [16], 4)
+        x = Tensor(rng.normal(size=(3, 10)).astype(np.float32))
+        with slice_rate(0.5):
+            assert model.features(x).shape == (3, 8)
+
+
+class TestSlicedVGG:
+    def test_forward_shapes(self, rng):
+        model = SlicedVGG.cifar_mini(num_classes=8, width=16)
+        for rate in (1.0, 0.5, 0.25):
+            with slice_rate(rate):
+                assert model(images(rng)).shape == (2, 8)
+
+    def test_flops_scale_quadratically(self, rng):
+        model = SlicedVGG.cifar_mini(num_classes=8, width=16)
+        full = measured_flops(model, (1, 3, 16, 16), 1.0)
+        half = measured_flops(model, (1, 3, 16, 16), 0.5)
+        # Dominated by conv layers whose cost is r^2 (stem conv is linear).
+        assert 0.2 < half / full < 0.32
+
+    def test_params_scale_quadratically(self):
+        model = SlicedVGG.cifar_mini(num_classes=8, width=16)
+        full = active_params(model, 1.0)
+        half = active_params(model, 0.5)
+        assert 0.2 < half / full < 0.35
+
+    def test_paper_vgg13_plan(self):
+        model = SlicedVGG.vgg13()
+        # Table 3: VGG-13 on CIFAR has ~9.42M parameters.
+        assert 9.0e6 < model.num_parameters() < 10.0e6
+
+    def test_group_norm_layers_listed(self):
+        model = SlicedVGG.cifar_mini(num_classes=8, width=16)
+        layers = model.group_norm_layers()
+        assert len(layers) == sum(n for _, n in model.plan)
+
+    def test_norm_variants(self, rng):
+        for norm in ("batch", "multi_bn"):
+            model = SlicedVGG.cifar_mini(
+                num_classes=8, width=16, norm=norm,
+                rates=[0.5, 1.0] if norm == "multi_bn" else None,
+            )
+            with slice_rate(0.5):
+                assert model(images(rng)).shape == (2, 8)
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigError):
+            SlicedVGG([])
+        with pytest.raises(ConfigError):
+            SlicedVGG(VGG13_PLAN, norm="nope")
+        with pytest.raises(ConfigError):
+            SlicedVGG(VGG13_PLAN, norm="multi_bn")
+
+
+class TestSlicedResNet:
+    def test_forward_shapes(self, rng):
+        model = SlicedResNet.cifar_mini(num_classes=8)
+        for rate in (1.0, 0.375):
+            with slice_rate(rate):
+                assert model(images(rng)).shape == (2, 8)
+
+    def test_depth_property(self):
+        assert SlicedResNet.resnet164().depth == 164
+        assert SlicedResNet.resnet56_2().depth == 56
+
+    def test_paper_resnet164_params(self):
+        # Table 3: ResNet-164 has ~1.72M parameters.
+        model = SlicedResNet.resnet164()
+        assert 1.4e6 < model.num_parameters() < 2.1e6
+
+    def test_paper_resnet56_2_params(self):
+        # Table 3: ResNet-56-2 has ~2.35M parameters.
+        model = SlicedResNet.resnet56_2()
+        assert 2.0e6 < model.num_parameters() < 2.8e6
+
+    def test_widen_factor_increases_params(self):
+        narrow = SlicedResNet.cifar_mini(num_classes=8, widen=1)
+        wide = SlicedResNet.cifar_mini(num_classes=8, widen=2)
+        assert wide.num_parameters() > 3 * narrow.num_parameters()
+
+    def test_stage_outputs(self, rng):
+        model = SlicedResNet.cifar_mini(num_classes=8, blocks=2)
+        outs = model.stage_outputs(images(rng))
+        assert len(outs) == 2
+        assert outs[1].shape[2] == outs[0].shape[2] // 2
+
+    def test_flops_scale_quadratically(self):
+        model = SlicedResNet.cifar_mini(num_classes=8)
+        full = measured_flops(model, (1, 3, 16, 16), 1.0)
+        quarter = measured_flops(model, (1, 3, 16, 16), 0.25)
+        assert quarter / full < 0.12
+
+    def test_invalid_configs(self):
+        with pytest.raises(ConfigError):
+            SlicedResNet([])
+        with pytest.raises(ConfigError):
+            SlicedResNet([2], norm="bad")
+
+
+class TestNNLM:
+    def test_log_probs_shape_and_normalization(self, rng):
+        model = NNLM(vocab_size=30, embed_dim=16, hidden_size=16)
+        model.eval()
+        tokens = rng.integers(0, 30, size=(5, 3))
+        out = model(tokens)
+        assert out.shape == (5, 3, 30)
+        np.testing.assert_allclose(np.exp(out.data).sum(axis=-1), 1.0,
+                                   rtol=1e-4)
+
+    def test_sequence_nll_positive(self, rng):
+        model = NNLM(vocab_size=30, embed_dim=16, hidden_size=16)
+        tokens = rng.integers(0, 30, size=(5, 3))
+        targets = rng.integers(0, 30, size=(5, 3))
+        assert model.sequence_nll(tokens, targets).item() > 0
+
+    def test_sliced_rates_work(self, rng):
+        model = NNLM(vocab_size=30, embed_dim=16, hidden_size=16)
+        model.eval()
+        tokens = rng.integers(0, 30, size=(4, 2))
+        for rate in (1.0, 0.5, 0.25):
+            with slice_rate(rate):
+                assert model(tokens).shape == (4, 2, 30)
+
+    def test_untrained_nll_near_uniform(self, rng):
+        model = NNLM(vocab_size=50, embed_dim=16, hidden_size=16)
+        model.eval()
+        tokens = rng.integers(0, 50, size=(6, 4))
+        targets = rng.integers(0, 50, size=(6, 4))
+        nll = model.sequence_nll(tokens, targets).item()
+        assert abs(nll - np.log(50)) < 0.5
+
+    def test_params_shrink_with_rate(self):
+        model = NNLM(vocab_size=30, embed_dim=16, hidden_size=16)
+        assert active_params(model, 0.5) < active_params(model, 1.0)

@@ -1,0 +1,181 @@
+"""Unit tests for the plain (unsliced) layers: linear, conv, norm, etc."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.nn import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Embedding,
+    GlobalAvgPool2d,
+    GroupNorm,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.tensor import Tensor
+
+
+def tensor(rng, *shape):
+    return Tensor(rng.normal(size=shape).astype(np.float32))
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        assert layer(tensor(rng, 5, 4)).shape == (5, 3)
+
+    def test_matches_manual(self, rng):
+        layer = Linear(4, 3, rng=rng)
+        x = tensor(rng, 2, 4)
+        expected = x.data @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(layer(x).data, expected, rtol=1e-5)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, bias=False, rng=rng)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigError):
+            Linear(0, 3)
+
+
+class TestConv2d:
+    def test_output_shape(self, rng):
+        layer = Conv2d(3, 8, 3, padding=1, rng=rng)
+        assert layer(tensor(rng, 2, 3, 8, 8)).shape == (2, 8, 8, 8)
+
+    def test_stride_halves(self, rng):
+        layer = Conv2d(3, 4, 3, stride=2, padding=1, rng=rng)
+        assert layer(tensor(rng, 1, 3, 8, 8)).shape == (1, 4, 4, 4)
+
+    def test_bias_flag(self, rng):
+        assert Conv2d(2, 2, 3, bias=False, rng=rng).bias is None
+
+    def test_invalid_channels(self):
+        with pytest.raises(ConfigError):
+            Conv2d(0, 2, 3)
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self, rng):
+        bn = BatchNorm2d(4)
+        out = bn(tensor(rng, 16, 4, 5, 5))
+        assert abs(out.data.mean()) < 1e-4
+        assert abs(out.data.std() - 1.0) < 1e-2
+
+    def test_running_stats_updated(self, rng):
+        bn = BatchNorm2d(4)
+        x = tensor(rng, 16, 4, 5, 5)
+        bn(x)
+        assert not np.allclose(bn.running_mean, 0.0)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = BatchNorm2d(4)
+        for _ in range(50):
+            bn(tensor(rng, 16, 4, 5, 5) + 3.0)
+        bn.eval()
+        out = bn(tensor(rng, 16, 4, 5, 5) + 3.0)
+        assert abs(out.data.mean()) < 0.2
+
+    def test_wrong_channels_raises(self, rng):
+        bn = BatchNorm2d(4)
+        with pytest.raises(ShapeError):
+            bn(tensor(rng, 2, 3, 5, 5))
+
+    def test_wrong_ndim_raises(self, rng):
+        with pytest.raises(ShapeError):
+            BatchNorm2d(4)(tensor(rng, 2, 4))
+
+    def test_invalid_features(self):
+        with pytest.raises(ConfigError):
+            BatchNorm2d(0)
+
+
+class TestGroupNorm:
+    def test_normalizes_per_group(self, rng):
+        gn = GroupNorm(2, 4)
+        out = gn(tensor(rng, 3, 4, 6, 6)).data
+        grouped = out.reshape(3, 2, -1)
+        np.testing.assert_allclose(grouped.mean(axis=2), 0.0, atol=1e-4)
+        np.testing.assert_allclose(grouped.std(axis=2), 1.0, atol=1e-2)
+
+    def test_batch_size_independent(self, rng):
+        gn = GroupNorm(2, 4)
+        x = tensor(rng, 8, 4, 5, 5)
+        full = gn(x).data
+        single = gn(Tensor(x.data[:1])).data
+        np.testing.assert_allclose(full[:1], single, atol=1e-5)
+
+    def test_works_on_2d_input(self, rng):
+        gn = GroupNorm(2, 6)
+        assert gn(tensor(rng, 4, 6)).shape == (4, 6)
+
+    def test_affine_false_has_no_params(self):
+        assert not GroupNorm(2, 4, affine=False).parameters()
+
+    def test_indivisible_raises(self):
+        with pytest.raises(ConfigError):
+            GroupNorm(3, 4)
+
+    def test_wrong_channels_raises(self, rng):
+        with pytest.raises(ShapeError):
+            GroupNorm(2, 4)(tensor(rng, 2, 6, 3, 3))
+
+
+class TestActivationModules:
+    def test_relu(self):
+        out = ReLU()(Tensor([-1.0, 1.0]))
+        np.testing.assert_allclose(out.data, [0.0, 1.0])
+
+    def test_tanh(self):
+        out = Tanh()(Tensor([0.0]))
+        np.testing.assert_allclose(out.data, [0.0])
+
+    def test_sigmoid(self):
+        out = Sigmoid()(Tensor([0.0]))
+        np.testing.assert_allclose(out.data, [0.5])
+
+
+class TestDropoutModule:
+    def test_training_drops(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        out = layer(Tensor(np.ones(1000, dtype=np.float32)))
+        assert (out.data == 0).sum() > 300
+
+    def test_eval_identity(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        layer.eval()
+        x = Tensor(np.ones(10, dtype=np.float32))
+        assert layer(x) is x
+
+
+class TestPoolingModules:
+    def test_max_pool_module(self, rng):
+        assert MaxPool2d(2)(tensor(rng, 1, 2, 4, 4)).shape == (1, 2, 2, 2)
+
+    def test_avg_pool_module(self, rng):
+        assert AvgPool2d(2)(tensor(rng, 1, 2, 4, 4)).shape == (1, 2, 2, 2)
+
+    def test_global_pool_module(self, rng):
+        assert GlobalAvgPool2d()(tensor(rng, 2, 5, 4, 4)).shape == (2, 5)
+
+
+class TestEmbeddingModule:
+    def test_shape(self, rng):
+        emb = Embedding(10, 4, rng=rng)
+        assert emb(np.array([[1, 2], [3, 4]])).shape == (2, 2, 4)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigError):
+            Embedding(0, 4)
+
+    def test_init_bound_respected(self, rng):
+        emb = Embedding(10, 4, rng=rng, init_bound=0.01)
+        assert np.abs(emb.weight.data).max() <= 0.01

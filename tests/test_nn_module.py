@@ -1,0 +1,143 @@
+"""Unit tests for Module/Parameter registration, traversal and state."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import Linear, Module, ModuleList, Parameter, Sequential
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 3, rng=np.random.default_rng(0))
+        self.fc2 = Linear(3, 2, rng=np.random.default_rng(1))
+        self.scale = Parameter(np.ones(1))
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).relu()) * self.scale
+
+
+class TestRegistration:
+    def test_parameter_requires_grad_by_default(self):
+        assert Parameter(np.zeros(3)).requires_grad
+
+    def test_named_parameters_dotted(self):
+        names = dict(Toy().named_parameters())
+        assert "fc1.weight" in names
+        assert "fc2.bias" in names
+        assert "scale" in names
+
+    def test_parameters_count(self):
+        toy = Toy()
+        assert toy.num_parameters() == (4 * 3 + 3) + (3 * 2 + 2) + 1
+
+    def test_modules_traversal(self):
+        toy = Toy()
+        kinds = [type(m).__name__ for m in toy.modules()]
+        assert kinds.count("Linear") == 2
+        assert kinds[0] == "Toy"
+
+    def test_children_are_direct_only(self):
+        seq = Sequential(Sequential(Linear(2, 2)))
+        assert len(list(seq.children())) == 1
+
+    def test_register_module_rejects_non_module(self):
+        with pytest.raises(ConfigError):
+            Toy().register_module("x", "not a module")
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        toy = Toy()
+        toy.eval()
+        assert not toy.training
+        assert not toy.fc1.training
+        toy.train()
+        assert toy.fc2.training
+
+    def test_zero_grad_clears_all(self):
+        from repro.tensor import Tensor
+        toy = Toy()
+        out = toy(Tensor(np.ones((2, 4), dtype=np.float32)))
+        out.sum().backward()
+        assert toy.fc1.weight.grad is not None
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Toy(), Toy()
+        b.fc1.weight.data[...] = 7.0
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(b.fc1.weight.data, a.fc1.weight.data)
+
+    def test_state_dict_copies(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["fc1.weight"][...] = 99.0
+        assert not np.allclose(toy.fc1.weight.data, 99.0)
+
+    def test_missing_key_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        del state["scale"]
+        with pytest.raises(ConfigError):
+            toy.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(ConfigError):
+            toy.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["scale"] = np.zeros(2)
+        with pytest.raises(ConfigError):
+            toy.load_state_dict(state)
+
+    def test_batchnorm_running_stats_roundtrip(self):
+        from repro.nn import BatchNorm2d
+        from repro.tensor import Tensor
+        bn = BatchNorm2d(3)
+        bn(Tensor(np.random.default_rng(0).normal(
+            size=(4, 3, 2, 2)).astype(np.float32)))
+        state = bn.state_dict()
+        fresh = BatchNorm2d(3)
+        fresh.load_state_dict(state)
+        np.testing.assert_allclose(fresh.running_mean, bn.running_mean)
+        np.testing.assert_allclose(fresh.running_var, bn.running_var)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self):
+        from repro.tensor import Tensor
+        seq = Sequential(Linear(2, 3, rng=np.random.default_rng(0)),
+                         Linear(3, 1, rng=np.random.default_rng(1)))
+        out = seq(Tensor(np.ones((1, 2), dtype=np.float32)))
+        assert out.shape == (1, 1)
+
+    def test_sequential_len_getitem_iter(self):
+        seq = Sequential(Linear(2, 2), Linear(2, 2))
+        assert len(seq) == 2
+        assert isinstance(seq[0], Linear)
+        assert len(list(iter(seq))) == 2
+
+    def test_module_list_registration(self):
+        ml = ModuleList([Linear(2, 2), Linear(2, 2)])
+        assert len(ml) == 2
+        names = dict(ml.named_parameters())
+        assert "0.weight" in names and "1.weight" in names
+
+    def test_module_list_not_callable(self):
+        with pytest.raises(ConfigError):
+            ModuleList([Linear(2, 2)])(None)
+
+    def test_append_registers_parameters(self):
+        seq = Sequential()
+        seq.append(Linear(2, 2))
+        assert len(seq.parameters()) == 2

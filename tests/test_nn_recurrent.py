@@ -1,0 +1,102 @@
+"""Unit tests for the plain recurrent cells and the LSTM wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import GRUCell, LSTM, LSTMCell, RNNCell
+from repro.tensor import Tensor
+
+
+def tensor(rng, *shape):
+    return Tensor(rng.normal(size=shape).astype(np.float32))
+
+
+class TestRNNCell:
+    def test_output_shape_and_range(self, rng):
+        cell = RNNCell(4, 6, rng=rng)
+        out = cell(tensor(rng, 3, 4))
+        assert out.shape == (3, 6)
+        assert (np.abs(out.data) <= 1.0).all()
+
+    def test_state_carries(self, rng):
+        cell = RNNCell(4, 6, rng=rng)
+        x = tensor(rng, 3, 4)
+        h1 = cell(x)
+        h2 = cell(x, h1)
+        assert not np.allclose(h1.data, h2.data)
+
+
+class TestLSTMCell:
+    def test_state_shapes(self, rng):
+        cell = LSTMCell(4, 6, rng=rng)
+        h, c = cell(tensor(rng, 3, 4))
+        assert h.shape == (3, 6)
+        assert c.shape == (3, 6)
+
+    def test_forget_bias_initialized(self, rng):
+        cell = LSTMCell(4, 6, rng=rng, forget_bias=1.0)
+        np.testing.assert_allclose(cell.bias.data[6:12], 1.0)
+
+    def test_gradient_flows_through_time(self, rng):
+        cell = LSTMCell(3, 4, rng=rng)
+        x = Tensor(rng.normal(size=(2, 3)).astype(np.float32),
+                   requires_grad=True)
+        state = cell(x)
+        for _ in range(3):
+            state = cell(x, state)
+        state[0].sum().backward()
+        assert x.grad is not None
+        assert np.abs(x.grad).sum() > 0
+
+    def test_memory_accumulates(self, rng):
+        cell = LSTMCell(3, 4, rng=rng)
+        x = tensor(rng, 2, 3)
+        _, c1 = cell(x)
+        _, c2 = cell(x, (Tensor(np.zeros((2, 4), dtype=np.float32)), c1))
+        assert not np.allclose(c1.data, c2.data)
+
+
+class TestGRUCell:
+    def test_output_shape(self, rng):
+        cell = GRUCell(4, 5, rng=rng)
+        assert cell(tensor(rng, 2, 4)).shape == (2, 5)
+
+    def test_interpolates_with_state(self, rng):
+        cell = GRUCell(4, 5, rng=rng)
+        x = tensor(rng, 2, 4)
+        h = Tensor(np.full((2, 5), 10.0, dtype=np.float32))
+        out = cell(x, h).data
+        # With a huge previous state, output stays between candidate and h.
+        assert out.max() <= 10.0
+
+
+class TestLSTMWrapper:
+    def test_sequence_shapes(self, rng):
+        lstm = LSTM(4, 6, num_layers=2, rng=rng)
+        out, states = lstm(tensor(rng, 5, 3, 4))
+        assert out.shape == (5, 3, 6)
+        assert len(states) == 2
+        assert states[0][0].shape == (3, 6)
+
+    def test_zero_layers_rejected(self):
+        with pytest.raises(ConfigError):
+            LSTM(4, 6, num_layers=0)
+
+    def test_initial_state_used(self, rng):
+        lstm = LSTM(4, 6, rng=rng)
+        x = tensor(rng, 2, 3, 4)
+        h0 = Tensor(np.full((3, 6), 2.0, dtype=np.float32))
+        c0 = Tensor(np.full((3, 6), 2.0, dtype=np.float32))
+        out_a, _ = lstm(x)
+        out_b, _ = lstm(x, states=[(h0, c0)])
+        assert not np.allclose(out_a.data, out_b.data)
+
+    def test_backprop_through_sequence(self, rng):
+        lstm = LSTM(3, 4, num_layers=2, rng=rng)
+        x = Tensor(rng.normal(size=(4, 2, 3)).astype(np.float32),
+                   requires_grad=True)
+        out, _ = lstm(x)
+        out.sum().backward()
+        assert x.grad is not None
+        assert np.isfinite(x.grad).all()

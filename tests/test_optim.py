@@ -1,0 +1,144 @@
+"""Unit tests for SGD, gradient clipping and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import Parameter
+from repro.optim import (
+    SGD,
+    MultiStepLR,
+    PlateauDecay,
+    WarmupLR,
+    clip_grad_norm,
+)
+
+
+def param(value):
+    p = Parameter(np.asarray(value, dtype=np.float32))
+    return p
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = param([1.0])
+        p.grad = np.array([0.5], dtype=np.float32)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95])
+
+    def test_skips_params_without_grad(self):
+        p = param([1.0])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_weight_decay(self):
+        p = param([1.0])
+        p.grad = np.array([0.0], dtype=np.float32)
+        SGD([p], lr=0.1, weight_decay=0.1).step()
+        np.testing.assert_allclose(p.data, [0.99], rtol=1e-6)
+
+    def test_momentum_accumulates(self):
+        p = param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        for _ in range(2):
+            p.grad = np.array([1.0], dtype=np.float32)
+            opt.step()
+        # Step 1: v=1 -> p=-1.  Step 2: v=1.9 -> p=-2.9.
+        np.testing.assert_allclose(p.data, [-2.9], rtol=1e-6)
+
+    def test_nesterov_differs_from_plain_momentum(self):
+        p1, p2 = param([0.0]), param([0.0])
+        opt1 = SGD([p1], lr=1.0, momentum=0.9)
+        opt2 = SGD([p2], lr=1.0, momentum=0.9, nesterov=True)
+        for opt, p in ((opt1, p1), (opt2, p2)):
+            p.grad = np.array([1.0], dtype=np.float32)
+            opt.step()
+        assert p1.data[0] != p2.data[0]
+
+    def test_zero_grad(self):
+        p = param([1.0])
+        p.grad = np.array([1.0], dtype=np.float32)
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            SGD([], lr=0.1)
+        with pytest.raises(ConfigError):
+            SGD([param([1.0])], lr=0.0)
+        with pytest.raises(ConfigError):
+            SGD([param([1.0])], lr=0.1, nesterov=True)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_max(self):
+        p = param([1.0])
+        p.grad = np.array([0.5], dtype=np.float32)
+        norm = clip_grad_norm([p], 10.0)
+        assert norm == pytest.approx(0.5)
+        np.testing.assert_allclose(p.grad, [0.5])
+
+    def test_clips_to_max(self):
+        p = param([1.0, 1.0])
+        p.grad = np.array([3.0, 4.0], dtype=np.float32)
+        clip_grad_norm([p], 1.0)
+        np.testing.assert_allclose(np.linalg.norm(p.grad), 1.0, rtol=1e-5)
+
+    def test_global_norm_across_params(self):
+        a, b = param([1.0]), param([1.0])
+        a.grad = np.array([3.0], dtype=np.float32)
+        b.grad = np.array([4.0], dtype=np.float32)
+        norm = clip_grad_norm([a, b], 5.0)
+        assert norm == pytest.approx(5.0)
+
+
+class TestSchedules:
+    def test_multistep_decays_at_milestones(self):
+        p = param([1.0])
+        opt = SGD([p], lr=1.0)
+        sched = MultiStepLR(opt, [2, 4], gamma=0.1)
+        lrs = []
+        for _ in range(5):
+            sched.step()
+            lrs.append(opt.lr)
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01, 0.01],
+                                   rtol=1e-6)
+
+    def test_cifar_recipe_milestones(self):
+        opt = SGD([param([1.0])], lr=1.0)
+        sched = MultiStepLR.cifar_recipe(opt, 12)
+        assert sched.milestones == [6, 9]
+
+    def test_unsorted_milestones_rejected(self):
+        opt = SGD([param([1.0])], lr=1.0)
+        with pytest.raises(ConfigError):
+            MultiStepLR(opt, [4, 2])
+
+    def test_warmup_ramps_to_target(self):
+        opt = SGD([param([1.0])], lr=1.0)
+        warm = WarmupLR(opt, warmup_epochs=4, start_factor=0.2)
+        assert opt.lr == pytest.approx(0.2)
+        for _ in range(4):
+            warm.step()
+        assert opt.lr == pytest.approx(1.0)
+
+    def test_plateau_quarters_on_stall(self):
+        opt = SGD([param([1.0])], lr=1.0)
+        plateau = PlateauDecay(opt, factor=0.25)
+        assert not plateau.step(10.0)   # first observation
+        assert not plateau.step(9.0)    # improved
+        assert plateau.step(9.5)        # worse -> decay
+        assert opt.lr == pytest.approx(0.25)
+
+    def test_plateau_min_lr_floor(self):
+        opt = SGD([param([1.0])], lr=1e-5)
+        plateau = PlateauDecay(opt, factor=0.25, min_lr=1e-5)
+        plateau.step(1.0)
+        plateau.step(2.0)
+        assert opt.lr == pytest.approx(1e-5)
+
+    def test_plateau_validates_factor(self):
+        opt = SGD([param([1.0])], lr=1.0)
+        with pytest.raises(ConfigError):
+            PlateauDecay(opt, factor=1.5)

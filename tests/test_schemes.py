@@ -1,0 +1,173 @@
+"""Unit + property tests for the slice-rate scheduling schemes (Sec. 3.4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SchedulingError
+from repro.slicing import (
+    FixedScheme,
+    RandomScheme,
+    RandomStaticScheme,
+    StaticScheme,
+)
+
+RATES = [0.25, 0.5, 0.75, 1.0]
+
+
+class TestFixedScheme:
+    def test_always_returns_its_rate(self, rng):
+        scheme = FixedScheme(0.5)
+        for _ in range(5):
+            assert scheme.sample(rng) == [0.5]
+
+    def test_default_is_full(self, rng):
+        assert FixedScheme().sample(rng) == [1.0]
+
+
+class TestStaticScheme:
+    def test_schedules_all_rates_descending(self, rng):
+        out = StaticScheme(RATES).sample(rng)
+        assert out == [1.0, 0.75, 0.5, 0.25]
+
+    def test_deduplicates_and_sorts(self, rng):
+        scheme = StaticScheme([1.0, 0.5, 0.5])
+        assert scheme.rates == [0.5, 1.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchedulingError):
+            StaticScheme([])
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(Exception):
+            StaticScheme([0.0, 1.0])
+
+
+class TestRandomScheme:
+    def test_sample_size(self, rng):
+        scheme = RandomScheme(RATES, num_samples=2)
+        assert len(scheme.sample(rng)) == 2
+
+    def test_samples_without_replacement(self, rng):
+        scheme = RandomScheme(RATES, num_samples=4)
+        assert sorted(scheme.sample(rng)) == RATES
+
+    def test_descending_order(self, rng):
+        scheme = RandomScheme(RATES, num_samples=3)
+        out = scheme.sample(rng)
+        assert out == sorted(out, reverse=True)
+
+    def test_uniform_frequencies(self):
+        rng = np.random.default_rng(0)
+        scheme = RandomScheme(RATES)
+        counts = {r: 0 for r in RATES}
+        for _ in range(4000):
+            counts[scheme.sample(rng)[0]] += 1
+        for count in counts.values():
+            assert 800 < count < 1200
+
+    def test_weighted_frequencies(self):
+        rng = np.random.default_rng(0)
+        scheme = RandomScheme(RATES, probabilities=[0.25, 0.125, 0.125, 0.5])
+        counts = {r: 0 for r in RATES}
+        for _ in range(4000):
+            counts[scheme.sample(rng)[0]] += 1
+        assert counts[1.0] > counts[0.5]
+        assert counts[0.25] > counts[0.5]
+
+    def test_weighted_min_max_factory(self):
+        scheme = RandomScheme.weighted_min_max(RATES)
+        np.testing.assert_allclose(scheme.probabilities,
+                                   [0.25, 0.125, 0.125, 0.5])
+
+    def test_weighted_min_max_single_rate(self):
+        scheme = RandomScheme.weighted_min_max([1.0])
+        np.testing.assert_allclose(scheme.probabilities, [1.0])
+
+    def test_bad_probabilities(self):
+        with pytest.raises(SchedulingError):
+            RandomScheme(RATES, probabilities=[0.5, 0.5])
+        with pytest.raises(SchedulingError):
+            RandomScheme(RATES, probabilities=[-1, 1, 0.5, 0.5])
+
+    def test_bad_num_samples(self):
+        with pytest.raises(SchedulingError):
+            RandomScheme(RATES, num_samples=0)
+
+    def test_overweight_min_max_rejected(self):
+        with pytest.raises(SchedulingError):
+            RandomScheme.weighted_min_max(RATES, min_weight=0.6,
+                                          max_weight=0.6)
+
+
+class TestRandomStaticScheme:
+    def test_min_max_always_present(self, rng):
+        scheme = RandomStaticScheme(RATES)
+        for _ in range(20):
+            out = scheme.sample(rng)
+            assert 1.0 in out and 0.25 in out
+
+    def test_r_min_variant(self, rng):
+        scheme = RandomStaticScheme(RATES, include_min=True,
+                                    include_max=False)
+        for _ in range(20):
+            out = scheme.sample(rng)
+            assert 0.25 in out
+            assert len(out) == 2
+
+    def test_r_max_variant(self, rng):
+        scheme = RandomStaticScheme(RATES, include_min=False,
+                                    include_max=True)
+        for _ in range(20):
+            assert 1.0 in scheme.sample(rng)
+
+    def test_sample_is_descending_unique(self, rng):
+        scheme = RandomStaticScheme(RATES, num_random=2)
+        out = scheme.sample(rng)
+        assert out == sorted(set(out), reverse=True)
+
+    def test_zero_random_is_pure_static(self, rng):
+        scheme = RandomStaticScheme(RATES, num_random=0)
+        assert scheme.sample(rng) == [1.0, 0.25]
+
+    def test_middle_rates_visited(self):
+        rng = np.random.default_rng(0)
+        scheme = RandomStaticScheme(RATES)
+        seen = set()
+        for _ in range(100):
+            seen.update(scheme.sample(rng))
+        assert 0.5 in seen and 0.75 in seen
+
+    def test_neither_min_nor_max_rejected(self):
+        with pytest.raises(SchedulingError):
+            RandomStaticScheme(RATES, include_min=False, include_max=False)
+
+    def test_negative_random_rejected(self):
+        with pytest.raises(SchedulingError):
+            RandomStaticScheme(RATES, num_random=-1)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.sampled_from([0.125, 0.25, 0.375, 0.5, 0.625, 0.75,
+                                 0.875, 1.0]),
+                min_size=1, max_size=8, unique=True),
+       st.integers(0, 2 ** 31 - 1))
+def test_every_scheme_returns_valid_subset(rates, seed):
+    """Any scheme's sample is a non-empty subset of its candidate rates."""
+    rng = np.random.default_rng(seed)
+    schemes = [StaticScheme(rates), RandomScheme(rates),
+               RandomStaticScheme(rates)]
+    for scheme in schemes:
+        out = scheme.sample(rng)
+        assert out
+        assert set(out) <= set(scheme.rates)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 8), st.integers(0, 2 ** 31 - 1))
+def test_random_static_includes_extremes(n, seed):
+    rates = [i / n for i in range(1, n + 1)]
+    scheme = RandomStaticScheme(rates)
+    out = scheme.sample(np.random.default_rng(seed))
+    assert scheme.min_rate in out
+    assert scheme.max_rate in out

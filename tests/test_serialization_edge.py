@@ -1,0 +1,63 @@
+"""Serialization edge cases: nested running stats, sliced models on disk."""
+
+import os
+
+import numpy as np
+
+from repro.models import SlicedVGG
+from repro.slicing import slice_rate
+from repro.tensor import Tensor, no_grad
+from repro.utils import load_model, save_model
+
+
+class TestMultiBnSerialization:
+    def test_multi_bn_state_roundtrip(self, rng, tmp_path):
+        """Every per-rate BN's running stats survive a save/load cycle."""
+        rates = [0.5, 1.0]
+        model = SlicedVGG.cifar_mini(num_classes=4, width=8, stages=2,
+                                     norm="multi_bn", rates=rates)
+        x_half = Tensor(rng.normal(size=(8, 3, 8, 8)).astype(np.float32))
+        with slice_rate(0.5):
+            model(x_half)  # populate the rate-0.5 BN stats
+        path = os.path.join(tmp_path, "model.npz")
+        save_model(model, path)
+
+        fresh = SlicedVGG.cifar_mini(num_classes=4, width=8, stages=2,
+                                     norm="multi_bn", rates=rates)
+        load_model(fresh, path)
+        for (na, a), (nb, b) in zip(
+                sorted(model.state_dict().items()),
+                sorted(fresh.state_dict().items())):
+            assert na == nb
+            np.testing.assert_allclose(a, b)
+
+    def test_loaded_model_predicts_identically(self, rng, tmp_path):
+        model = SlicedVGG.cifar_mini(num_classes=4, width=8, stages=2)
+        model.eval()
+        x = Tensor(rng.normal(size=(4, 3, 8, 8)).astype(np.float32))
+        with no_grad():
+            with slice_rate(0.5):
+                expected = model(x).data
+        path = os.path.join(tmp_path, "model.npz")
+        save_model(model, path)
+        fresh = SlicedVGG.cifar_mini(num_classes=4, width=8, stages=2,
+                                     seed=99)
+        load_model(fresh, path)
+        fresh.eval()
+        with no_grad():
+            with slice_rate(0.5):
+                actual = fresh(x).data
+        np.testing.assert_allclose(actual, expected, rtol=1e-5)
+
+    def test_sliced_batchnorm_stats_roundtrip(self, rng, tmp_path):
+        model = SlicedVGG.cifar_mini(num_classes=4, width=8, stages=2,
+                                     norm="batch")
+        with slice_rate(0.5):
+            model(Tensor(rng.normal(size=(8, 3, 8, 8)).astype(np.float32)))
+        path = os.path.join(tmp_path, "model.npz")
+        save_model(model, path)
+        fresh = SlicedVGG.cifar_mini(num_classes=4, width=8, stages=2,
+                                     norm="batch", seed=1)
+        load_model(fresh, path)
+        state = dict(fresh.state_dict())
+        assert any("running_mean" in key for key in state)

@@ -1,0 +1,154 @@
+"""Unit tests for workload generation, controllers and the serving simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.serving import (
+    FixedRateController,
+    SliceRateController,
+    constant_rate,
+    diurnal_rate,
+    generate_arrivals,
+    peak_to_trough,
+    simulate_serving,
+    spike_rate,
+)
+
+RATES = [0.25, 0.5, 0.75, 1.0]
+ACCURACY = {0.25: 0.7, 0.5: 0.8, 0.75: 0.85, 1.0: 0.9}
+
+
+class TestWorkload:
+    def test_diurnal_ratio(self):
+        rate = diurnal_rate(10.0, 16.0, 60.0)
+        assert peak_to_trough(rate, 60.0) == pytest.approx(16.0, rel=0.05)
+
+    def test_diurnal_validation(self):
+        with pytest.raises(ServingError):
+            diurnal_rate(0.0, 16.0, 60.0)
+        with pytest.raises(ServingError):
+            diurnal_rate(10.0, 0.5, 60.0)
+
+    def test_spike_applies_in_window(self):
+        rate = spike_rate(constant_rate(10.0), [(5.0, 2.0, 3.0)])
+        assert rate(6.0) == pytest.approx(30.0)
+        assert rate(8.0) == pytest.approx(10.0)
+
+    def test_constant_rate_validation(self):
+        with pytest.raises(ServingError):
+            constant_rate(0.0)
+
+    def test_arrivals_sorted_and_bounded(self):
+        arrivals = generate_arrivals(constant_rate(100.0), 2.0,
+                                     np.random.default_rng(0))
+        assert (np.diff(arrivals) >= 0).all()
+        assert arrivals.min() >= 0 and arrivals.max() <= 2.1
+
+    def test_arrival_count_matches_intensity(self):
+        arrivals = generate_arrivals(constant_rate(100.0), 10.0,
+                                     np.random.default_rng(0))
+        assert 850 < len(arrivals) < 1150
+
+    def test_duration_validated(self):
+        with pytest.raises(ServingError):
+            generate_arrivals(constant_rate(1.0), 0.0,
+                              np.random.default_rng(0))
+
+
+class TestControllers:
+    def test_slice_controller_full_rate_when_light(self):
+        ctl = SliceRateController(RATES, 0.002, 0.1)
+        assert ctl.choose(10) == 1.0
+
+    def test_slice_controller_degrades_under_load(self):
+        ctl = SliceRateController(RATES, 0.002, 0.1)
+        assert ctl.choose(100) == 0.5
+        assert ctl.choose(399) == 0.25
+
+    def test_slice_controller_overload_returns_none(self):
+        ctl = SliceRateController(RATES, 0.002, 0.1)
+        assert ctl.choose(10000) is None
+
+    def test_empty_batch(self):
+        assert SliceRateController(RATES, 0.002, 0.1).choose(0) is None
+
+    def test_max_batch_quadratic(self):
+        ctl = SliceRateController(RATES, 0.002, 0.1)
+        assert ctl.max_batch(0.5) == 4 * ctl.max_batch(1.0)
+
+    def test_fixed_controller_accepts_until_capacity(self):
+        ctl = FixedRateController(1.0, 0.002, 0.1)
+        assert ctl.choose(25) == 1.0
+        assert ctl.choose(26) is None
+
+    def test_fixed_controller_validation(self):
+        with pytest.raises(ServingError):
+            FixedRateController(1.5, 0.002, 0.1)
+        with pytest.raises(ServingError):
+            SliceRateController(RATES, -1.0, 0.1)
+
+
+class TestSimulator:
+    def arrivals(self, rate, duration=10.0, seed=0):
+        return generate_arrivals(constant_rate(rate), duration,
+                                 np.random.default_rng(seed))
+
+    def test_elastic_policy_never_violates_slo(self):
+        arrivals = self.arrivals(300.0)
+        ctl = SliceRateController(RATES, 0.002, 0.1)
+        report = simulate_serving(arrivals, ctl, 0.002, 0.1, ACCURACY, 10.0)
+        assert report.slo_violations == 0
+        assert report.drop_fraction == 0.0
+
+    def test_elastic_policy_slices_down_under_load(self):
+        light = simulate_serving(self.arrivals(50.0),
+                                 SliceRateController(RATES, 0.002, 0.1),
+                                 0.002, 0.1, ACCURACY, 10.0)
+        heavy = simulate_serving(self.arrivals(2000.0),
+                                 SliceRateController(RATES, 0.002, 0.1),
+                                 0.002, 0.1, ACCURACY, 10.0)
+        assert heavy.mean_rate < light.mean_rate
+
+    def test_fixed_full_drops_under_load(self):
+        arrivals = self.arrivals(2000.0)
+        ctl = FixedRateController(1.0, 0.002, 0.1)
+        report = simulate_serving(arrivals, ctl, 0.002, 0.1, ACCURACY, 10.0)
+        assert report.drop_fraction > 0.5
+
+    def test_fixed_small_lower_accuracy_offpeak(self):
+        arrivals = self.arrivals(50.0)
+        small = simulate_serving(arrivals,
+                                 FixedRateController(0.25, 0.002, 0.1),
+                                 0.002, 0.1, ACCURACY, 10.0)
+        elastic = simulate_serving(arrivals,
+                                   SliceRateController(RATES, 0.002, 0.1),
+                                   0.002, 0.1, ACCURACY, 10.0)
+        assert elastic.mean_accuracy > small.mean_accuracy
+
+    def test_report_accounting_consistent(self):
+        arrivals = self.arrivals(300.0)
+        ctl = SliceRateController(RATES, 0.002, 0.1)
+        report = simulate_serving(arrivals, ctl, 0.002, 0.1, ACCURACY, 10.0)
+        assert report.total_arrivals == len(arrivals)
+        admitted = sum(w.admitted for w in report.windows)
+        assert admitted + report.total_dropped == report.total_arrivals
+
+    def test_utilization_bounded(self):
+        arrivals = self.arrivals(300.0)
+        ctl = SliceRateController(RATES, 0.002, 0.1)
+        report = simulate_serving(arrivals, ctl, 0.002, 0.1, ACCURACY, 10.0)
+        assert 0.0 < report.utilization(0.05) <= 1.0
+
+    def test_empty_windows_handled(self):
+        report = simulate_serving(np.empty(0),
+                                  SliceRateController(RATES, 0.002, 0.1),
+                                  0.002, 0.1, ACCURACY, 1.0)
+        assert report.total_arrivals == 0
+        assert report.mean_accuracy == 0.0
+
+    def test_invalid_slo_raises(self):
+        with pytest.raises(ServingError):
+            simulate_serving(np.empty(0),
+                             SliceRateController(RATES, 0.002, 0.1),
+                             0.002, 0.0, ACCURACY, 1.0)

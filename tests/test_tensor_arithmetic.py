@@ -1,0 +1,184 @@
+"""Unit tests for Tensor arithmetic and its gradients."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GradError, ShapeError
+from repro.tensor import Tensor, check_gradients
+
+
+def t(data, grad=True):
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=grad,
+                  dtype=np.float64)
+
+
+class TestForwardValues:
+    def test_add(self):
+        out = Tensor([1.0, 2.0]) + Tensor([3.0, 4.0])
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    def test_add_scalar(self):
+        out = Tensor([1.0, 2.0]) + 1.5
+        np.testing.assert_allclose(out.data, [2.5, 3.5])
+
+    def test_radd(self):
+        out = 1.5 + Tensor([1.0])
+        np.testing.assert_allclose(out.data, [2.5])
+
+    def test_sub(self):
+        out = Tensor([3.0]) - Tensor([1.0])
+        np.testing.assert_allclose(out.data, [2.0])
+
+    def test_rsub(self):
+        out = 5.0 - Tensor([1.0])
+        np.testing.assert_allclose(out.data, [4.0])
+
+    def test_mul_broadcast(self):
+        out = Tensor([[1.0, 2.0], [3.0, 4.0]]) * Tensor([10.0, 100.0])
+        np.testing.assert_allclose(out.data, [[10.0, 200.0], [30.0, 400.0]])
+
+    def test_div(self):
+        out = Tensor([6.0]) / Tensor([3.0])
+        np.testing.assert_allclose(out.data, [2.0])
+
+    def test_rdiv(self):
+        out = 6.0 / Tensor([3.0])
+        np.testing.assert_allclose(out.data, [2.0])
+
+    def test_neg(self):
+        np.testing.assert_allclose((-Tensor([1.0, -2.0])).data, [-1.0, 2.0])
+
+    def test_pow(self):
+        np.testing.assert_allclose((Tensor([2.0]) ** 3).data, [8.0])
+
+    def test_pow_requires_scalar(self):
+        with pytest.raises(ShapeError):
+            Tensor([2.0]) ** Tensor([3.0])
+
+    def test_matmul(self):
+        a = Tensor([[1.0, 2.0]])
+        b = Tensor([[3.0], [4.0]])
+        np.testing.assert_allclose((a @ b).data, [[11.0]])
+
+    def test_matmul_needs_2d(self):
+        with pytest.raises(ShapeError):
+            Tensor([1.0]) @ Tensor([[1.0]])
+
+
+class TestGradients:
+    def test_add_broadcast_grad(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        b = t(rng.normal(size=(4,)))
+        check_gradients(lambda ts: ts[0] + ts[1], [a, b])
+
+    def test_mul_broadcast_grad(self, rng):
+        a = t(rng.normal(size=(2, 3, 4)))
+        b = t(rng.normal(size=(3, 1)))
+        check_gradients(lambda ts: ts[0] * ts[1], [a, b])
+
+    def test_div_grad(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        b = t(rng.uniform(1.0, 2.0, size=(3, 4)))
+        check_gradients(lambda ts: ts[0] / ts[1], [a, b])
+
+    def test_pow_grad(self, rng):
+        a = t(rng.uniform(0.5, 2.0, size=(5,)))
+        check_gradients(lambda ts: ts[0] ** 3, [a])
+
+    def test_negative_pow_grad(self, rng):
+        a = t(rng.uniform(1.0, 2.0, size=(5,)))
+        check_gradients(lambda ts: ts[0] ** -0.5, [a])
+
+    def test_matmul_grad(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        b = t(rng.normal(size=(4, 2)))
+        check_gradients(lambda ts: ts[0] @ ts[1], [a, b])
+
+    def test_batched_matmul_grad(self, rng):
+        a = t(rng.normal(size=(2, 3, 4)))
+        b = t(rng.normal(size=(4, 5)))
+        check_gradients(lambda ts: ts[0] @ ts[1], [a, b])
+
+    def test_reuse_accumulates(self, rng):
+        a = t(rng.normal(size=(3,)))
+        out = (a * a + a).sum()
+        out.backward()
+        np.testing.assert_allclose(a.grad, 2 * a.data + 1, rtol=1e-6)
+
+    def test_diamond_graph(self, rng):
+        a = t(rng.normal(size=(3,)))
+        b = a * 2.0
+        c = a + 1.0
+        (b * c).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * (a.data + 1) + 2 * a.data,
+                                   rtol=1e-6)
+
+    def test_abs_grad(self, rng):
+        a = t(rng.normal(size=(6,)) + 0.5)
+        check_gradients(lambda ts: ts[0].abs(), [a])
+
+
+class TestTranscendental:
+    def test_exp_grad(self, rng):
+        a = t(rng.normal(size=(4,)))
+        check_gradients(lambda ts: ts[0].exp(), [a])
+
+    def test_log_grad(self, rng):
+        a = t(rng.uniform(0.5, 2.0, size=(4,)))
+        check_gradients(lambda ts: ts[0].log(), [a])
+
+    def test_sqrt_grad(self, rng):
+        a = t(rng.uniform(0.5, 2.0, size=(4,)))
+        check_gradients(lambda ts: ts[0].sqrt(), [a])
+
+    def test_tanh_grad(self, rng):
+        a = t(rng.normal(size=(4,)))
+        check_gradients(lambda ts: ts[0].tanh(), [a])
+
+    def test_sigmoid_grad(self, rng):
+        a = t(rng.normal(size=(4,)))
+        check_gradients(lambda ts: ts[0].sigmoid(), [a])
+
+    def test_relu_grad(self, rng):
+        a = t(rng.normal(size=(10,)) + 0.01)
+        check_gradients(lambda ts: ts[0].relu(), [a])
+
+    def test_relu_zeroes_negatives(self):
+        out = Tensor([-1.0, 0.0, 2.0]).relu()
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 2.0])
+
+
+class TestBackwardAPI:
+    def test_backward_without_grad_on_vector_raises(self):
+        a = t([1.0, 2.0])
+        with pytest.raises(GradError):
+            (a * 2).backward()
+
+    def test_backward_on_nograd_tensor_raises(self):
+        a = Tensor([1.0])
+        with pytest.raises(GradError):
+            a.backward()
+
+    def test_backward_shape_mismatch_raises(self):
+        a = t([1.0, 2.0])
+        out = a * 2
+        with pytest.raises(ShapeError):
+            out.backward(np.ones(3))
+
+    def test_zero_grad(self):
+        a = t([1.0])
+        (a * 2).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_detach_cuts_graph(self):
+        a = t([1.0])
+        b = a.detach()
+        assert not b.requires_grad
+
+    def test_double_backward_accumulates_leaf_grad(self):
+        a = t([1.0, 2.0])
+        (a * 3).sum().backward()
+        (a * 3).sum().backward()
+        np.testing.assert_allclose(a.grad, [6.0, 6.0])

@@ -1,0 +1,89 @@
+"""Property-based tests (hypothesis) for the autograd engine."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.tensor import Tensor, check_gradients, log_softmax
+
+FLOATS = st.floats(min_value=-3.0, max_value=3.0, allow_nan=False,
+                   allow_infinity=False, width=64)
+
+
+def small_arrays(max_side=4):
+    shapes = st.tuples(st.integers(1, max_side), st.integers(1, max_side))
+    return shapes.flatmap(
+        lambda s: arrays(np.float64, s, elements=FLOATS)
+    )
+
+
+def t(data):
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=True,
+                  dtype=np.float64)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_arrays())
+def test_add_mul_gradcheck(data):
+    a = t(data)
+    b = t(data * 0.5 + 1.0)
+    check_gradients(lambda ts: ts[0] * ts[1] + ts[0], [a, b], atol=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_arrays())
+def test_tanh_chain_gradcheck(data):
+    a = t(data)
+    check_gradients(lambda ts: (ts[0].tanh() * 2.0).sigmoid(), [a], atol=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4),
+       st.integers(0, 2 ** 31 - 1))
+def test_matmul_gradcheck(n, k, m, seed):
+    rng = np.random.default_rng(seed)
+    a = t(rng.normal(size=(n, k)))
+    b = t(rng.normal(size=(k, m)))
+    check_gradients(lambda ts: ts[0] @ ts[1], [a, b], atol=1e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_arrays())
+def test_sum_grad_is_ones(data):
+    a = t(data)
+    a.sum().backward()
+    np.testing.assert_allclose(a.grad, np.ones_like(data))
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_arrays())
+def test_log_softmax_rows_normalize(data):
+    out = log_softmax(Tensor(data, dtype=np.float64)).data
+    np.testing.assert_allclose(np.exp(out).sum(axis=-1), 1.0, rtol=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_arrays())
+def test_mean_equals_sum_over_count(data):
+    a = Tensor(data, dtype=np.float64)
+    np.testing.assert_allclose(a.mean().data, a.sum().data / a.size,
+                               rtol=1e-8)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 3), st.integers(1, 3), st.integers(2, 4),
+       st.integers(0, 2 ** 31 - 1))
+def test_conv2d_gradcheck(batch, channels, size, seed):
+    from repro.tensor import conv2d
+    rng = np.random.default_rng(seed)
+    x = t(rng.normal(size=(batch, channels, size + 2, size + 2)))
+    k = t(rng.normal(size=(2, channels, 3, 3)) * 0.3)
+    check_gradients(lambda ts: conv2d(ts[0], ts[1], padding=1), [x, k],
+                    atol=2e-3, rtol=5e-3)
+
+
+@settings(max_examples=25, deadline=None)
+@given(small_arrays())
+def test_getitem_roundtrip(data):
+    a = Tensor(data, dtype=np.float64)
+    np.testing.assert_allclose(a[0].data, data[0])

@@ -1,0 +1,161 @@
+"""Unit tests for shape operations, indexing, concat/stack and reductions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.tensor import Tensor, check_gradients, concat, stack
+
+
+def t(data):
+    return Tensor(np.asarray(data, dtype=np.float64), requires_grad=True,
+                  dtype=np.float64)
+
+
+class TestReshapeTranspose:
+    def test_reshape_forward(self, rng):
+        a = t(rng.normal(size=(2, 6)))
+        assert a.reshape(3, 4).shape == (3, 4)
+
+    def test_reshape_tuple_arg(self, rng):
+        a = t(rng.normal(size=(2, 6)))
+        assert a.reshape((4, 3)).shape == (4, 3)
+
+    def test_reshape_grad(self, rng):
+        a = t(rng.normal(size=(2, 6)))
+        check_gradients(lambda ts: ts[0].reshape(3, 4) * 2.0, [a])
+
+    def test_transpose_default_reverses(self, rng):
+        a = t(rng.normal(size=(2, 3, 4)))
+        assert a.transpose().shape == (4, 3, 2)
+
+    def test_transpose_axes(self, rng):
+        a = t(rng.normal(size=(2, 3, 4)))
+        assert a.transpose(1, 0, 2).shape == (3, 2, 4)
+
+    def test_transpose_grad(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        check_gradients(lambda ts: ts[0].transpose() @ ts[0], [a])
+
+
+class TestIndexing:
+    def test_getitem_row(self, rng):
+        a = t(rng.normal(size=(4, 3)))
+        np.testing.assert_allclose(a[1].data, a.data[1])
+
+    def test_getitem_slice_grad(self, rng):
+        a = t(rng.normal(size=(5, 4)))
+        check_gradients(lambda ts: ts[0][1:3, :2], [a])
+
+    def test_getitem_fancy_grad(self, rng):
+        a = t(rng.normal(size=(6, 3)))
+        idx = np.array([0, 2, 2, 5])
+        check_gradients(lambda ts: ts[0][idx], [a])
+
+    def test_getitem_repeated_index_accumulates(self):
+        a = t([1.0, 2.0, 3.0])
+        out = a[np.array([0, 0, 1])]
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 1.0, 0.0])
+
+
+class TestConcatStack:
+    def test_concat_forward(self):
+        out = concat([Tensor([1.0, 2.0]), Tensor([3.0])], axis=0)
+        np.testing.assert_allclose(out.data, [1.0, 2.0, 3.0])
+
+    def test_concat_axis1(self, rng):
+        a, b = t(rng.normal(size=(2, 2))), t(rng.normal(size=(2, 3)))
+        assert concat([a, b], axis=1).shape == (2, 5)
+
+    def test_concat_grad(self, rng):
+        a, b = t(rng.normal(size=(2, 2))), t(rng.normal(size=(2, 3)))
+        check_gradients(lambda ts: concat(ts, axis=1) * 2.0, [a, b])
+
+    def test_concat_empty_raises(self):
+        with pytest.raises(ShapeError):
+            concat([], axis=0)
+
+    def test_stack_forward(self):
+        out = stack([Tensor([1.0, 2.0]), Tensor([3.0, 4.0])], axis=0)
+        assert out.shape == (2, 2)
+
+    def test_stack_grad(self, rng):
+        a, b = t(rng.normal(size=(3,))), t(rng.normal(size=(3,)))
+        check_gradients(lambda ts: stack(ts, axis=0).tanh(), [a, b])
+
+    def test_stack_empty_raises(self):
+        with pytest.raises(ShapeError):
+            stack([], axis=0)
+
+
+class TestReductions:
+    def test_sum_all(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(a.sum().data, a.data.sum(), rtol=1e-6)
+
+    def test_sum_axis_keepdims(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        assert a.sum(axis=1, keepdims=True).shape == (3, 1)
+
+    def test_sum_grad(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        check_gradients(lambda ts: ts[0].sum(axis=0), [a])
+
+    def test_sum_tuple_axis_grad(self, rng):
+        a = t(rng.normal(size=(2, 3, 4)))
+        check_gradients(lambda ts: ts[0].sum(axis=(0, 2)), [a])
+
+    def test_mean_value(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(a.mean().data, a.data.mean(), rtol=1e-6)
+
+    def test_mean_axis_grad(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        check_gradients(lambda ts: ts[0].mean(axis=1), [a])
+
+    def test_max_forward(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        np.testing.assert_allclose(a.max(axis=1).data, a.data.max(axis=1))
+
+    def test_max_grad(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        check_gradients(lambda ts: ts[0].max(axis=1), [a])
+
+    def test_max_ties_split_gradient(self):
+        a = t([[2.0, 2.0, 1.0]])
+        a.max(axis=1).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+    def test_max_keepdims(self, rng):
+        a = t(rng.normal(size=(3, 4)))
+        assert a.max(axis=0, keepdims=True).shape == (1, 4)
+
+
+class TestIntrospection:
+    def test_repr_mentions_shape(self):
+        assert "shape=(2,)" in repr(Tensor([1.0, 2.0]))
+
+    def test_len_and_size(self):
+        a = Tensor(np.zeros((3, 4)))
+        assert len(a) == 3
+        assert a.size == 12
+        assert a.ndim == 2
+
+    def test_item(self):
+        assert Tensor([2.5]).item() == pytest.approx(2.5)
+
+    def test_numpy_shares_memory(self):
+        a = Tensor([1.0])
+        a.numpy()[0] = 9.0
+        assert a.data[0] == 9.0
+
+    def test_default_dtype_is_float32(self):
+        assert Tensor([1.0]).dtype == np.float32
+
+    def test_integer_payload_preserved(self):
+        assert Tensor(np.array([1, 2, 3])).dtype.kind in "iu"
+
+    def test_object_payload_rejected(self):
+        with pytest.raises(ShapeError):
+            Tensor(np.array(["a"], dtype=object))

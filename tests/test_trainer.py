@@ -1,0 +1,137 @@
+"""Unit tests for the Algorithm-1 trainer (fast, tiny models)."""
+
+import numpy as np
+import pytest
+
+from repro.data import ArrayDataset, DataLoader
+from repro.errors import ConfigError
+from repro.models import MLP
+from repro.optim import SGD
+from repro.slicing import (
+    FixedScheme,
+    RandomStaticScheme,
+    SliceTrainer,
+    StaticScheme,
+)
+
+
+def toy_problem(rng, n=64, dim=6, classes=3):
+    x = rng.normal(size=(n, dim)).astype(np.float32)
+    w = rng.normal(size=(dim, classes))
+    y = (x @ w).argmax(axis=1)
+    return ArrayDataset(x, y)
+
+
+@pytest.fixture
+def setup(rng):
+    data = toy_problem(rng)
+    model = MLP(6, [16, 16], 3, seed=0)
+    opt = SGD(model.parameters(), lr=0.1, momentum=0.9)
+    return data, model, opt
+
+
+class TestTrainBatch:
+    def test_returns_loss_per_scheduled_rate(self, setup, rng):
+        data, model, opt = setup
+        trainer = SliceTrainer(model, StaticScheme([0.5, 1.0]), opt, rng=rng)
+        losses = trainer.train_batch(data.inputs[:16], data.targets[:16])
+        assert set(losses) == {0.5, 1.0}
+        assert all(np.isfinite(v) for v in losses.values())
+
+    def test_single_step_changes_parameters(self, setup, rng):
+        data, model, opt = setup
+        before = model.head.weight.data.copy()
+        trainer = SliceTrainer(model, FixedScheme(1.0), opt, rng=rng)
+        trainer.train_batch(data.inputs[:16], data.targets[:16])
+        assert not np.allclose(before, model.head.weight.data)
+
+    def test_gradients_accumulate_across_rates(self, setup, rng):
+        """With two scheduled rates the update includes both subnets' grads."""
+        data, model, opt = setup
+        trainer = SliceTrainer(model, StaticScheme([0.25, 1.0]), opt, rng=rng)
+        trainer.train_batch(data.inputs[:16], data.targets[:16])
+        # Suffix neurons only belong to the full subnet: if accumulation
+        # works, both prefix and suffix weights moved.
+        layer = model.layers[0]
+        assert not np.allclose(layer.weight.data[:4], 0.0)
+
+    def test_scheme_type_checked(self, setup, rng):
+        data, model, opt = setup
+        with pytest.raises(ConfigError):
+            SliceTrainer(model, "static", opt)
+
+
+class TestTrainingLearns:
+    def test_loss_decreases(self, setup, rng):
+        data, model, opt = setup
+        trainer = SliceTrainer(model, FixedScheme(1.0), opt, rng=rng)
+        loader = lambda: DataLoader(data, 16, shuffle=True,
+                                    rng=np.random.default_rng(3))
+        first = trainer.train_epoch(loader())
+        for _ in range(15):
+            last = trainer.train_epoch(loader())
+        assert last[1.0] < first[1.0]
+
+    def test_sliced_training_learns_all_rates(self, setup, rng):
+        data, model, opt = setup
+        scheme = RandomStaticScheme([0.5, 1.0], num_random=0)
+        trainer = SliceTrainer(model, scheme, opt, rng=rng)
+        loader = lambda: DataLoader(data, 16, shuffle=True,
+                                    rng=np.random.default_rng(3))
+        for _ in range(20):
+            trainer.train_epoch(loader())
+        results = trainer.evaluate(loader(), rates=[0.5, 1.0])
+        assert results[0.5]["accuracy"] > 0.5
+        assert results[1.0]["accuracy"] > 0.5
+
+
+class TestEvaluate:
+    def test_metrics_structure(self, setup, rng):
+        data, model, opt = setup
+        trainer = SliceTrainer(model, FixedScheme(1.0), opt, rng=rng)
+        results = trainer.evaluate(DataLoader(data, 32), rates=[0.5, 1.0])
+        for rate in (0.5, 1.0):
+            metrics = results[rate]
+            assert 0.0 <= metrics["accuracy"] <= 1.0
+            assert metrics["error"] == pytest.approx(1 - metrics["accuracy"])
+            assert metrics["loss"] > 0
+
+    def test_evaluate_restores_eval_mode_consistency(self, setup, rng):
+        data, model, opt = setup
+        trainer = SliceTrainer(model, FixedScheme(1.0), opt, rng=rng)
+        trainer.evaluate(DataLoader(data, 32), rates=[1.0])
+        assert not model.training
+
+    def test_default_rates_from_scheme(self, setup, rng):
+        data, model, opt = setup
+        trainer = SliceTrainer(model, StaticScheme([0.5, 1.0]), opt, rng=rng)
+        results = trainer.evaluate(DataLoader(data, 32))
+        assert set(results) == {0.5, 1.0}
+
+
+class TestFit:
+    def test_history_records(self, setup, rng):
+        data, model, opt = setup
+        trainer = SliceTrainer(model, FixedScheme(1.0), opt, rng=rng)
+        loader = lambda: DataLoader(data, 32)
+        history = trainer.fit(loader, loader, epochs=2)
+        assert len(history) == 2
+        assert history[0].epoch == 0
+        assert 1.0 in history[0].eval_error
+
+    def test_epoch_hook_called(self, setup, rng):
+        data, model, opt = setup
+        trainer = SliceTrainer(model, FixedScheme(1.0), opt, rng=rng)
+        calls = []
+        trainer.fit(lambda: DataLoader(data, 32), epochs=3,
+                    epoch_hook=lambda rec, m: calls.append(rec.epoch))
+        assert calls == [0, 1, 2]
+
+    def test_lr_schedule_stepped(self, setup, rng):
+        from repro.optim import MultiStepLR
+        data, model, opt = setup
+        trainer = SliceTrainer(model, FixedScheme(1.0), opt, rng=rng)
+        schedule = MultiStepLR(opt, [1])
+        trainer.fit(lambda: DataLoader(data, 32), epochs=2,
+                    lr_schedule=schedule)
+        assert opt.lr == pytest.approx(0.01)

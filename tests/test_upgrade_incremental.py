@@ -1,0 +1,151 @@
+"""Unit tests for upgrade_model (Algorithm 1 step 0) and incremental
+widening (Sec. 3.5 computation reuse)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SliceRateError
+from repro.nn import BatchNorm2d, Conv2d, Linear, ReLU, Sequential
+from repro.slicing import (
+    MultiBatchNorm2d,
+    SlicedConv2d,
+    SlicedGroupNorm,
+    SlicedLinear,
+    slice_rate,
+    upgrade_model,
+)
+from repro.slicing.incremental import forward_narrow, full_cost, widen
+from repro.tensor import Tensor
+
+
+def plain_mlp(rng):
+    return Sequential(
+        Linear(6, 8, rng=rng), ReLU(),
+        Linear(8, 8, rng=rng), ReLU(),
+        Linear(8, 3, rng=rng),
+    )
+
+
+def plain_cnn(rng):
+    return Sequential(
+        Conv2d(3, 8, 3, padding=1, bias=False, rng=rng),
+        BatchNorm2d(8), ReLU(),
+        Conv2d(8, 8, 3, padding=1, bias=False, rng=rng),
+        BatchNorm2d(8), ReLU(),
+    )
+
+
+class TestUpgradeModel:
+    def test_linear_layers_replaced_weights_copied(self, rng):
+        plain = plain_mlp(rng)
+        reference = plain[0].weight.data.copy()
+        upgraded = upgrade_model(plain)
+        assert isinstance(upgraded[0], SlicedLinear)
+        np.testing.assert_allclose(upgraded[0].weight.data, reference)
+
+    def test_first_layer_input_not_sliced(self, rng):
+        upgraded = upgrade_model(plain_mlp(rng))
+        assert not upgraded[0].slice_input
+        assert upgraded[2].slice_input
+
+    def test_last_linear_output_not_sliced(self, rng):
+        upgraded = upgrade_model(plain_mlp(rng))
+        assert not upgraded[4].slice_output
+        assert upgraded[0].slice_output
+
+    def test_upgraded_model_runs_at_any_rate(self, rng):
+        upgraded = upgrade_model(plain_mlp(rng))
+        x = Tensor(rng.normal(size=(2, 6)).astype(np.float32))
+        full = upgraded(x)
+        with slice_rate(0.5):
+            narrow = upgraded(x)
+        assert full.shape == narrow.shape == (2, 3)
+
+    def test_full_rate_preserves_function(self, rng):
+        plain = plain_mlp(rng)
+        x = Tensor(rng.normal(size=(2, 6)).astype(np.float32))
+        before = plain(x).data.copy()
+        upgraded = upgrade_model(plain)
+        np.testing.assert_allclose(upgraded(x).data, before, rtol=1e-5)
+
+    def test_cnn_batchnorm_becomes_groupnorm(self, rng):
+        upgraded = upgrade_model(plain_cnn(rng))
+        assert isinstance(upgraded[0], SlicedConv2d)
+        assert isinstance(upgraded[1], SlicedGroupNorm)
+
+    def test_cnn_multi_bn_upgrade(self, rng):
+        upgraded = upgrade_model(plain_cnn(rng), rates=[0.5, 1.0],
+                                 norm="multi_bn")
+        assert isinstance(upgraded[1], MultiBatchNorm2d)
+
+    def test_multi_bn_requires_rates(self, rng):
+        with pytest.raises(ConfigError):
+            upgrade_model(plain_cnn(rng), norm="multi_bn")
+
+    def test_unknown_norm_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            upgrade_model(plain_cnn(rng), norm="layer")
+
+    def test_model_without_transforms_rejected(self):
+        with pytest.raises(ConfigError):
+            upgrade_model(Sequential(ReLU()))
+
+
+class TestIncrementalWidening:
+    def make_layer(self, rng, rescale=False):
+        layer = SlicedLinear(16, 16, rescale=rescale,
+                             rng=np.random.default_rng(0))
+        return layer
+
+    def test_exact_widening_matches_direct(self, rng):
+        layer = self.make_layer(rng)
+        x_wide = rng.normal(size=(4, 16)).astype(np.float32)
+        x_narrow = x_wide[:, :8]
+        _, state = forward_narrow(layer, x_narrow, 0.5)
+        widened, _ = widen(layer, x_wide, 1.0, state, exact=True)
+        with slice_rate(1.0):
+            direct = layer(Tensor(x_wide)).data
+        np.testing.assert_allclose(widened, direct, rtol=1e-4, atol=1e-5)
+
+    def test_approximate_widening_matches_when_inputs_prefix(self, rng):
+        """With the narrow input a true prefix, ya reuse is exact."""
+        layer = self.make_layer(rng)
+        x_wide = rng.normal(size=(4, 16)).astype(np.float32)
+        _, state = forward_narrow(layer, x_wide[:, :8], 0.5)
+        approx, _ = widen(layer, x_wide, 1.0, state, exact=False)
+        with slice_rate(1.0):
+            direct = layer(Tensor(x_wide)).data
+        np.testing.assert_allclose(approx, direct, rtol=1e-4, atol=1e-5)
+
+    def test_approximate_widening_with_rescale(self, rng):
+        layer = self.make_layer(rng, rescale=True)
+        x_wide = rng.normal(size=(4, 16)).astype(np.float32)
+        _, state = forward_narrow(layer, x_wide[:, :8], 0.5)
+        approx, _ = widen(layer, x_wide, 1.0, state, exact=False)
+        with slice_rate(1.0):
+            direct = layer(Tensor(x_wide)).data
+        np.testing.assert_allclose(approx, direct, rtol=1e-3, atol=1e-4)
+
+    def test_flops_saved_vs_full_recompute(self, rng):
+        layer = self.make_layer(rng)
+        x_wide = rng.normal(size=(4, 16)).astype(np.float32)
+        _, state = forward_narrow(layer, x_wide[:, :8], 0.5)
+        _, spent = widen(layer, x_wide, 1.0, state, exact=False)
+        full = full_cost(layer, 4, 1.0)
+        narrow = full_cost(layer, 4, 0.5)
+        assert spent == full - narrow
+
+    def test_cannot_widen_downward(self, rng):
+        layer = self.make_layer(rng)
+        x = rng.normal(size=(2, 16)).astype(np.float32)
+        _, state = forward_narrow(layer, x, 1.0)
+        with pytest.raises(SliceRateError):
+            widen(layer, x[:, :8], 0.5, state)
+
+    def test_same_rate_widening_is_identity(self, rng):
+        layer = self.make_layer(rng)
+        x = rng.normal(size=(2, 16)).astype(np.float32)
+        narrow, state = forward_narrow(layer, x[:, :8], 0.5)
+        again, spent = widen(layer, x[:, :8], 0.5, state, exact=False)
+        np.testing.assert_allclose(again, narrow, rtol=1e-5)
+        assert spent == 0

@@ -1,0 +1,98 @@
+"""Unit tests for utilities: seeding, tables, serialization."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import MLP
+from repro.utils import (
+    child_rngs,
+    format_table,
+    load_model,
+    rng_from,
+    save_model,
+)
+
+
+class TestSeeding:
+    def test_rng_from_deterministic(self):
+        assert rng_from(3).random() == rng_from(3).random()
+
+    def test_child_rngs_independent(self):
+        a, b = child_rngs(0, 2)
+        assert a.random() != b.random()
+
+    def test_child_rngs_reproducible(self):
+        first = [g.random() for g in child_rngs(7, 3)]
+        second = [g.random() for g in child_rngs(7, 3)]
+        assert first == second
+
+
+class TestTables:
+    def test_contains_headers_and_rows(self):
+        text = format_table(["a", "b"], [[1, 2.5], ["x", 3]])
+        assert "a" in text and "b" in text
+        assert "2.5" in text and "x" in text
+
+    def test_title_rendered(self):
+        text = format_table(["a"], [[1]], title="Table 1")
+        assert text.startswith("Table 1")
+
+    def test_columns_aligned(self):
+        text = format_table(["col", "x"], [["long-value", 1]])
+        lines = text.splitlines()
+        assert lines[0].index("|") == lines[2].index("|")
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in text
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path, rng):
+        model = MLP(6, [8], 3, seed=0)
+        path = os.path.join(tmp_path, "ckpt", "model.npz")
+        save_model(model, path)
+        fresh = MLP(6, [8], 3, seed=99)
+        load_model(fresh, path)
+        np.testing.assert_allclose(fresh.head.weight.data,
+                                   model.head.weight.data)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_model(MLP(6, [8], 3), os.path.join(tmp_path, "nope.npz"))
+
+    def test_mismatched_model_raises(self, tmp_path):
+        model = MLP(6, [8], 3, seed=0)
+        path = os.path.join(tmp_path, "model.npz")
+        save_model(model, path)
+        with pytest.raises(ConfigError):
+            load_model(MLP(6, [16], 3), path)
+
+
+class TestExperimentCache:
+    def test_get_or_compute_caches(self, tmp_path):
+        from repro.experiments import ExperimentCache
+        cache = ExperimentCache(root=str(tmp_path))
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return {"x": 1}
+
+        first = cache.get_or_compute("k", compute)
+        second = cache.get_or_compute("k", compute)
+        assert first == second == {"x": 1}
+        assert len(calls) == 1
+
+    def test_numpy_values_serialized(self, tmp_path):
+        from repro.experiments import ExperimentCache
+        cache = ExperimentCache(root=str(tmp_path))
+        cache.put("k", {"a": np.float64(1.5), "b": np.arange(3)})
+        assert cache.get("k") == {"a": 1.5, "b": [0, 1, 2]}
+
+    def test_missing_key_returns_none(self, tmp_path):
+        from repro.experiments import ExperimentCache
+        assert ExperimentCache(root=str(tmp_path)).get("nope") is None
