@@ -1,0 +1,180 @@
+"""Continuous-time serving of a real sliced model on a replica pool.
+
+The production-shaped version of ``dynamic_workload.py``: instead of the
+paper's fixed ``T/2`` window simulator, requests flow through the full
+runtime — bounded admission queue, dynamic batching (size or timeout),
+a three-replica pool with slice-rate-aware dispatch, and deterministic
+fault injection (one replica crashes mid-run).  Replicas execute the
+*actual* trained sliced model on each batch, so the report contains
+measured accuracy alongside the rate-table expectation.
+
+Latency calibration is honest about shape but scaled in magnitude: the
+per-rate service-time curve is the *measured* p95 of the trained model
+(``repro.metrics.latency_table``), normalized so the full-width
+per-sample cost is 2 ms — i.e. we serve a model ~100x larger with this
+model's measured cost profile, which keeps the workload at a realistic
+queries-per-second scale.  The same measured curve calibrates the
+controllers (``cost_of_rate``), so the degradation policy plans with the
+real speedup of slicing rather than the idealized quadratic model.
+
+Run:  python examples/runtime_serving.py   (~1 minute on one CPU core)
+"""
+
+import json
+
+import numpy as np
+
+from repro import MLP, RandomStaticScheme, SliceTrainer
+from repro.data import ArrayDataset, DataLoader
+from repro.metrics import latency_table
+from repro.optim import SGD
+from repro.runtime import (
+    FaultPlan,
+    InferenceRuntime,
+    LatencyProfile,
+    Replica,
+    ReplicaPool,
+    RuntimeConfig,
+)
+from repro.serving import (
+    FixedRateController,
+    SliceRateController,
+    diurnal_rate,
+    generate_arrivals,
+    peak_to_trough,
+    spike_rate,
+)
+
+RATES = [0.25, 0.5, 0.75, 1.0]
+FULL_LATENCY = 0.002       # virtual full-width per-sample seconds
+LATENCY_SLO = 0.1          # end-to-end deadline per request
+DURATION = 60.0
+CRASH_TIME = 18.0          # mid-spike, while the pool is under pressure
+REPLICA_SKEWS = (1.0, 1.06, 0.95)   # mildly heterogeneous machines
+REPORT_PATH = "runtime_telemetry.json"
+
+
+def make_task(seed=0):
+    """A teacher task hard enough that width buys accuracy.
+
+    Labels come from a random two-layer tanh teacher; samples too close
+    to the teacher's decision boundary are discarded so the labels are
+    clean and the accuracy ceiling is meaningfully above chance.
+    """
+    rng = np.random.default_rng(seed)
+    w1 = rng.normal(size=(32, 128))
+    w2 = rng.normal(size=(128, 4))
+    x = rng.normal(size=(8000, 32)).astype(np.float32)
+    logits = np.tanh(x @ w1) @ w2
+    top2 = np.partition(logits, -2, axis=1)
+    keep = (top2[:, -1] - top2[:, -2]) > 1.0
+    x, logits = x[keep][:2560], logits[keep][:2560]
+    return x, logits.argmax(axis=1)
+
+
+def train_model(seed=0, epochs=25):
+    x, y = make_task(seed)
+    train = ArrayDataset(x[:2048], y[:2048])
+    model = MLP(32, [256, 256], 4, seed=seed)
+    trainer = SliceTrainer(model, RandomStaticScheme(RATES, num_random=1),
+                           SGD(model.parameters(), lr=0.05, momentum=0.9),
+                           rng=np.random.default_rng(seed))
+    print(f"training the sliced model for {epochs} epochs ...")
+    trainer.fit(lambda: DataLoader(train, 64, shuffle=True,
+                                   rng=np.random.default_rng(seed + 1)),
+                epochs=epochs)
+    test_inputs, test_labels = x[2048:], y[2048:]
+    results = trainer.evaluate(
+        DataLoader(ArrayDataset(test_inputs, test_labels), 256), rates=RATES)
+    accuracy = {rate: m["accuracy"] for rate, m in results.items()}
+    return model, accuracy, test_inputs, test_labels
+
+
+def calibrate_profile(model, rng):
+    """Measured p95 latency shape, scaled to FULL_LATENCY per sample."""
+    batch = rng.normal(size=(256, 32)).astype(np.float32)
+    table = latency_table(model, batch, RATES, repeats=7)
+    full_p95 = table[1.0]["p95"]
+    per_rate = {rate: FULL_LATENCY * entry["p95"] / full_p95
+                for rate, entry in table.items()}
+    return per_rate
+
+
+def build_pool(model, per_rate, seed):
+    replicas = []
+    for i, skew in enumerate(REPLICA_SKEWS):
+        profile = LatencyProfile(
+            per_rate={r: v * skew for r, v in per_rate.items()})
+        replicas.append(Replica(f"r{i}", profile, model=model))
+    return ReplicaPool(replicas, dispatch="least-loaded", seed=seed)
+
+
+def main() -> None:
+    model, accuracy_of_rate, test_inputs, test_labels = train_model()
+    print("measured accuracy per width:",
+          {r: round(a, 3) for r, a in sorted(accuracy_of_rate.items())})
+    per_rate = calibrate_profile(model, np.random.default_rng(9))
+    print("calibrated per-sample p95 (scaled):",
+          {r: f"{v * 1e3:.3f}ms" for r, v in sorted(per_rate.items())})
+    # Controllers plan against the slowest machine in the pool.
+    plan_cost = {r: v * max(REPLICA_SKEWS) for r, v in per_rate.items()}
+
+    base = diurnal_rate(base=100.0, peak_ratio=16.0, period=60.0)
+    intensity = spike_rate(base, [(12.0, 10.0, 2.0)])
+    arrivals = generate_arrivals(intensity, DURATION,
+                                 rng=np.random.default_rng(3))
+    plan = FaultPlan.single_crash("r1", CRASH_TIME)
+    print(f"\nworkload: {len(arrivals)} queries over {DURATION:.0f}s, "
+          f"{peak_to_trough(intensity, DURATION):.1f}x peak-to-trough; "
+          f"replica r1 crashes at t={CRASH_TIME:.0f}s")
+
+    policies = {
+        "model slicing (elastic)": SliceRateController(
+            RATES, FULL_LATENCY, LATENCY_SLO, cost_of_rate=plan_cost),
+        "fixed full width": FixedRateController(
+            1.0, FULL_LATENCY, LATENCY_SLO, cost_of_rate=plan_cost),
+        "fixed quarter width": FixedRateController(
+            0.25, FULL_LATENCY, LATENCY_SLO, cost_of_rate=plan_cost),
+    }
+    print(f"\n{'policy':<24} {'dropped':>8} {'goodput':>8} {'p50':>8} "
+          f"{'p95':>8} {'p99':>8} {'retries':>8} {'good*acc':>9}")
+    scores = {}
+    elastic_report = None
+    for name, controller in policies.items():
+        pool = build_pool(model, per_rate, seed=0)
+        config = RuntimeConfig(latency_slo=LATENCY_SLO, max_batch_size=128,
+                               batch_timeout=0.01, seed=0)
+        runtime = InferenceRuntime(pool, controller, config,
+                                   accuracy_of_rate, fault_plan=plan,
+                                   inputs=test_inputs, labels=test_labels)
+        report = runtime.run(arrivals, DURATION)
+        scores[name] = report.goodput_weighted_accuracy
+        if elastic_report is None:
+            elastic_report = report
+        tails = report.latency_percentiles()
+        print(f"{name:<24} {report.drop_fraction:>8.2%} "
+              f"{report.goodput:>8.1f} {tails['p50'] * 1e3:>6.1f}ms "
+              f"{tails['p95'] * 1e3:>6.1f}ms {tails['p99'] * 1e3:>6.1f}ms "
+              f"{report.retries:>8} {scores[name]:>9.3f}")
+
+    elastic = scores["model slicing (elastic)"]
+    assert elastic > scores["fixed full width"], "elastic must beat fixed-full"
+    assert elastic > scores["fixed quarter width"], \
+        "elastic must beat fixed-quarter"
+    print(f"\nmeasured accuracy of completed requests (elastic): "
+          f"{elastic_report.measured_accuracy:.3f}")
+
+    with open(REPORT_PATH, "w") as handle:
+        handle.write(elastic_report.to_json())
+    summary = json.loads(elastic_report.to_json(include_traces=False))
+    print(f"telemetry report ({len(elastic_report.traces)} per-request "
+          f"traces, p50/p95/p99 latency) written to {REPORT_PATH}")
+    print("latency percentiles:", {k: f"{v * 1e3:.1f}ms"
+                                   for k, v in summary["latency"].items()})
+    print("\nThe elastic policy rides out the spike and the crash by"
+          " slicing down and failing over; fixed-full misses deadlines"
+          " at peak, fixed-quarter wastes accuracy all day.")
+
+
+if __name__ == "__main__":
+    main()

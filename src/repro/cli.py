@@ -12,6 +12,10 @@ Commands
     benchmark, without pytest).
 ``serve-demo``
     Run the Sec. 4.1 dynamic-workload serving simulation.
+``runtime``
+    Run the continuous-time multi-replica runtime: dynamic batching,
+    slice-rate-aware dispatch, one injected replica crash, and a JSON
+    telemetry report (``--json``).
 """
 
 from __future__ import annotations
@@ -141,6 +145,77 @@ def _cmd_serve_demo(args) -> int:
     return 0
 
 
+def _cmd_runtime(args) -> int:
+    import numpy as np
+
+    from .runtime import (
+        FaultPlan,
+        InferenceRuntime,
+        LatencyProfile,
+        Replica,
+        ReplicaPool,
+        RuntimeConfig,
+    )
+    from .serving import (
+        FixedRateController,
+        SliceRateController,
+        diurnal_rate,
+        generate_arrivals,
+        spike_rate,
+    )
+
+    if args.replicas < 1:
+        print("--replicas must be >= 1", file=sys.stderr)
+        return 2
+    rates = [0.25, 0.5, 0.75, 1.0]
+    accuracy = {0.25: 0.62, 0.5: 0.85, 0.75: 0.91, 1.0: 0.94}
+    full_latency, slo = 0.002, 0.1
+    intensity = spike_rate(
+        diurnal_rate(args.base_rate, args.peak_ratio, 60.0),
+        [(args.duration * 0.25, args.duration * 0.1, 2.0)])
+    arrivals = generate_arrivals(intensity, args.duration,
+                                 np.random.default_rng(args.seed))
+    crash_id = f"r{min(1, args.replicas - 1)}"  # must exist in the pool
+    plan = FaultPlan() if args.no_faults else FaultPlan.single_crash(
+        crash_id, args.crash_time if args.crash_time is not None
+        else args.duration * 0.3)
+    print(f"{len(arrivals)} queries over {args.duration}s, "
+          f"{args.replicas} replicas, "
+          f"faults={'none' if args.no_faults else 'one crash'}\n")
+
+    controllers = {
+        "model slicing": SliceRateController(rates, full_latency, slo),
+        "fixed full": FixedRateController(1.0, full_latency, slo),
+        "fixed small": FixedRateController(0.25, full_latency, slo),
+    }
+    print(f"{'policy':<14} {'dropped':>8} {'goodput':>9} {'p50':>8} "
+          f"{'p99':>8} {'retries':>8} {'good*acc':>9}")
+    elastic_report = None
+    for name, controller in controllers.items():
+        pool = ReplicaPool(
+            [Replica(f"r{i}", LatencyProfile(full_latency))
+             for i in range(args.replicas)],
+            dispatch=args.dispatch, seed=args.seed)
+        config = RuntimeConfig(latency_slo=slo, max_batch_size=400,
+                               batch_timeout=args.batch_timeout,
+                               dispatch=args.dispatch, seed=args.seed)
+        runtime = InferenceRuntime(pool, controller, config, accuracy,
+                                   fault_plan=plan)
+        report = runtime.run(arrivals, args.duration)
+        if name == "model slicing":
+            elastic_report = report
+        tails = report.latency_percentiles()
+        print(f"{name:<14} {report.drop_fraction:>8.2%} "
+              f"{report.goodput:>9.1f} {tails['p50'] * 1e3:>6.1f}ms "
+              f"{tails['p99'] * 1e3:>6.1f}ms {report.retries:>8} "
+              f"{report.goodput_weighted_accuracy:>9.3f}")
+    if args.json and elastic_report is not None:
+        with open(args.json, "w") as handle:
+            handle.write(elastic_report.to_json())
+        print(f"\nelastic policy telemetry written to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -167,6 +242,25 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--duration", type=float, default=120.0)
     serve.add_argument("--seed", type=int, default=0)
 
+    runtime = sub.add_parser(
+        "runtime",
+        help="run the continuous-time multi-replica serving runtime")
+    runtime.add_argument("--replicas", type=int, default=3)
+    runtime.add_argument("--base-rate", type=float, default=100.0)
+    runtime.add_argument("--peak-ratio", type=float, default=16.0)
+    runtime.add_argument("--duration", type=float, default=60.0)
+    runtime.add_argument("--batch-timeout", type=float, default=0.01)
+    runtime.add_argument("--dispatch", default="least-loaded",
+                         choices=["least-loaded", "power-of-two"])
+    runtime.add_argument("--crash-time", type=float, default=None,
+                         help="when the injected crash fires "
+                              "(default: 30%% into the run)")
+    runtime.add_argument("--no-faults", action="store_true")
+    runtime.add_argument("--seed", type=int, default=0)
+    runtime.add_argument("--json", default=None, metavar="PATH",
+                         help="write the elastic policy's telemetry "
+                              "report as JSON")
+
     return parser
 
 
@@ -177,6 +271,7 @@ def main(argv: list[str] | None = None) -> int:
         "demo": _cmd_demo,
         "reproduce": _cmd_reproduce,
         "serve-demo": _cmd_serve_demo,
+        "runtime": _cmd_runtime,
     }
     return handlers[args.command](args)
 

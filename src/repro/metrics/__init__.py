@@ -4,7 +4,12 @@ from .classification import accuracy, error_rate, top_k_accuracy
 from .lm import perplexity
 from .consistency import inclusion_coefficient, inclusion_matrix
 from .flops import active_params, cost_table, measured_flops
-from .latency import calibrate_full_latency, latency_table, measure_latency
+from .latency import (
+    calibrate_full_latency,
+    latency_table,
+    measure_latency,
+    measure_latency_stats,
+)
 
 __all__ = [
     "accuracy",
@@ -17,6 +22,7 @@ __all__ = [
     "cost_table",
     "measured_flops",
     "measure_latency",
+    "measure_latency_stats",
     "latency_table",
     "calibrate_full_latency",
 ]

@@ -1,10 +1,12 @@
 """Wall-clock latency measurement per slice rate.
 
-FLOPs predict cost analytically; this module measures it: median forward
-wall-clock over repeated runs, per rate, with warm-up.  Used by the
-serving example to calibrate ``t`` (the full-model per-sample latency the
-controller of Sec. 4.1 needs) and by the Table 4 bench to show the
-promised quadratic saving is real on this machine.
+FLOPs predict cost analytically; this module measures it: forward
+wall-clock over repeated runs, per rate, with warm-up.  Beyond the
+median, :func:`measure_latency_stats` and :func:`latency_table` report
+tail percentiles (p50/p95/p99) — the serving runtime calibrates each
+replica's :class:`~repro.runtime.replica.LatencyProfile` from the p95
+column, because a controller planning against the median misses its SLO
+on every slow forward.
 """
 
 from __future__ import annotations
@@ -18,10 +20,12 @@ from ..nn.module import Module
 from ..slicing.context import slice_rate
 from ..tensor import Tensor, no_grad
 
+PERCENTILES = (50, 95, 99)
 
-def measure_latency(model: Module, inputs: np.ndarray, rate: float,
-                    repeats: int = 5, warmup: int = 1) -> float:
-    """Median forward wall-clock (seconds) at ``rate`` for ``inputs``."""
+
+def _forward_times(model: Module, inputs: np.ndarray, rate: float,
+                   repeats: int, warmup: int) -> list[float]:
+    """Raw forward wall-clock samples (seconds) at ``rate``."""
     if repeats < 1:
         raise ConfigError("repeats must be >= 1")
     was_training = model.training
@@ -39,25 +43,60 @@ def measure_latency(model: Module, inputs: np.ndarray, rate: float,
                     times.append(time.perf_counter() - start)
     finally:
         model.train(was_training)
-    return float(np.median(times))
+    return times
+
+
+def measure_latency(model: Module, inputs: np.ndarray, rate: float,
+                    repeats: int = 5, warmup: int = 1) -> float:
+    """Median forward wall-clock (seconds) at ``rate`` for ``inputs``."""
+    return float(np.median(_forward_times(model, inputs, rate,
+                                          repeats, warmup)))
+
+
+def measure_latency_stats(model: Module, inputs: np.ndarray, rate: float,
+                          repeats: int = 5, warmup: int = 1
+                          ) -> dict[str, float]:
+    """Percentile statistics of the forward wall-clock at ``rate``.
+
+    Returns ``{"p50", "p95", "p99", "mean", "min", "max"}`` in seconds.
+    """
+    times = np.asarray(_forward_times(model, inputs, rate, repeats, warmup))
+    stats = {f"p{p}": float(np.percentile(times, p)) for p in PERCENTILES}
+    stats["mean"] = float(times.mean())
+    stats["min"] = float(times.min())
+    stats["max"] = float(times.max())
+    return stats
 
 
 def latency_table(model: Module, inputs: np.ndarray,
                   rates: list[float], repeats: int = 5
                   ) -> dict[float, dict[str, float]]:
-    """Per-rate latency with per-sample cost and fraction of full."""
+    """Per-rate latency with per-sample cost, fraction of full, and tails.
+
+    Each entry carries the median-derived columns (``latency``,
+    ``per_sample``, ``fraction_of_full``), the percentile columns
+    (``p50``/``p95``/``p99``, whole-batch seconds), and ``samples`` (the
+    batch size), so consumers can derive per-sample tail latencies —
+    see :meth:`repro.runtime.LatencyProfile.from_latency_table`.
+    """
     rates = sorted(set(float(r) for r in rates))
     results: dict[float, dict[str, float]] = {}
     full = None
     for rate in sorted(rates, reverse=True):
-        total = measure_latency(model, inputs, rate, repeats=repeats)
+        times = np.asarray(_forward_times(model, inputs, rate,
+                                          repeats=repeats, warmup=1))
+        total = float(np.median(times))
         if full is None:
             full = total
-        results[rate] = {
+        entry = {
             "latency": total,
             "per_sample": total / len(inputs),
             "fraction_of_full": total / full,
+            "samples": float(len(inputs)),
         }
+        for p in PERCENTILES:
+            entry[f"p{p}"] = float(np.percentile(times, p))
+        results[rate] = entry
     return results
 
 

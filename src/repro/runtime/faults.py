@@ -1,0 +1,119 @@
+"""Deterministic fault injection for the runtime.
+
+A :class:`FaultPlan` is an explicit, time-ordered list of events — the
+engine replays it against the replica pool, so a plan plus a seed fully
+determines every run's telemetry (the acceptance criterion: two runs
+with the same seed are byte-identical).
+
+Fault kinds
+-----------
+``crash``
+    The replica dies permanently.  An in-flight batch fails at the crash
+    instant (observed failure → immediate quarantine); an idle crashed
+    replica keeps receiving dispatches, each wasting a detection timeout,
+    until a health check quarantines it.
+``slowdown``
+    Service times multiply by ``factor`` for ``duration`` seconds
+    (thermal throttling, noisy neighbour).  Dispatch scores see the
+    slowdown, so load shifts away from the degraded replica.
+``timeout``
+    Transient stall: every execution started inside the window fails
+    after the detection timeout, but the replica stays in rotation and
+    recovers when the window closes.
+
+:meth:`FaultPlan.random` draws a plan from a seeded generator for
+randomized-but-reproducible chaos testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..errors import ServingError
+
+KINDS = ("crash", "slowdown", "timeout")
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault."""
+
+    time: float
+    kind: str
+    replica_id: str
+    duration: float = 0.0
+    factor: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ServingError(
+                f"unknown fault kind {self.kind!r}; choose from {KINDS}")
+        if self.time < 0:
+            raise ServingError("fault time must be >= 0")
+        if self.kind in ("slowdown", "timeout") and self.duration <= 0:
+            raise ServingError(f"{self.kind} fault needs a positive duration")
+        if self.kind == "slowdown" and self.factor < 1.0:
+            raise ServingError("slowdown factor must be >= 1")
+
+
+class FaultPlan:
+    """A deterministic, time-ordered fault schedule."""
+
+    def __init__(self, events: Sequence[FaultEvent] = ()):
+        self.events = sorted(events,
+                             key=lambda e: (e.time, e.replica_id, e.kind))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def for_replica(self, replica_id: str) -> list[FaultEvent]:
+        return [e for e in self.events if e.replica_id == replica_id]
+
+    @classmethod
+    def single_crash(cls, replica_id: str, time: float) -> "FaultPlan":
+        """The benchmark scenario: one replica dies at ``time``."""
+        return cls([FaultEvent(time=time, kind="crash",
+                               replica_id=replica_id)])
+
+    @classmethod
+    def random(cls, seed: int, duration: float,
+               replica_ids: Sequence[str], crashes: int = 1,
+               slowdowns: int = 1, timeouts: int = 1,
+               slowdown_factor: float = 3.0,
+               window: float | None = None) -> "FaultPlan":
+        """Draw a reproducible plan from a seeded generator.
+
+        At most one crash per replica (and never every replica, so the
+        service can always limp along); slowdown/timeout windows default
+        to 10% of the run each.
+        """
+        if duration <= 0:
+            raise ServingError("duration must be positive")
+        rng = np.random.default_rng(seed)
+        ids = list(replica_ids)
+        window = duration / 10.0 if window is None else window
+        events: list[FaultEvent] = []
+        crashes = min(crashes, max(len(ids) - 1, 0))
+        crash_ids = rng.choice(len(ids), size=crashes, replace=False) \
+            if crashes else []
+        for index in crash_ids:
+            events.append(FaultEvent(
+                time=float(rng.uniform(0.2, 0.8) * duration),
+                kind="crash", replica_id=ids[int(index)]))
+        for _ in range(slowdowns):
+            events.append(FaultEvent(
+                time=float(rng.uniform(0.0, duration - window)),
+                kind="slowdown", replica_id=ids[int(rng.integers(len(ids)))],
+                duration=window, factor=slowdown_factor))
+        for _ in range(timeouts):
+            events.append(FaultEvent(
+                time=float(rng.uniform(0.0, duration - window)),
+                kind="timeout", replica_id=ids[int(rng.integers(len(ids)))],
+                duration=window))
+        return cls(events)

@@ -1,0 +1,130 @@
+"""Bounded admission queue with deadlines and backpressure.
+
+Requests wait here between arrival and batching, ordered by arrival time
+(retried requests re-enter with their original arrival timestamp, so
+they move to the front rather than the back).  The queue is bounded;
+when full it applies one of two backpressure policies:
+
+* ``"reject"`` — bounce the new arrival (classic admission control);
+* ``"shed-oldest"`` — evict the longest-waiting request to make room,
+  on the theory that the oldest request is the closest to missing its
+  deadline anyway.
+
+The queue never decides outcomes itself — it *returns* rejected / shed /
+expired traces and the engine stamps them — so all accounting lives in
+one place.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+from ..errors import ServingError
+from .telemetry import RequestTrace
+
+POLICIES = ("reject", "shed-oldest")
+
+_EPS = 1e-9
+
+
+class AdmissionQueue:
+    """FIFO-by-arrival bounded queue of :class:`RequestTrace` objects."""
+
+    def __init__(self, capacity: int, policy: str = "reject"):
+        if capacity < 1:
+            raise ServingError(f"queue capacity must be >= 1, got {capacity}")
+        if policy not in POLICIES:
+            raise ServingError(
+                f"unknown queue policy {policy!r}; choose from {POLICIES}")
+        self.capacity = capacity
+        self.policy = policy
+        self._items: list[RequestTrace] = []
+        self._keys: list[tuple[float, int]] = []   # (arrival, request_id)
+
+    # -- introspection --------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, request: RequestTrace) -> bool:
+        return request in self._items
+
+    @property
+    def depth(self) -> int:
+        return len(self._items)
+
+    @property
+    def backpressure(self) -> float:
+        """Queue fullness in [0, 1]; 1.0 means the next offer sheds/rejects."""
+        return len(self._items) / self.capacity
+
+    def oldest_wait(self, now: float) -> float:
+        """Seconds the head request has been waiting (0.0 if empty)."""
+        if not self._items:
+            return 0.0
+        head = self._items[0]
+        reference = head.enqueued if head.enqueued is not None else head.arrival
+        return max(now - reference, 0.0)
+
+    # -- mutation -------------------------------------------------------
+    def offer(self, request: RequestTrace, now: float
+              ) -> tuple[bool, list[RequestTrace]]:
+        """Try to admit ``request`` at time ``now``.
+
+        Returns ``(admitted, shed)`` where ``shed`` lists requests the
+        shed-oldest policy evicted to make room.  A request offered past
+        its deadline is refused (``admitted`` False, nothing shed); the
+        engine records it as expired.
+        """
+        if request.deadline <= now + _EPS:
+            return False, []
+        shed: list[RequestTrace] = []
+        if len(self._items) >= self.capacity:
+            if self.policy == "reject":
+                return False, []
+            shed.append(self._pop_index(0))
+        request.enqueued = now
+        self._insert(request)
+        return True, shed
+
+    def push_back(self, requests: list[RequestTrace]) -> None:
+        """Re-insert already-admitted requests (batch leftovers).
+
+        Bypasses capacity checks: these requests were admitted and merely
+        borrowed by a batching attempt that could not serve all of them.
+        """
+        for request in requests:
+            self._insert(request)
+
+    def pop(self, count: int, now: float
+            ) -> tuple[list[RequestTrace], list[RequestTrace]]:
+        """Take up to ``count`` live requests from the front.
+
+        Returns ``(taken, expired)``: requests whose deadline has already
+        passed are skimmed off and returned separately instead of being
+        handed to a batch they can no longer meet.
+        """
+        expired = self.expire(now)
+        taken = [self._pop_index(0) for _ in range(min(count, len(self._items)))]
+        return taken, expired
+
+    def expire(self, now: float) -> list[RequestTrace]:
+        """Remove and return every queued request whose deadline passed."""
+        expired = [r for r in self._items if r.deadline <= now + _EPS]
+        if expired:
+            dead = set(id(r) for r in expired)
+            kept = [(k, r) for k, r in zip(self._keys, self._items)
+                    if id(r) not in dead]
+            self._keys = [k for k, _ in kept]
+            self._items = [r for _, r in kept]
+        return expired
+
+    # -- internals ------------------------------------------------------
+    def _insert(self, request: RequestTrace) -> None:
+        key = (request.arrival, request.request_id)
+        index = bisect.bisect(self._keys, key)
+        self._keys.insert(index, key)
+        self._items.insert(index, request)
+
+    def _pop_index(self, index: int) -> RequestTrace:
+        self._keys.pop(index)
+        return self._items.pop(index)

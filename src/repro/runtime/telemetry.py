@@ -1,0 +1,223 @@
+"""Structured per-request telemetry for the inference runtime.
+
+Every request that enters the runtime carries one :class:`RequestTrace`
+from admission to final outcome: enqueue / batch / execute / complete
+timestamps, the slice rate it was served at, the replica that served it,
+and how it ended.  A :class:`RuntimeReport` aggregates the traces into
+the operational quantities the Sec. 4.1 application cares about —
+latency percentiles, goodput, drop fraction, and delivered (expected)
+accuracy — and exports everything as JSON for benchmarks.
+
+The record types here are shared: :mod:`repro.serving.simulator` reuses
+:func:`percentiles` for its own report export, and the runtime engine
+reuses the simulator's nearest-rate accuracy lookup, so both pipelines
+account accuracy and latency the same way.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+# Terminal outcomes of a request.  ``pending`` is the transient state a
+# trace holds between admission and its final event.
+OUTCOME_COMPLETED = "completed"   # executed; may still have missed its deadline
+OUTCOME_REJECTED = "rejected"     # bounced at admission (queue full, reject policy)
+OUTCOME_SHED = "shed"             # evicted by a newer arrival (shed-oldest policy)
+OUTCOME_EXPIRED = "expired"       # deadline passed while waiting in the queue
+OUTCOME_FAILED = "failed"         # retries exhausted after replica failures
+OUTCOMES = (OUTCOME_COMPLETED, OUTCOME_REJECTED, OUTCOME_SHED,
+            OUTCOME_EXPIRED, OUTCOME_FAILED)
+
+_EPS = 1e-9
+
+
+def percentiles(values: Iterable[float],
+                ps: Sequence[int] = (50, 95, 99)) -> dict[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` of ``values`` (0.0 if empty)."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        return {f"p{p}": 0.0 for p in ps}
+    return {f"p{p}": float(np.percentile(data, p)) for p in ps}
+
+
+@dataclass
+class RequestTrace:
+    """Lifecycle record of one request (also the runtime's request object).
+
+    ``payload`` and ``rate_cap`` are operational fields, not telemetry:
+    ``payload`` indexes the request's input row when the runtime executes
+    a real model, and ``rate_cap`` bounds the slice rate of a retried
+    request (retry-with-downgrade) — a retried request is never re-run
+    wider than its failed attempt.
+    """
+
+    request_id: int
+    arrival: float
+    deadline: float
+    enqueued: float | None = None
+    batched: float | None = None
+    started: float | None = None
+    completed: float | None = None
+    rate: float | None = None
+    replica: str | None = None
+    outcome: str = "pending"
+    attempts: int = 0
+    expected_accuracy: float = 0.0
+    correct: bool | None = None
+    payload: int | None = None
+    rate_cap: float | None = field(default=None, repr=False)
+
+    @property
+    def latency(self) -> float | None:
+        """End-to-end latency (arrival to completion), if completed."""
+        if self.completed is None:
+            return None
+        return self.completed - self.arrival
+
+    @property
+    def deadline_met(self) -> bool:
+        return (self.completed is not None
+                and self.completed <= self.deadline + _EPS)
+
+    @property
+    def retried(self) -> bool:
+        return self.attempts > 1
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "arrival": self.arrival,
+            "deadline": self.deadline,
+            "enqueued": self.enqueued,
+            "batched": self.batched,
+            "started": self.started,
+            "completed": self.completed,
+            "latency": self.latency,
+            "rate": self.rate,
+            "replica": self.replica,
+            "outcome": self.outcome,
+            "attempts": self.attempts,
+            "deadline_met": self.deadline_met,
+            "expected_accuracy": self.expected_accuracy,
+            "correct": self.correct,
+        }
+
+
+@dataclass
+class RuntimeReport:
+    """Aggregate view over a run's request traces."""
+
+    traces: list[RequestTrace] = field(default_factory=list)
+    duration: float = 0.0
+
+    # -- counts ---------------------------------------------------------
+    @property
+    def total_requests(self) -> int:
+        return len(self.traces)
+
+    @property
+    def completed(self) -> list[RequestTrace]:
+        return [t for t in self.traces if t.outcome == OUTCOME_COMPLETED]
+
+    @property
+    def on_time(self) -> list[RequestTrace]:
+        return [t for t in self.completed if t.deadline_met]
+
+    def outcome_counts(self) -> dict[str, int]:
+        counts = {outcome: 0 for outcome in OUTCOMES}
+        for trace in self.traces:
+            counts[trace.outcome] = counts.get(trace.outcome, 0) + 1
+        return counts
+
+    @property
+    def total_dropped(self) -> int:
+        """Requests that never produced an answer."""
+        return sum(1 for t in self.traces
+                   if t.outcome != OUTCOME_COMPLETED)
+
+    @property
+    def drop_fraction(self) -> float:
+        total = self.total_requests
+        return self.total_dropped / total if total else 0.0
+
+    @property
+    def retries(self) -> int:
+        """Total extra attempts beyond each request's first."""
+        return sum(max(t.attempts - 1, 0) for t in self.traces)
+
+    # -- latency --------------------------------------------------------
+    def latency_percentiles(self,
+                            ps: Sequence[int] = (50, 95, 99)
+                            ) -> dict[str, float]:
+        return percentiles((t.latency for t in self.completed), ps)
+
+    @property
+    def mean_latency(self) -> float:
+        latencies = [t.latency for t in self.completed]
+        return float(np.mean(latencies)) if latencies else 0.0
+
+    # -- goodput and accuracy -------------------------------------------
+    @property
+    def goodput(self) -> float:
+        """On-time completions per second of simulated time."""
+        if self.duration <= 0:
+            return 0.0
+        return len(self.on_time) / self.duration
+
+    @property
+    def mean_rate(self) -> float:
+        rates = [t.rate for t in self.completed if t.rate is not None]
+        return float(np.mean(rates)) if rates else 0.0
+
+    @property
+    def mean_expected_accuracy(self) -> float:
+        """On-time-completion accuracy averaged over *all* arrivals.
+
+        Dropped and late requests contribute 0, mirroring
+        :attr:`repro.serving.ServingReport.mean_accuracy`.
+        """
+        total = self.total_requests
+        if not total:
+            return 0.0
+        gained = sum(t.expected_accuracy for t in self.on_time)
+        return gained / total
+
+    # The benchmark's headline number: fraction of arrivals answered on
+    # time, weighted by the accuracy each answer carries.
+    goodput_weighted_accuracy = mean_expected_accuracy
+
+    @property
+    def measured_accuracy(self) -> float | None:
+        """Realized accuracy over completions, when labels were supplied."""
+        judged = [t.correct for t in self.completed if t.correct is not None]
+        if not judged:
+            return None
+        return sum(judged) / len(judged)
+
+    # -- export ---------------------------------------------------------
+    def to_dict(self, include_traces: bool = True) -> dict:
+        summary = {
+            "duration": self.duration,
+            "total_requests": self.total_requests,
+            "outcomes": self.outcome_counts(),
+            "drop_fraction": self.drop_fraction,
+            "retries": self.retries,
+            "goodput": self.goodput,
+            "mean_rate": self.mean_rate,
+            "mean_latency": self.mean_latency,
+            "latency": self.latency_percentiles(),
+            "mean_expected_accuracy": self.mean_expected_accuracy,
+            "goodput_weighted_accuracy": self.goodput_weighted_accuracy,
+            "measured_accuracy": self.measured_accuracy,
+        }
+        if include_traces:
+            summary["traces"] = [t.to_dict() for t in self.traces]
+        return summary
+
+    def to_json(self, include_traces: bool = True, indent: int = 1) -> str:
+        return json.dumps(self.to_dict(include_traces=include_traces),
+                          indent=indent)

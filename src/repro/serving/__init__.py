@@ -12,7 +12,12 @@ from .controller import (
     FixedRateController,
     SliceRateController,
 )
-from .simulator import ServingReport, WindowStats, simulate_serving
+from .simulator import (
+    ServingReport,
+    WindowStats,
+    accuracy_for_rate,
+    simulate_serving,
+)
 
 __all__ = [
     "constant_rate",
@@ -25,5 +30,6 @@ __all__ = [
     "FixedRateController",
     "ServingReport",
     "WindowStats",
+    "accuracy_for_rate",
     "simulate_serving",
 ]

@@ -11,27 +11,57 @@ narrow policy (wastes accuracy off-peak).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from ..errors import BudgetError, ServingError
 from ..slicing.budget import rate_for_latency
 
 
 class SliceRateController:
-    """The paper's elastic policy: pick ``r`` per batch from its size."""
+    """The paper's elastic policy: pick ``r`` per batch from its size.
+
+    By default the per-sample cost at rate ``r`` follows the paper's
+    quadratic model ``t * r**2``.  Passing ``cost_of_rate`` (a mapping of
+    candidate rate to *measured* per-sample seconds, e.g. derived from
+    :func:`repro.metrics.latency_table`) calibrates the controller to the
+    real latency curve instead — small subnets rarely enjoy the full
+    quadratic speedup on real hardware.
+    """
 
     def __init__(self, rates: Sequence[float], full_latency_per_sample: float,
-                 latency_slo: float):
+                 latency_slo: float,
+                 cost_of_rate: Mapping[float, float] | None = None):
         if latency_slo <= 0 or full_latency_per_sample <= 0:
             raise ServingError("latencies must be positive")
         self.rates = sorted(float(r) for r in rates)
         self.full_latency = full_latency_per_sample
         self.latency_slo = latency_slo
+        self.cost_of_rate = None if cost_of_rate is None else {
+            float(r): float(c) for r, c in cost_of_rate.items()}
+        if self.cost_of_rate is not None:
+            missing = [r for r in self.rates if r not in self.cost_of_rate]
+            if missing:
+                raise ServingError(
+                    f"cost_of_rate lacks candidate rates {missing}")
+            if any(c <= 0 for c in self.cost_of_rate.values()):
+                raise ServingError("per-rate costs must be positive")
+
+    def per_sample_cost(self, rate: float) -> float:
+        """Per-sample seconds at ``rate``: measured if calibrated, else
+        the quadratic model."""
+        if self.cost_of_rate is not None and rate in self.cost_of_rate:
+            return self.cost_of_rate[rate]
+        return self.full_latency * rate * rate
 
     def choose(self, batch_size: int) -> float | None:
         """Slice rate for a batch, or None if even the base net is too slow."""
         if batch_size == 0:
             return None
+        if self.cost_of_rate is not None:
+            window = self.latency_slo / 2.0
+            fits = [r for r in self.rates
+                    if batch_size * self.per_sample_cost(r) <= window]
+            return max(fits) if fits else None
         try:
             return rate_for_latency(batch_size, self.full_latency,
                                     self.latency_slo, self.rates)
@@ -41,7 +71,7 @@ class SliceRateController:
     def max_batch(self, rate: float) -> int:
         """Largest batch the SLO admits at ``rate``."""
         window = self.latency_slo / 2.0
-        return int(window / (self.full_latency * rate * rate))
+        return int(window / self.per_sample_cost(rate))
 
 
 class AdaptiveSliceRateController(SliceRateController):
@@ -96,20 +126,32 @@ class AdaptiveSliceRateController(SliceRateController):
 
 
 class FixedRateController:
-    """Degenerate policy: always run at one rate (the baselines)."""
+    """Degenerate policy: always run at one rate (the baselines).
+
+    ``cost_of_rate`` optionally calibrates the per-sample cost model the
+    same way as :class:`SliceRateController`.
+    """
 
     def __init__(self, rate: float, full_latency_per_sample: float,
-                 latency_slo: float):
+                 latency_slo: float,
+                 cost_of_rate: Mapping[float, float] | None = None):
         if not 0 < rate <= 1:
             raise ServingError(f"rate must be in (0, 1], got {rate}")
         self.rate = float(rate)
         self.full_latency = full_latency_per_sample
         self.latency_slo = latency_slo
+        self.cost_of_rate = None if cost_of_rate is None else {
+            float(r): float(c) for r, c in cost_of_rate.items()}
+
+    def per_sample_cost(self, rate: float) -> float:
+        if self.cost_of_rate is not None and rate in self.cost_of_rate:
+            return self.cost_of_rate[rate]
+        return self.full_latency * rate * rate
 
     def choose(self, batch_size: int) -> float | None:
         if batch_size == 0:
             return None
-        cost = batch_size * self.rate ** 2 * self.full_latency
+        cost = batch_size * self.per_sample_cost(self.rate)
         if cost > self.latency_slo / 2.0:
             return None  # cannot meet the SLO; the batch must shed load
         return self.rate
@@ -117,4 +159,4 @@ class FixedRateController:
     def max_batch(self, rate: float | None = None) -> int:
         rate = self.rate if rate is None else rate
         window = self.latency_slo / 2.0
-        return int(window / (self.full_latency * rate * rate))
+        return int(window / self.per_sample_cost(rate))

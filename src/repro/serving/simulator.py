@@ -10,7 +10,8 @@ SLO violations, and the accuracy implied by the chosen rate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass, field
 from typing import Mapping
 
 import numpy as np
@@ -30,6 +31,9 @@ class WindowStats:
     processing_time: float
     slo_met: bool
     expected_accuracy: float
+
+    def to_dict(self) -> dict:
+        return asdict(self)
 
 
 @dataclass
@@ -75,6 +79,34 @@ class ServingReport:
             return 0.0
         busy = sum(w.processing_time for w in self.windows)
         return busy / (len(self.windows) * window_length)
+
+    def to_dict(self, include_windows: bool = True) -> dict:
+        """Machine-readable summary (same aggregation as the runtime's).
+
+        Reuses the shared percentile helper from
+        :mod:`repro.runtime.telemetry` (imported lazily: the runtime
+        builds *on* the serving layer) so both pipelines report latency
+        statistics identically.
+        """
+        from ..runtime.telemetry import percentiles
+
+        summary = {
+            "total_arrivals": self.total_arrivals,
+            "total_dropped": self.total_dropped,
+            "drop_fraction": self.drop_fraction,
+            "slo_violations": self.slo_violations,
+            "mean_accuracy": self.mean_accuracy,
+            "mean_rate": self.mean_rate,
+            "processing_time": percentiles(
+                w.processing_time for w in self.windows if w.arrivals),
+        }
+        if include_windows:
+            summary["windows"] = [w.to_dict() for w in self.windows]
+        return summary
+
+    def to_json(self, include_windows: bool = True, indent: int = 1) -> str:
+        return json.dumps(self.to_dict(include_windows=include_windows),
+                          indent=indent)
 
 
 def simulate_serving(arrivals: np.ndarray, controller,
@@ -128,7 +160,7 @@ def simulate_serving(arrivals: np.ndarray, controller,
             dropped = n
         else:
             processing = admitted * rate * rate * full_latency_per_sample
-            accuracy = _accuracy_for(accuracy_of_rate, rate)
+            accuracy = accuracy_for_rate(accuracy_of_rate, rate)
         report.windows.append(WindowStats(
             start=float(edges[k]), arrivals=n, admitted=admitted,
             dropped=dropped, rate=rate, processing_time=processing,
@@ -138,7 +170,8 @@ def simulate_serving(arrivals: np.ndarray, controller,
     return report
 
 
-def _accuracy_for(table: Mapping[float, float], rate: float) -> float:
+def accuracy_for_rate(table: Mapping[float, float], rate: float) -> float:
+    """Accuracy of the nearest measured rate (shared with the runtime)."""
     if rate in table:
         return table[rate]
     best = min(table, key=lambda r: abs(r - rate))

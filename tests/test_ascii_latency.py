@@ -103,3 +103,41 @@ class TestLatency:
         inputs = rng.normal(size=(4, 16)).astype(np.float32)
         with pytest.raises(ConfigError):
             measure_latency(model, inputs, 1.0, repeats=0)
+
+
+class TestLatencyPercentiles:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return MLP(16, [64, 64], 4, seed=0)
+
+    def test_stats_keys_and_ordering(self, model, rng):
+        from repro.metrics import measure_latency_stats
+        inputs = rng.normal(size=(16, 16)).astype(np.float32)
+        stats = measure_latency_stats(model, inputs, 1.0, repeats=5)
+        assert set(stats) == {"p50", "p95", "p99", "mean", "min", "max"}
+        assert 0 < stats["min"] <= stats["p50"] <= stats["p95"] \
+            <= stats["p99"] <= stats["max"]
+
+    def test_table_carries_percentiles(self, model, rng):
+        inputs = rng.normal(size=(16, 16)).astype(np.float32)
+        table = latency_table(model, inputs, [0.5, 1.0], repeats=5)
+        for entry in table.values():
+            assert entry["p50"] <= entry["p95"] <= entry["p99"]
+            assert entry["samples"] == 16
+            # The headline latency stays the median of the repeats.
+            assert entry["latency"] == pytest.approx(entry["p50"])
+
+    def test_stats_validate_repeats(self, model, rng):
+        from repro.metrics import measure_latency_stats
+        inputs = rng.normal(size=(4, 16)).astype(np.float32)
+        with pytest.raises(ConfigError):
+            measure_latency_stats(model, inputs, 1.0, repeats=0)
+
+    def test_profile_from_table(self, model, rng):
+        """The runtime's LatencyProfile consumes the table directly."""
+        from repro.runtime import LatencyProfile
+        inputs = rng.normal(size=(16, 16)).astype(np.float32)
+        table = latency_table(model, inputs, [0.25, 1.0], repeats=3)
+        profile = LatencyProfile.from_latency_table(table, percentile="p95")
+        assert profile.per_sample(1.0) == pytest.approx(
+            table[1.0]["p95"] / 16)

@@ -31,6 +31,21 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_runtime_defaults(self):
+        args = build_parser().parse_args(["runtime"])
+        assert args.replicas == 3
+        assert args.dispatch == "least-loaded"
+        assert args.crash_time is None
+        assert not args.no_faults
+        assert args.json is None
+
+    def test_runtime_dispatch_choices(self):
+        args = build_parser().parse_args(
+            ["runtime", "--dispatch", "power-of-two"])
+        assert args.dispatch == "power-of-two"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["runtime", "--dispatch", "random"])
+
 
 class TestCommands:
     def test_info_prints_protocols(self, capsys):
@@ -50,6 +65,25 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "model slicing" in out
         assert "fixed full" in out
+
+    def test_runtime_reports_policies_and_writes_json(self, capsys,
+                                                      tmp_path):
+        path = tmp_path / "telemetry.json"
+        assert main(["runtime", "--duration", "10", "--base-rate", "50",
+                     "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "model slicing" in out
+        assert "fixed full" in out
+        assert "good*acc" in out
+        telemetry = json.loads(path.read_text())
+        assert set(telemetry["latency"]) == {"p50", "p95", "p99"}
+        assert telemetry["total_requests"] == len(telemetry["traces"])
+
+    def test_runtime_no_faults_has_no_retries(self, capsys):
+        assert main(["runtime", "--duration", "10", "--base-rate", "50",
+                     "--no-faults"]) == 0
+        out = capsys.readouterr().out
+        assert "faults=none" in out
 
     def test_artifact_table_registry_is_consistent(self):
         import importlib

@@ -121,6 +121,83 @@ class TestMaterializeNNLM:
         np.testing.assert_allclose(actual, expected, rtol=1e-3, atol=1e-4)
 
 
+class TestRateEquivalenceAfterTraining:
+    """materialize_subnet must agree with the sliced forward at *every*
+    trained rate — this guards the group-count arithmetic in
+    ``_groupnorm_from`` against ``Partition.width_for`` drift."""
+
+    RATES = [0.25, 0.5, 0.75, 1.0]
+
+    def _fit_briefly(self, model, loader, rng):
+        from repro.optim import SGD
+        from repro.slicing import RandomStaticScheme, SliceTrainer
+        trainer = SliceTrainer(
+            model, RandomStaticScheme(self.RATES, num_random=1),
+            SGD(model.parameters(), lr=0.05, momentum=0.9), rng=rng)
+        trainer.fit(lambda: loader, epochs=1)
+
+    def test_groupnorm_cnn_every_rate(self, rng):
+        from repro.data import ArrayDataset, DataLoader
+        model = SlicedVGG.cifar_mini(num_classes=4, width=8, stages=2,
+                                     seed=0)  # default norm="group"
+        x_train = rng.normal(size=(32, 3, 8, 8)).astype(np.float32)
+        y_train = rng.integers(0, 4, size=32)
+        self._fit_briefly(model, DataLoader(ArrayDataset(x_train, y_train),
+                                            16), np.random.default_rng(0))
+        model.eval()
+        x = Tensor(images(rng, n=4))
+        for rate in self.RATES:
+            deployed = materialize_subnet(model, rate)
+            deployed.eval()
+            with no_grad():
+                with slice_rate(rate):
+                    expected = model(x).data
+                actual = deployed(x).data
+            np.testing.assert_allclose(actual, expected, rtol=1e-3,
+                                       atol=1e-4,
+                                       err_msg=f"rate {rate} diverged")
+
+    def test_lstm_nnlm_every_rate(self, rng):
+        from repro.optim import SGD
+        model = NNLM(vocab_size=30, embed_dim=8, hidden_size=8, seed=0)
+        optimizer = SGD(model.parameters(), lr=0.1)
+        tokens = rng.integers(0, 30, size=(8, 6))
+        next_tokens = rng.integers(0, 30, size=(8, 6))
+        model.train()
+        for _ in range(3):  # a few steps over every rate
+            for rate in self.RATES:
+                optimizer.zero_grad()
+                with slice_rate(rate):
+                    loss = model.sequence_nll(tokens, next_tokens)
+                loss.backward()
+                optimizer.step()
+        model.eval()
+        probe = rng.integers(0, 30, size=(5, 3))
+        for rate in self.RATES:
+            deployed = materialize_subnet(model, rate)
+            deployed.eval()
+            with no_grad():
+                with slice_rate(rate):
+                    expected = model(probe).data
+                actual = deployed(probe).data
+            np.testing.assert_allclose(actual, expected, rtol=1e-3,
+                                       atol=1e-4,
+                                       err_msg=f"rate {rate} diverged")
+
+    def test_deployed_predictions_identical_to_sliced(self, rng):
+        """The runtime serves artifacts interchangeably with the model:
+        argmax predictions must agree exactly."""
+        model = MLP(12, [32, 32], 4, seed=0)
+        x = rng.normal(size=(20, 12)).astype(np.float32)
+        for rate in self.RATES:
+            deployed = materialize_subnet(model, rate)
+            with no_grad():
+                with slice_rate(rate):
+                    sliced_pred = model(Tensor(x)).data.argmax(axis=-1)
+                deployed_pred = deployed(Tensor(x)).data.argmax(axis=-1)
+            np.testing.assert_array_equal(deployed_pred, sliced_pred)
+
+
 class TestErrors:
     def test_no_sliceable_layers_rejected(self):
         from repro.nn import Linear, Sequential

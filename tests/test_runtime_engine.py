@@ -1,0 +1,312 @@
+"""End-to-end tests for the continuous-time inference runtime.
+
+Exercises the acceptance criteria of the runtime subsystem: elastic
+dominance under a volatile workload with an injected crash, byte-level
+determinism under a fixed seed, retry-with-downgrade (a retried request
+never re-executes wider than its failed attempt), failover, telemetry
+export, and agreement with the discrete-window simulator on a workload
+both can serve without drops.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServingError
+from repro.runtime import (
+    FaultEvent,
+    FaultPlan,
+    InferenceRuntime,
+    LatencyProfile,
+    Replica,
+    ReplicaPool,
+    RuntimeConfig,
+)
+from repro.serving import (
+    FixedRateController,
+    SliceRateController,
+    constant_rate,
+    diurnal_rate,
+    generate_arrivals,
+    simulate_serving,
+    spike_rate,
+)
+
+RATES = [0.25, 0.5, 0.75, 1.0]
+ACCURACY = {0.25: 0.7, 0.5: 0.8, 0.75: 0.85, 1.0: 0.9}
+FULL_LATENCY = 0.002
+SLO = 0.1
+
+
+def make_pool(n=3, full_latency=FULL_LATENCY, dispatch="least-loaded",
+              seed=0):
+    return ReplicaPool(
+        [Replica(f"r{i}", LatencyProfile(full_latency)) for i in range(n)],
+        dispatch=dispatch, seed=seed)
+
+
+def make_runtime(controller=None, pool=None, fault_plan=None,
+                 config=None, **config_kwargs):
+    controller = controller or SliceRateController(RATES, FULL_LATENCY, SLO)
+    pool = pool or make_pool()
+    config = config or RuntimeConfig(latency_slo=SLO, max_batch_size=400,
+                                     batch_timeout=0.01, **config_kwargs)
+    return InferenceRuntime(pool, controller, config, ACCURACY,
+                            fault_plan=fault_plan)
+
+
+def diurnal_spike_arrivals(seed=3, duration=120.0):
+    intensity = spike_rate(diurnal_rate(100.0, 16.0, 60.0),
+                           [(30.0, 10.0, 2.0)])
+    return generate_arrivals(intensity, duration, np.random.default_rng(seed))
+
+
+class TestSteadyState:
+    def test_constant_load_all_served(self):
+        arrivals = generate_arrivals(constant_rate(300.0), 10.0,
+                                     np.random.default_rng(0))
+        report = make_runtime(pool=make_pool(1)).run(arrivals, 10.0)
+        assert report.total_requests == len(arrivals)
+        assert report.drop_fraction == 0.0
+        assert report.goodput > 0
+        assert report.mean_rate > 0.9  # light load: mostly full width
+
+    def test_accounting_consistent(self):
+        arrivals = diurnal_spike_arrivals(duration=30.0)
+        report = make_runtime().run(arrivals, 30.0)
+        counts = report.outcome_counts()
+        assert sum(counts.values()) == report.total_requests
+        assert counts.get("pending", 0) == 0
+        assert counts["completed"] + report.total_dropped == \
+            report.total_requests
+
+    def test_elastic_slices_down_under_load(self):
+        light = make_runtime(pool=make_pool(1)).run(
+            generate_arrivals(constant_rate(50.0), 10.0,
+                              np.random.default_rng(0)), 10.0)
+        heavy = make_runtime(pool=make_pool(1)).run(
+            generate_arrivals(constant_rate(2000.0), 10.0,
+                              np.random.default_rng(0)), 10.0)
+        assert heavy.mean_rate < light.mean_rate
+
+    def test_invalid_duration(self):
+        with pytest.raises(ServingError):
+            make_runtime().run(np.empty(0), 0.0)
+
+    def test_empty_arrivals(self):
+        report = make_runtime().run(np.empty(0), 5.0)
+        assert report.total_requests == 0
+        assert report.drop_fraction == 0.0
+        assert report.goodput == 0.0
+
+
+class TestElasticDominance:
+    """The benchmark claim: elastic beats both fixed policies on
+    goodput-weighted accuracy under diurnal + spike load with a crash."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        arrivals = diurnal_spike_arrivals()
+        plan = FaultPlan.single_crash("r1", 35.0)  # mid-spike
+        controllers = {
+            "elastic": SliceRateController(RATES, FULL_LATENCY, SLO),
+            "fixed_full": FixedRateController(1.0, FULL_LATENCY, SLO),
+            "fixed_small": FixedRateController(0.25, FULL_LATENCY, SLO),
+        }
+        return {name: make_runtime(controller=ctl, pool=make_pool(),
+                                   fault_plan=plan).run(arrivals, 120.0)
+                for name, ctl in controllers.items()}
+
+    def test_elastic_dominates_goodput_weighted_accuracy(self, reports):
+        elastic = reports["elastic"].goodput_weighted_accuracy
+        assert elastic > reports["fixed_full"].goodput_weighted_accuracy
+        assert elastic > reports["fixed_small"].goodput_weighted_accuracy
+
+    def test_fixed_full_drops_under_peak(self, reports):
+        assert reports["fixed_full"].drop_fraction > 0.05
+        assert reports["elastic"].drop_fraction < 0.01
+
+    def test_fixed_small_wastes_accuracy(self, reports):
+        assert reports["fixed_small"].mean_expected_accuracy \
+            <= ACCURACY[0.25] + 1e-9
+
+    def test_elastic_degrades_not_drops(self, reports):
+        assert reports["elastic"].mean_rate < 1.0
+
+
+class TestDeterminism:
+    def run_once(self, dispatch="power-of-two"):
+        arrivals = diurnal_spike_arrivals(duration=60.0)
+        plan = FaultPlan.random(11, duration=60.0,
+                                replica_ids=["r0", "r1", "r2"],
+                                crashes=1, slowdowns=1, timeouts=1)
+        runtime = make_runtime(pool=make_pool(dispatch=dispatch, seed=5),
+                               fault_plan=plan)
+        return runtime.run(arrivals, 60.0)
+
+    def test_identical_telemetry_under_fixed_seed(self):
+        first = self.run_once().to_json()
+        second = self.run_once().to_json()
+        assert first == second
+
+    def test_least_loaded_also_deterministic(self):
+        assert self.run_once("least-loaded").to_json() == \
+            self.run_once("least-loaded").to_json()
+
+
+class TestFaultHandling:
+    def crash_at_peak(self, time=15.0, **kwargs):
+        arrivals = diurnal_spike_arrivals(duration=60.0)
+        plan = FaultPlan.single_crash("r1", time)
+        runtime = make_runtime(fault_plan=plan, **kwargs)
+        return runtime.run(arrivals, 60.0), arrivals
+
+    def test_crash_triggers_retries_and_failover(self):
+        report, arrivals = self.crash_at_peak()
+        assert report.retries > 0
+        retried = [t for t in report.traces if t.retried]
+        # Failover: retried work completes on the surviving replicas.
+        completed = [t for t in retried if t.outcome == "completed"]
+        assert completed
+        assert all(t.replica != "r1" for t in completed)
+
+    def test_retry_never_widens_the_rate(self):
+        report, _ = self.crash_at_peak()
+        for trace in report.traces:
+            if trace.retried and trace.rate is not None:
+                assert trace.rate_cap is not None
+                assert trace.rate <= trace.rate_cap + 1e-9
+
+    def test_service_survives_crash(self):
+        report, arrivals = self.crash_at_peak()
+        assert report.drop_fraction < 0.05
+        assert len(report.on_time) > 0.9 * len(arrivals)
+
+    def test_transient_timeout_recovers(self):
+        arrivals = generate_arrivals(constant_rate(200.0), 20.0,
+                                     np.random.default_rng(1))
+        plan = FaultPlan([FaultEvent(time=5.0, kind="timeout",
+                                     replica_id="r0", duration=1.0)])
+        report = make_runtime(pool=make_pool(1), fault_plan=plan
+                              ).run(arrivals, 20.0)
+        assert report.retries > 0
+        # The replica recovers: late traffic completes on it again.
+        late = [t for t in report.traces
+                if t.arrival > 10.0 and t.outcome == "completed"]
+        assert late and all(t.replica == "r0" for t in late)
+
+    def test_slowdown_shifts_load_away(self):
+        arrivals = generate_arrivals(constant_rate(400.0), 20.0,
+                                     np.random.default_rng(1))
+        plan = FaultPlan([FaultEvent(time=0.0, kind="slowdown",
+                                     replica_id="r0", duration=20.0,
+                                     factor=8.0)])
+        report = make_runtime(pool=make_pool(2), fault_plan=plan
+                              ).run(arrivals, 20.0)
+        served_by = {"r0": 0, "r1": 0}
+        for trace in report.traces:
+            if trace.replica in served_by:
+                served_by[trace.replica] += 1
+        assert served_by["r1"] > served_by["r0"]
+
+    def test_all_replicas_crashed_requests_expire(self):
+        arrivals = generate_arrivals(constant_rate(100.0), 5.0,
+                                     np.random.default_rng(2))
+        plan = FaultPlan([FaultEvent(time=0.0, kind="crash",
+                                     replica_id="r0")])
+        report = make_runtime(pool=make_pool(1), fault_plan=plan
+                              ).run(arrivals, 5.0)
+        assert report.outcome_counts()["completed"] == 0
+        assert report.drop_fraction == 1.0
+
+    def test_max_attempts_exhaustion_fails(self):
+        arrivals = generate_arrivals(constant_rate(100.0), 5.0,
+                                     np.random.default_rng(2))
+        # A transient-timeout window covering the whole run: the replica
+        # stays in rotation (no quarantine), so every request burns
+        # through its retry budget.
+        plan = FaultPlan([FaultEvent(time=0.0, kind="timeout",
+                                     replica_id="r0", duration=100.0)])
+        config = RuntimeConfig(latency_slo=10.0, max_batch_size=400,
+                               batch_timeout=0.01,
+                               detection_timeout=0.01, max_attempts=2)
+        report = make_runtime(pool=make_pool(1), fault_plan=plan,
+                              config=config).run(arrivals, 5.0)
+        counts = report.outcome_counts()
+        assert counts["completed"] == 0
+        assert counts["failed"] > 0
+        failed = [t for t in report.traces if t.outcome == "failed"]
+        assert all(t.attempts == 2 for t in failed)
+
+
+class TestRealModelExecution:
+    def test_predictions_and_measured_accuracy(self, rng):
+        from repro.models import MLP
+        model = MLP(8, [16, 16], 3, seed=0)
+        inputs = rng.normal(size=(64, 8)).astype(np.float32)
+        labels = rng.integers(0, 3, size=64)
+        pool = ReplicaPool([Replica("r0", LatencyProfile(FULL_LATENCY),
+                                    model=model)])
+        controller = SliceRateController(RATES, FULL_LATENCY, SLO)
+        config = RuntimeConfig(latency_slo=SLO, max_batch_size=32)
+        runtime = InferenceRuntime(pool, controller, config, ACCURACY,
+                                   inputs=inputs, labels=labels)
+        arrivals = generate_arrivals(constant_rate(100.0), 5.0,
+                                     np.random.default_rng(0))
+        report = runtime.run(arrivals, 5.0)
+        assert report.drop_fraction == 0.0
+        assert report.measured_accuracy is not None
+        assert all(t.correct is not None for t in report.completed)
+
+    def test_labels_without_inputs_rejected(self):
+        with pytest.raises(ServingError):
+            InferenceRuntime(make_pool(), SliceRateController(
+                RATES, FULL_LATENCY, SLO),
+                RuntimeConfig(latency_slo=SLO), ACCURACY,
+                labels=np.zeros(4))
+
+
+class TestTelemetryExport:
+    def test_report_to_dict_keys(self):
+        arrivals = generate_arrivals(constant_rate(100.0), 5.0,
+                                     np.random.default_rng(0))
+        report = make_runtime(pool=make_pool(1)).run(arrivals, 5.0)
+        summary = report.to_dict()
+        for key in ("duration", "total_requests", "outcomes",
+                    "drop_fraction", "goodput", "latency",
+                    "goodput_weighted_accuracy", "traces"):
+            assert key in summary
+        assert set(summary["latency"]) == {"p50", "p95", "p99"}
+        assert len(summary["traces"]) == report.total_requests
+        trace = summary["traces"][0]
+        for key in ("enqueued", "batched", "started", "completed",
+                    "rate", "replica", "outcome", "attempts"):
+            assert key in trace
+
+    def test_to_json_round_trips(self):
+        import json
+        arrivals = generate_arrivals(constant_rate(50.0), 2.0,
+                                     np.random.default_rng(0))
+        report = make_runtime(pool=make_pool(1)).run(arrivals, 2.0)
+        parsed = json.loads(report.to_json())
+        assert parsed["total_requests"] == report.total_requests
+        slim = json.loads(report.to_json(include_traces=False))
+        assert "traces" not in slim
+
+
+class TestSimulatorAgreement:
+    def test_drop_fraction_matches_window_simulator(self):
+        """Constant workload, one healthy replica, no batching timeout:
+        both pipelines serve everything, so their drop fractions agree."""
+        arrivals = generate_arrivals(constant_rate(300.0), 10.0,
+                                     np.random.default_rng(0))
+        controller = SliceRateController(RATES, FULL_LATENCY, SLO)
+        window_report = simulate_serving(arrivals, controller, FULL_LATENCY,
+                                         SLO, ACCURACY, 10.0)
+        config = RuntimeConfig(latency_slo=SLO, max_batch_size=400,
+                               batch_timeout=0.0)
+        runtime_report = InferenceRuntime(
+            make_pool(1), SliceRateController(RATES, FULL_LATENCY, SLO),
+            config, ACCURACY).run(arrivals, 10.0)
+        assert window_report.drop_fraction == 0.0
+        assert runtime_report.drop_fraction == window_report.drop_fraction
+        assert runtime_report.total_requests == window_report.total_arrivals

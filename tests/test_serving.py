@@ -152,3 +152,88 @@ class TestSimulator:
             simulate_serving(np.empty(0),
                              SliceRateController(RATES, 0.002, 0.1),
                              0.002, 0.0, ACCURACY, 1.0)
+
+
+class TestCalibratedControllers:
+    """Controllers planning with a measured per-rate cost table."""
+
+    # A realistic measured curve: flatter than quadratic at narrow rates.
+    COSTS = {0.25: 0.0006, 0.5: 0.001, 0.75: 0.0013, 1.0: 0.002}
+
+    def test_quadratic_model_is_default(self):
+        ctl = SliceRateController(RATES, 0.002, 0.1)
+        assert ctl.per_sample_cost(0.5) == pytest.approx(0.002 * 0.25)
+
+    def test_calibrated_cost_overrides_quadratic(self):
+        ctl = SliceRateController(RATES, 0.002, 0.1, cost_of_rate=self.COSTS)
+        assert ctl.per_sample_cost(0.5) == pytest.approx(0.001)
+        # Uncalibrated rates fall back to the quadratic model.
+        assert ctl.per_sample_cost(0.6) == pytest.approx(0.002 * 0.36)
+
+    def test_calibrated_choose_uses_real_curve(self):
+        ctl = SliceRateController(RATES, 0.002, 0.1, cost_of_rate=self.COSTS)
+        # Window is 50ms; at batch 40 the full width fits (40*2ms=80ms no,
+        # > 50ms) so it degrades to 0.75 (40*1.3ms = 52ms no) -> 0.5.
+        assert ctl.choose(25) == 1.0
+        assert ctl.choose(40) == 0.5
+        # Quadratic model would still allow 0.25 at batch 500; measured
+        # curve says only up to 83.
+        assert ctl.choose(500) is None
+
+    def test_calibrated_max_batch(self):
+        ctl = SliceRateController(RATES, 0.002, 0.1, cost_of_rate=self.COSTS)
+        assert ctl.max_batch(0.25) == int(0.05 / 0.0006)
+
+    def test_missing_candidate_rate_rejected(self):
+        with pytest.raises(ServingError):
+            SliceRateController(RATES, 0.002, 0.1,
+                                cost_of_rate={0.25: 0.001, 1.0: 0.002})
+
+    def test_nonpositive_cost_rejected(self):
+        costs = {**self.COSTS, 0.5: 0.0}
+        with pytest.raises(ServingError):
+            SliceRateController(RATES, 0.002, 0.1, cost_of_rate=costs)
+
+    def test_fixed_controller_calibrated(self):
+        ctl = FixedRateController(0.25, 0.002, 0.1,
+                                  cost_of_rate=self.COSTS)
+        assert ctl.choose(83) == 0.25       # 83 * 0.6ms = 49.8ms <= 50ms
+        assert ctl.choose(84) is None
+        # Quadratic baseline would have admitted 400.
+        assert FixedRateController(0.25, 0.002, 0.1).choose(84) == 0.25
+
+
+class TestReportExport:
+    def report(self):
+        arrivals = generate_arrivals(constant_rate(300.0), 10.0,
+                                     np.random.default_rng(0))
+        ctl = SliceRateController(RATES, 0.002, 0.1)
+        return simulate_serving(arrivals, ctl, 0.002, 0.1, ACCURACY, 10.0)
+
+    def test_to_dict_summary_fields(self):
+        report = self.report()
+        summary = report.to_dict(include_windows=False)
+        assert summary["total_arrivals"] == report.total_arrivals
+        assert summary["drop_fraction"] == report.drop_fraction
+        assert summary["mean_accuracy"] == report.mean_accuracy
+        assert set(summary["processing_time"]) == {"p50", "p95", "p99"}
+        assert "windows" not in summary
+
+    def test_to_dict_windows_roundtrip(self):
+        report = self.report()
+        summary = report.to_dict()
+        assert len(summary["windows"]) == len(report.windows)
+        first = summary["windows"][0]
+        assert first == report.windows[0].to_dict()
+
+    def test_to_json_parses(self):
+        import json
+        report = self.report()
+        parsed = json.loads(report.to_json())
+        assert parsed["total_arrivals"] == report.total_arrivals
+        assert isinstance(parsed["windows"], list)
+
+    def test_percentiles_ordered(self):
+        stats = self.report().to_dict(include_windows=False)
+        tails = stats["processing_time"]
+        assert tails["p50"] <= tails["p95"] <= tails["p99"]
