@@ -9,24 +9,37 @@ fault injection (one replica crashes mid-run).  Replicas execute the
 measured accuracy alongside the rate-table expectation.
 
 Latency calibration is honest about shape but scaled in magnitude: the
-per-rate service-time curve is the *measured* p95 of the trained model
-(``repro.metrics.latency_table``), normalized so the full-width
+per-rate service-time curve follows the model's *measured FLOPs* at each
+slice rate (the exact sliced computation), normalized so the full-width
 per-sample cost is 2 ms — i.e. we serve a model ~100x larger with this
-model's measured cost profile, which keeps the workload at a realistic
-queries-per-second scale.  The same measured curve calibrates the
-controllers (``cost_of_rate``), so the degradation policy plans with the
-real speedup of slicing rather than the idealized quadratic model.
+model's real cost profile, which keeps the workload at a realistic
+queries-per-second scale.  The same curve calibrates the controllers
+(``cost_of_rate``), so the degradation policy plans with the real
+speedup of slicing rather than the idealized quadratic model.  FLOPs
+calibration is deterministic, so the run — including its observability
+trace — is byte-identical under a fixed seed; set
+``REPRO_MEASURED_CALIBRATION=1`` to calibrate from wall-clock p95
+instead (``repro.metrics.latency_table``; honest magnitude, but the
+measurement noise makes traces differ across runs).
+
+The whole run is observable: ``repro.obs`` is configured with a
+deterministic tick clock and writes a JSONL trace (training epochs,
+request lifecycle spans, controller decisions, the fault, and a final
+metrics snapshot) to ``runtime_trace.jsonl`` — summarize it with
+``repro obs summarize runtime_trace.jsonl``.
 
 Run:  python examples/runtime_serving.py   (~1 minute on one CPU core)
 """
 
 import json
+import os
 
 import numpy as np
 
-from repro import MLP, RandomStaticScheme, SliceTrainer
+from repro import MLP, RandomStaticScheme, SliceTrainer, obs
+from repro.metrics import latency_table, measured_flops
 from repro.data import ArrayDataset, DataLoader
-from repro.metrics import latency_table
+from repro.obs.summary import summarize
 from repro.optim import SGD
 from repro.runtime import (
     FaultPlan,
@@ -52,6 +65,7 @@ DURATION = 60.0
 CRASH_TIME = 18.0          # mid-spike, while the pool is under pressure
 REPLICA_SKEWS = (1.0, 1.06, 0.95)   # mildly heterogeneous machines
 REPORT_PATH = "runtime_telemetry.json"
+TRACE_PATH = "runtime_trace.jsonl"
 
 
 def make_task(seed=0):
@@ -91,13 +105,21 @@ def train_model(seed=0, epochs=25):
 
 
 def calibrate_profile(model, rng):
-    """Measured p95 latency shape, scaled to FULL_LATENCY per sample."""
-    batch = rng.normal(size=(256, 32)).astype(np.float32)
-    table = latency_table(model, batch, RATES, repeats=7)
-    full_p95 = table[1.0]["p95"]
-    per_rate = {rate: FULL_LATENCY * entry["p95"] / full_p95
+    """Per-rate cost shape, scaled so the full width costs FULL_LATENCY.
+
+    Default: the measured FLOPs of one forward pass per rate — the exact
+    sliced computation, deterministic across runs.  With
+    ``REPRO_MEASURED_CALIBRATION=1``: the measured wall-clock p95
+    (noisy, so traces are no longer byte-identical across runs).
+    """
+    if os.environ.get("REPRO_MEASURED_CALIBRATION"):
+        batch = rng.normal(size=(256, 32)).astype(np.float32)
+        table = latency_table(model, batch, RATES, repeats=7)
+        full_p95 = table[1.0]["p95"]
+        return {rate: FULL_LATENCY * entry["p95"] / full_p95
                 for rate, entry in table.items()}
-    return per_rate
+    flops = {rate: measured_flops(model, (1, 32), rate) for rate in RATES}
+    return {rate: FULL_LATENCY * f / flops[1.0] for rate, f in flops.items()}
 
 
 def build_pool(model, per_rate, seed):
@@ -110,6 +132,9 @@ def build_pool(model, per_rate, seed):
 
 
 def main() -> None:
+    # Tick clock → the JSONL trace is byte-identical run to run; the
+    # runtime additionally stamps its spans with simulated time.
+    obs.configure(trace_path=TRACE_PATH, clock=obs.TickClock())
     model, accuracy_of_rate, test_inputs, test_labels = train_model()
     print("measured accuracy per width:",
           {r: round(a, 3) for r, a in sorted(accuracy_of_rate.items())})
@@ -147,7 +172,8 @@ def main() -> None:
         runtime = InferenceRuntime(pool, controller, config,
                                    accuracy_of_rate, fault_plan=plan,
                                    inputs=test_inputs, labels=test_labels)
-        report = runtime.run(arrivals, DURATION)
+        with obs.span("runtime.policy", policy=name):
+            report = runtime.run(arrivals, DURATION)
         scores[name] = report.goodput_weighted_accuracy
         if elastic_report is None:
             elastic_report = report
@@ -171,6 +197,11 @@ def main() -> None:
           f"traces, p50/p95/p99 latency) written to {REPORT_PATH}")
     print("latency percentiles:", {k: f"{v * 1e3:.1f}ms"
                                    for k, v in summary["latency"].items()})
+
+    obs.shutdown()   # appends the metrics snapshot, closes the sink
+    print(f"\nobservability trace (training epochs + request spans + "
+          f"controller decisions + metrics) written to {TRACE_PATH}")
+    print(summarize(TRACE_PATH, top=8))
     print("\nThe elastic policy rides out the spike and the crash by"
           " slicing down and failing over; fixed-full misses deadlines"
           " at peak, fixed-quarter wastes accuracy all day.")

@@ -30,6 +30,7 @@ Quickstart::
 
 from .version import __version__
 from . import errors
+from . import obs
 from .tensor import Tensor, no_grad
 from .slicing import (
     SliceContext,
@@ -46,6 +47,7 @@ from .models import MLP, NNLM, SlicedResNet, SlicedVGG
 __all__ = [
     "__version__",
     "errors",
+    "obs",
     "Tensor",
     "no_grad",
     "SliceContext",

@@ -15,7 +15,12 @@ Commands
 ``runtime``
     Run the continuous-time multi-replica runtime: dynamic batching,
     slice-rate-aware dispatch, one injected replica crash, and a JSON
-    telemetry report (``--json``).
+    telemetry report (``--json``).  ``--trace PATH`` additionally
+    records a deterministic JSONL observability trace (spans, events,
+    metrics snapshot) via :mod:`repro.obs`.
+``obs summarize TRACE``
+    Summarize a JSONL observability trace: top spans by total time,
+    event counts, and the metrics snapshot as aligned tables.
 """
 
 from __future__ import annotations
@@ -148,6 +153,7 @@ def _cmd_serve_demo(args) -> int:
 def _cmd_runtime(args) -> int:
     import numpy as np
 
+    from . import obs
     from .runtime import (
         FaultPlan,
         InferenceRuntime,
@@ -182,6 +188,10 @@ def _cmd_runtime(args) -> int:
     print(f"{len(arrivals)} queries over {args.duration}s, "
           f"{args.replicas} replicas, "
           f"faults={'none' if args.no_faults else 'one crash'}\n")
+    if args.trace:
+        # TickClock: the trace stays byte-identical across runs (the
+        # engine stamps simulated time; everything else counts ticks).
+        obs.configure(trace_path=args.trace, clock=obs.TickClock())
 
     controllers = {
         "model slicing": SliceRateController(rates, full_latency, slo),
@@ -201,7 +211,8 @@ def _cmd_runtime(args) -> int:
                                dispatch=args.dispatch, seed=args.seed)
         runtime = InferenceRuntime(pool, controller, config, accuracy,
                                    fault_plan=plan)
-        report = runtime.run(arrivals, args.duration)
+        with obs.span("runtime.policy", policy=name):
+            report = runtime.run(arrivals, args.duration)
         if name == "model slicing":
             elastic_report = report
         tails = report.latency_percentiles()
@@ -213,6 +224,22 @@ def _cmd_runtime(args) -> int:
         with open(args.json, "w") as handle:
             handle.write(elastic_report.to_json())
         print(f"\nelastic policy telemetry written to {args.json}")
+    if args.trace:
+        obs.shutdown()
+        print(f"observability trace written to {args.trace} "
+              f"(inspect with: repro obs summarize {args.trace})")
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from .errors import DataError
+    from .obs.summary import summarize
+
+    try:
+        print(summarize(args.trace, top=args.top))
+    except (OSError, DataError) as exc:
+        print(f"cannot summarize {args.trace}: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -260,6 +287,17 @@ def build_parser() -> argparse.ArgumentParser:
     runtime.add_argument("--json", default=None, metavar="PATH",
                          help="write the elastic policy's telemetry "
                               "report as JSON")
+    runtime.add_argument("--trace", default=None, metavar="PATH",
+                         help="record a deterministic JSONL observability "
+                              "trace (spans, events, metrics snapshot)")
+
+    obs_parser = sub.add_parser("obs", help="observability utilities")
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    summ = obs_sub.add_parser(
+        "summarize", help="summarize a JSONL trace written by repro.obs")
+    summ.add_argument("trace", help="path to the JSONL trace file")
+    summ.add_argument("--top", type=int, default=15,
+                      help="rows to show in the span/event tables")
 
     return parser
 
@@ -272,6 +310,7 @@ def main(argv: list[str] | None = None) -> int:
         "reproduce": _cmd_reproduce,
         "serve-demo": _cmd_serve_demo,
         "runtime": _cmd_runtime,
+        "obs": _cmd_obs,
     }
     return handlers[args.command](args)
 

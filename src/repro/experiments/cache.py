@@ -14,18 +14,28 @@ import json
 import os
 from typing import Callable
 
-_DEFAULT_ROOT = os.environ.get(
-    "REPRO_CACHE_DIR",
-    os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
-        os.path.dirname(os.path.abspath(__file__))))), ".exp_cache"),
-)
+from .. import obs
+
+
+def _default_root() -> str:
+    """The cache directory, resolved *at call time*.
+
+    Reading ``REPRO_CACHE_DIR`` lazily (rather than at import) lets tests
+    and the CLI redirect the cache with a plain ``os.environ`` change —
+    no re-import required.
+    """
+    return os.environ.get(
+        "REPRO_CACHE_DIR",
+        os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))), ".exp_cache"),
+    )
 
 
 class ExperimentCache:
     """A trivially simple key -> JSON store."""
 
     def __init__(self, root: str | None = None):
-        self.root = root if root is not None else _DEFAULT_ROOT
+        self.root = root if root is not None else _default_root()
 
     def path(self, key: str) -> str:
         safe = key.replace("/", "_")
@@ -35,7 +45,11 @@ class ExperimentCache:
         """The cached value for ``key``, or None."""
         path = self.path(key)
         if not os.path.exists(path):
+            if obs.enabled():
+                obs.count("expcache_misses_total")
             return None
+        if obs.enabled():
+            obs.count("expcache_hits_total")
         with open(path) as handle:
             return json.load(handle)
 

@@ -1,0 +1,72 @@
+"""Injectable clocks for the tracer.
+
+Telemetry timestamps come from a zero-argument callable, so the clock is
+a policy choice: wall time for production runs, a manually-advanced or
+tick-per-call clock for simulated-time runs where the trace must be
+byte-identical across executions (the runtime engine additionally stamps
+its records with explicit simulated timestamps, bypassing the clock
+entirely).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import ConfigError
+
+
+class WallClock:
+    """Real elapsed seconds (``time.perf_counter``); the default clock."""
+
+    def __call__(self) -> float:
+        return time.perf_counter()
+
+
+class ManualClock:
+    """A clock that only moves when told to — for simulated time.
+
+    The owner advances it (``advance``/``set``) as its own notion of time
+    progresses; every read in between sees the same instant, so repeated
+    runs produce identical timestamps.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, delta: float) -> float:
+        if delta < 0:
+            raise ConfigError(f"clock cannot run backwards (delta={delta})")
+        self.now += delta
+        return self.now
+
+    def set(self, now: float) -> float:
+        if now < self.now:
+            raise ConfigError(
+                f"clock cannot run backwards ({now} < {self.now})")
+        self.now = float(now)
+        return self.now
+
+
+class TickClock:
+    """A deterministic clock that advances a fixed step per *read*.
+
+    Useful when instrumented code runs outside any simulated timeline
+    (e.g. training before a simulated serving run): timestamps stay
+    strictly monotone and byte-identical across runs, at the price of
+    measuring call counts rather than seconds.
+    """
+
+    def __init__(self, step: float = 1e-6, start: float = 0.0):
+        if step <= 0:
+            raise ConfigError(f"tick step must be positive, got {step}")
+        self.step = float(step)
+        self.start = float(start)
+        self.ticks = 0
+
+    def __call__(self) -> float:
+        now = self.start + self.ticks * self.step
+        self.ticks += 1
+        return now

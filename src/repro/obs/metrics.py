@@ -1,0 +1,302 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+A deliberately small, dependency-free re-implementation of the
+Prometheus data model.  Metrics are created (or fetched) from a
+:class:`MetricsRegistry` by name; each metric holds one time series per
+distinct label set, keyed by the sorted ``(label, value)`` pairs so the
+same labels in any order address the same series.  The registry exports
+the standard Prometheus text exposition format (:meth:`to_prometheus`)
+and a JSON-friendly dict (:meth:`to_dict`) that the trace sink embeds as
+the end-of-run snapshot.
+
+Everything is deterministic: series and metrics are emitted in sorted
+order, so two identical runs export byte-identical snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from ..errors import ConfigError
+
+# Label sets are canonicalized to sorted (name, value-as-str) tuples.
+LabelKey = tuple[tuple[str, str], ...]
+
+DEFAULT_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                   0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+
+def label_key(labels: Mapping[str, object]) -> LabelKey:
+    """Canonical hashable key for a label set."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _format_labels(key: LabelKey, extra: tuple[tuple[str, str], ...] = ()
+                   ) -> str:
+    pairs = list(key) + list(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{_escape(value)}"' for name, value in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Metric:
+    """Base class: a named family of labelled time series."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = ""):
+        if not name or not name.replace("_", "a").isalnum():
+            raise ConfigError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+
+    def labelled(self) -> list[LabelKey]:
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        raise NotImplementedError
+
+    def prometheus_lines(self) -> list[str]:
+        raise NotImplementedError
+
+    def header_lines(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        return lines
+
+
+class Counter(Metric):
+    """A monotonically increasing count, one series per label set."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self._series: dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> float:
+        if amount < 0:
+            raise ConfigError(
+                f"counter {self.name} cannot decrease (inc {amount})")
+        key = label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+        return self._series[key]
+
+    def value(self, **labels) -> float:
+        return self._series.get(label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label set."""
+        return sum(self._series.values())
+
+    def labelled(self) -> list[LabelKey]:
+        return sorted(self._series)
+
+    def to_dict(self) -> dict:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "samples": [{"labels": dict(key), "value": self._series[key]}
+                        for key in sorted(self._series)],
+        }
+
+    def prometheus_lines(self) -> list[str]:
+        return [f"{self.name}{_format_labels(key)} "
+                f"{_format_value(self._series[key])}"
+                for key in sorted(self._series)]
+
+
+class Gauge(Counter):
+    """A value that can go up and down (last-write-wins per label set)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> float:
+        self._series[label_key(labels)] = float(value)
+        return float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> float:
+        key = label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+        return self._series[key]
+
+    def dec(self, amount: float = 1.0, **labels) -> float:
+        return self.inc(-amount, **labels)
+
+
+class Histogram(Metric):
+    """Cumulative-bucket histogram, one set of buckets per label set."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] | None = None):
+        super().__init__(name, help)
+        bounds = tuple(sorted(float(b) for b in
+                              (buckets if buckets is not None
+                               else DEFAULT_BUCKETS)))
+        if not bounds:
+            raise ConfigError(f"histogram {name} needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise ConfigError(f"histogram {name} has duplicate buckets")
+        self.buckets = bounds
+        # key -> [per-bucket counts..., +Inf count]; plus sum and count.
+        self._counts: dict[LabelKey, list[int]] = {}
+        self._sums: dict[LabelKey, float] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = label_key(labels)
+        counts = self._counts.setdefault(key, [0] * (len(self.buckets) + 1))
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+        self._sums[key] = self._sums.get(key, 0.0) + float(value)
+
+    def count(self, **labels) -> int:
+        return sum(self._counts.get(label_key(labels), []))
+
+    def sum(self, **labels) -> float:
+        return self._sums.get(label_key(labels), 0.0)
+
+    def mean(self, **labels) -> float:
+        count = self.count(**labels)
+        return self.sum(**labels) / count if count else 0.0
+
+    def bucket_counts(self, **labels) -> dict[str, int]:
+        """Cumulative counts per upper bound (Prometheus ``le`` semantics)."""
+        counts = self._counts.get(label_key(labels),
+                                  [0] * (len(self.buckets) + 1))
+        out: dict[str, int] = {}
+        running = 0
+        for bound, n in zip(self.buckets, counts):
+            running += n
+            out[_format_value(bound)] = running
+        out["+Inf"] = running + counts[-1]
+        return out
+
+    def labelled(self) -> list[LabelKey]:
+        return sorted(self._counts)
+
+    def to_dict(self) -> dict:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "samples": [{
+                "labels": dict(key),
+                "count": sum(self._counts[key]),
+                "sum": self._sums.get(key, 0.0),
+                "buckets": self.bucket_counts(**dict(key)),
+            } for key in sorted(self._counts)],
+        }
+
+    def prometheus_lines(self) -> list[str]:
+        lines = []
+        for key in sorted(self._counts):
+            for bound, cumulative in self.bucket_counts(**dict(key)).items():
+                lines.append(
+                    f"{self.name}_bucket"
+                    f"{_format_labels(key, (('le', bound),))} {cumulative}")
+            lines.append(f"{self.name}_sum{_format_labels(key)} "
+                         f"{_format_value(self._sums.get(key, 0.0))}")
+            lines.append(f"{self.name}_count{_format_labels(key)} "
+                         f"{sum(self._counts[key])}")
+        return lines
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics with uniform export."""
+
+    def __init__(self):
+        self._metrics: dict[str, Metric] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        for name in sorted(self._metrics):
+            yield self._metrics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str) -> Metric | None:
+        return self._metrics.get(name)
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    # -- get-or-create constructors -------------------------------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(name, Counter, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(name, Gauge, help)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] | None = None) -> Histogram:
+        existing = self._metrics.get(name)
+        if existing is None:
+            metric = Histogram(name, help, buckets)
+            self._metrics[name] = metric
+            return metric
+        if type(existing) is not Histogram:
+            raise ConfigError(
+                f"metric {name!r} already registered as {existing.kind}")
+        return existing
+
+    def _register(self, name: str, cls, help: str):
+        existing = self._metrics.get(name)
+        if existing is None:
+            metric = cls(name, help)
+            self._metrics[name] = metric
+            return metric
+        if type(existing) is not cls:
+            raise ConfigError(
+                f"metric {name!r} already registered as {existing.kind}")
+        return existing
+
+    # -- export ----------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """The Prometheus text exposition format (sorted, deterministic)."""
+        lines: list[str] = []
+        for metric in self:
+            lines.extend(metric.header_lines())
+            lines.extend(metric.prometheus_lines())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self) -> dict:
+        return {metric.name: metric.to_dict() for metric in self}
+
+    def rows(self) -> list[tuple[str, str, float]]:
+        """Flat ``(metric, labels, value)`` rows for table rendering."""
+        rows: list[tuple[str, str, float]] = []
+        for metric in self:
+            for key in metric.labelled():
+                labels = _format_labels(key)
+                if isinstance(metric, Histogram):
+                    kwargs = dict(key)
+                    rows.append((metric.name + "_count", labels,
+                                 float(metric.count(**kwargs))))
+                    rows.append((metric.name + "_mean", labels,
+                                 metric.mean(**kwargs)))
+                else:
+                    rows.append((metric.name, labels,
+                                 metric._series[key]))
+        return rows

@@ -1,0 +1,108 @@
+"""Summarize a JSONL trace: top spans, event counts, metric snapshot.
+
+This is the read side of :mod:`repro.obs` — ``repro obs summarize``
+loads a trace written by the tracer (or by
+:meth:`~repro.slicing.trainer.SliceTrainer.export_history`) and renders
+aligned text tables via :func:`repro.utils.tables.format_table`: spans
+aggregated by name and ranked by total time, events by count, and the
+end-of-run metrics snapshot flattened to one row per labelled series.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..errors import DataError
+from ..utils.tables import format_table
+
+
+def load_records(path: str) -> list[dict]:
+    """Parse a JSONL trace file into its records (skipping blank lines)."""
+    records = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise DataError(
+                    f"{path}:{lineno}: not a JSON record: {exc}") from exc
+    return records
+
+
+def span_rows(records: list[dict]) -> list[list[object]]:
+    """Per-span-name aggregate rows, ranked by total duration."""
+    stats: dict[str, list[float]] = {}  # name -> [count, total, max]
+    for record in records:
+        if record.get("kind") != "span":
+            continue
+        entry = stats.setdefault(record["name"], [0, 0.0, 0.0])
+        entry[0] += 1
+        entry[1] += record.get("dur", 0.0)
+        entry[2] = max(entry[2], record.get("dur", 0.0))
+    rows = [[name, int(count), total, total / count, peak]
+            for name, (count, total, peak) in stats.items()]
+    rows.sort(key=lambda row: (-row[2], row[0]))
+    return rows
+
+
+def event_rows(records: list[dict]) -> list[list[object]]:
+    """Per-event-name counts, most frequent first."""
+    counts: dict[str, int] = {}
+    for record in records:
+        if record.get("kind") != "event":
+            continue
+        counts[record["name"]] = counts.get(record["name"], 0) + 1
+    rows = [[name, count] for name, count in counts.items()]
+    rows.sort(key=lambda row: (-row[1], row[0]))
+    return rows
+
+
+def metric_rows(records: list[dict]) -> list[list[object]]:
+    """Flatten the last ``metrics`` snapshot to (metric, labels, value)."""
+    snapshot = None
+    for record in records:
+        if record.get("kind") == "metrics":
+            snapshot = record["metrics"]
+    if snapshot is None:
+        return []
+    rows: list[list[object]] = []
+    for name in sorted(snapshot):
+        data = snapshot[name]
+        for sample in data.get("samples", []):
+            labels = ",".join(f"{k}={v}"
+                              for k, v in sorted(sample["labels"].items()))
+            if data.get("type") == "histogram":
+                count = sample["count"]
+                mean = sample["sum"] / count if count else 0.0
+                rows.append([name + "_count", labels, float(count)])
+                rows.append([name + "_mean", labels, mean])
+            else:
+                rows.append([name, labels, sample["value"]])
+    return rows
+
+
+def summarize(path: str, top: int = 15) -> str:
+    """Render the standard summary of one JSONL trace file."""
+    records = load_records(path)
+    parts: list[str] = [f"{len(records)} records in {path}"]
+
+    spans = span_rows(records)
+    if spans:
+        shown = spans[:top]
+        title = f"top spans by total time ({len(shown)} of {len(spans)})"
+        parts.append(format_table(
+            ["span", "count", "total", "mean", "max"], shown, title=title))
+    events = event_rows(records)
+    if events:
+        parts.append(format_table(["event", "count"], events[:top],
+                                  title="events"))
+    metrics = metric_rows(records)
+    if metrics:
+        parts.append(format_table(["metric", "labels", "value"], metrics,
+                                  title="metrics snapshot"))
+    if len(parts) == 1:
+        parts.append("(no spans, events, or metrics records)")
+    return "\n\n".join(parts)

@@ -1,0 +1,166 @@
+"""Structured spans and events with a deterministic JSONL sink.
+
+A :class:`Tracer` records three kinds of JSON-line records:
+
+* ``span`` — a named interval with ``start``/``end``/``dur`` and
+  arbitrary attributes.  Spans nest: the context-manager form
+  (:meth:`Tracer.span`) maintains a stack, and every record carries the
+  id of its enclosing span in ``parent``.  Timestamps come either from
+  the injectable clock (context-manager spans) or are supplied
+  explicitly (:meth:`span_at` — how the simulated-time runtime stamps
+  request lifecycles without any wall-clock leakage).
+* ``event`` — a named instant with attributes.
+* ``metrics`` — an end-of-run snapshot of a
+  :class:`~repro.obs.metrics.MetricsRegistry`.
+
+Records are serialized with sorted keys and compact separators, and ids
+are a plain monotone counter, so a deterministic program writes a
+byte-identical trace on every run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable
+
+from ..errors import ConfigError
+from .clock import WallClock
+
+
+def _json_default(value):
+    """Best-effort coercion for non-JSON scalars (numpy etc.)."""
+    for cast in (float, str):
+        try:
+            return cast(value)
+        except (TypeError, ValueError):
+            continue
+    raise TypeError(f"cannot serialize {type(value)}")  # pragma: no cover
+
+
+def dumps_record(record: dict) -> str:
+    """The canonical (deterministic) serialization of one trace record."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"),
+                      default=_json_default)
+
+
+class _SpanContext:
+    """Context manager recording one clock-timed span on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent", "start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = None
+        self.parent = None
+        self.start = None
+
+    def __enter__(self) -> "_SpanContext":
+        self.span_id = self._tracer._next_id()
+        self.parent = self._tracer.current_span
+        self._tracer._stack.append(self.span_id)
+        self.start = self._tracer.clock()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end = self._tracer.clock()
+        self._tracer._stack.pop()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self._tracer._emit({
+            "kind": "span", "id": self.span_id, "parent": self.parent,
+            "name": self.name, "start": self.start, "end": end,
+            "dur": end - self.start, "attrs": self.attrs,
+        })
+
+
+class Tracer:
+    """Span/event recorder writing JSONL to a file or an in-memory list."""
+
+    def __init__(self, path: str | None = None,
+                 clock: Callable[[], float] | None = None):
+        self.path = path
+        self.clock = clock if clock is not None else WallClock()
+        self.records: list[dict] = []      # in-memory sink (path is None)
+        self._stack: list[int] = []
+        self._count = 0
+        self._handle = None
+        self._closed = False
+
+    # -- identity and nesting -------------------------------------------
+    @property
+    def current_span(self) -> int | None:
+        """Id of the innermost open context-manager span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def _next_id(self) -> int:
+        self._count += 1
+        return self._count
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- recording -------------------------------------------------------
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """A clock-timed span as a context manager (nests via a stack)."""
+        return _SpanContext(self, name, attrs)
+
+    def span_at(self, name: str, start: float, end: float,
+                parent: int | None = None, **attrs) -> int:
+        """Record a span with explicit timestamps (simulated time).
+
+        ``parent`` defaults to the innermost open context-manager span.
+        Returns the span id, usable as the ``parent`` of child records.
+        """
+        if end < start:
+            raise ConfigError(f"span {name!r} ends before it starts "
+                              f"({end} < {start})")
+        span_id = self._next_id()
+        self._emit({
+            "kind": "span", "id": span_id,
+            "parent": parent if parent is not None else self.current_span,
+            "name": name, "start": float(start), "end": float(end),
+            "dur": float(end) - float(start), "attrs": attrs,
+        })
+        return span_id
+
+    def event(self, name: str, at: float | None = None,
+              parent: int | None = None, **attrs) -> int:
+        """Record a point event (clock-stamped unless ``at`` is given)."""
+        event_id = self._next_id()
+        self._emit({
+            "kind": "event", "id": event_id,
+            "parent": parent if parent is not None else self.current_span,
+            "name": name,
+            "time": float(at) if at is not None else self.clock(),
+            "attrs": attrs,
+        })
+        return event_id
+
+    def write_metrics(self, registry) -> None:
+        """Append a ``metrics`` snapshot record (end-of-run export)."""
+        self._emit({"kind": "metrics", "id": self._next_id(),
+                    "metrics": registry.to_dict()})
+
+    # -- sink ------------------------------------------------------------
+    def _emit(self, record: dict) -> None:
+        if self._closed:
+            raise ConfigError("tracer is closed")
+        if self.path is None:
+            self.records.append(record)
+            return
+        if self._handle is None:
+            self._handle = open(self.path, "w")
+        self._handle.write(dumps_record(record) + "\n")
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Flush and close the sink; further emits raise."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._closed = True

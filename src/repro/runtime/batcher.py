@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import obs
 from ..errors import ServingError
 from .queue import AdmissionQueue
 from .telemetry import RequestTrace
@@ -94,6 +95,11 @@ class DynamicBatcher:
         rate = self._apply_caps(taken, rate)
         for request in taken:
             request.batched = now
+        if obs.enabled():
+            obs.observe("runtime_batch_size", float(len(taken)))
+            obs.gauge("runtime_batch_occupancy",
+                      len(taken) / self.max_batch_size)
+            obs.count("runtime_batches_total", rate=f"{rate:g}")
         return Batch(requests=taken, rate=rate, formed_at=now), expired
 
     # -- internals ------------------------------------------------------

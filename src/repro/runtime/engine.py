@@ -32,6 +32,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..errors import ServingError
 from ..serving.simulator import accuracy_for_rate
 from .batcher import Batch, DynamicBatcher
@@ -129,26 +130,36 @@ class InferenceRuntime:
             now, _, kind, payload = heapq.heappop(self._heap)
             getattr(self, f"_on_{kind}")(now, payload)
             self._drain(now)
+        if obs.enabled():
+            obs.span_at("runtime.run", 0.0, duration,
+                        requests=self.report.total_requests,
+                        outcomes=self.report.outcome_counts(),
+                        retries=self.report.retries,
+                        goodput=self.report.goodput)
         return self.report
 
     # -- event handlers -------------------------------------------------
     def _on_arrival(self, now: float, trace: RequestTrace) -> None:
         admitted, shed = self.queue.offer(trace, now)
         for victim in shed:
-            self._finalize(victim, OUTCOME_SHED)
+            self._finalize(victim, OUTCOME_SHED, now)
         if admitted:
             self._schedule_queue_events(trace, now)
         else:
-            self._finalize(trace, OUTCOME_REJECTED)
+            self._finalize(trace, OUTCOME_REJECTED, now)
 
     def _on_expire(self, now: float, trace: RequestTrace) -> None:
         for victim in self.queue.expire(now):
-            self._finalize(victim, OUTCOME_EXPIRED)
+            self._finalize(victim, OUTCOME_EXPIRED, now)
 
     def _on_batch(self, now: float, payload) -> None:
         pass  # pure wakeup; the post-event drain closes the batch
 
     def _on_fault(self, now: float, event: FaultEvent) -> None:
+        if obs.enabled():
+            obs.count("runtime_faults_total", kind=event.kind)
+            obs.event("runtime.fault", at=now, kind=event.kind,
+                      replica=event.replica_id)
         replica = self.pool.get(event.replica_id)
         if event.kind == "crash":
             replica.crash()
@@ -195,7 +206,7 @@ class InferenceRuntime:
                 break
             batch, expired = self.batcher.form(self.queue, now)
             for victim in expired:
-                self._finalize(victim, OUTCOME_EXPIRED)
+                self._finalize(victim, OUTCOME_EXPIRED, now)
             if batch is None:
                 break
             replica = self.pool.pick(idle, len(batch), batch.rate, now)
@@ -216,6 +227,9 @@ class InferenceRuntime:
         else:
             cause = "ok"
             elapsed = replica.service_time(len(batch), batch.rate, now)
+        if obs.enabled():
+            obs.count("runtime_dispatches_total", replica=replica.replica_id)
+            obs.observe("runtime_service_seconds", elapsed, cause=cause)
         token = replica.begin(now + elapsed)
         self._in_flight[replica.replica_id] = batch
         self._push(now + elapsed, "complete",
@@ -234,25 +248,28 @@ class InferenceRuntime:
             if predictions is not None and self.labels is not None:
                 request.correct = bool(
                     predictions[i] == self.labels[request.payload])
+            self._observe_request(request, now)
 
     def _retry(self, batch: Batch, now: float) -> None:
         """Re-admit a failed batch, capping each retry at a narrower rate."""
         cap = self._downgrade(batch.rate)
         for request in batch.requests:
             if request.attempts >= self.config.max_attempts:
-                self._finalize(request, OUTCOME_FAILED)
+                self._finalize(request, OUTCOME_FAILED, now)
                 continue
             request.rate_cap = cap if request.rate_cap is None \
                 else min(request.rate_cap, cap)
             admitted, shed = self.queue.offer(request, now)
             for victim in shed:
-                self._finalize(victim, OUTCOME_SHED)
+                self._finalize(victim, OUTCOME_SHED, now)
             if admitted:
+                if obs.enabled():
+                    obs.count("runtime_retries_total")
                 self._schedule_queue_events(request, now)
             elif request.deadline <= now + _EPS:
-                self._finalize(request, OUTCOME_EXPIRED)
+                self._finalize(request, OUTCOME_EXPIRED, now)
             else:
-                self._finalize(request, OUTCOME_FAILED)
+                self._finalize(request, OUTCOME_FAILED, now)
 
     def _downgrade(self, rate: float) -> float:
         """The next narrower candidate rate (or ``rate`` if none exists)."""
@@ -267,8 +284,38 @@ class InferenceRuntime:
         if self.config.batch_timeout > 0:
             self._push(now + self.config.batch_timeout, "batch", None)
 
-    def _finalize(self, trace: RequestTrace, outcome: str) -> None:
+    def _finalize(self, trace: RequestTrace, outcome: str,
+                  now: float) -> None:
         trace.outcome = outcome
+        self._observe_request(trace, now)
+
+    def _observe_request(self, trace: RequestTrace, now: float) -> None:
+        """Emit the request-lifecycle span tree and outcome counter.
+
+        All timestamps are *simulated* time taken from the trace itself,
+        so the emitted records are deterministic regardless of the
+        tracer's clock.
+        """
+        if obs.disabled():
+            return
+        obs.count("runtime_requests_total", outcome=trace.outcome)
+        end = trace.completed if trace.completed is not None else now
+        span_id = obs.span_at(
+            "runtime.request", trace.arrival, end,
+            request_id=trace.request_id, outcome=trace.outcome,
+            rate=trace.rate, replica=trace.replica,
+            attempts=trace.attempts, deadline_met=trace.deadline_met)
+        # ``batched`` can be stale (from a pre-retry attempt) when a
+        # re-admitted request dies in the queue; only a coherent wait is
+        # worth a span.
+        if trace.enqueued is not None and trace.batched is not None \
+                and trace.batched >= trace.enqueued:
+            obs.span_at("runtime.request.queue", trace.enqueued,
+                        trace.batched, parent=span_id)
+        if trace.started is not None and trace.completed is not None:
+            obs.span_at("runtime.request.service", trace.started,
+                        trace.completed, parent=span_id,
+                        replica=trace.replica, rate=trace.rate)
 
     def _push(self, time: float, kind: str, payload) -> None:
         heapq.heappush(self._heap, (time, next(self._seq), kind, payload))

@@ -22,6 +22,7 @@ from typing import Iterable, Iterator
 
 import numpy as np
 
+from .. import obs
 from ..errors import ServingError
 from .replica import Replica
 
@@ -62,7 +63,12 @@ class ReplicaPool:
     # -- health belief --------------------------------------------------
     def quarantine(self, replica_id: str) -> None:
         """Take a replica out of rotation (failure observed)."""
+        if obs.enabled() and replica_id not in self._out_of_rotation:
+            obs.count("runtime_quarantines_total")
         self._out_of_rotation.add(replica_id)
+        if obs.enabled():
+            obs.gauge("runtime_replicas_in_rotation",
+                      len(self.replicas) - len(self._out_of_rotation))
 
     def in_rotation(self) -> list[Replica]:
         return [r for r in self.replicas
@@ -71,6 +77,9 @@ class ReplicaPool:
     def health_check(self) -> list[Replica]:
         """Probe every replica in rotation; quarantine dead ones."""
         detected = [r for r in self.in_rotation() if r.crashed]
+        if detected and obs.enabled():
+            obs.count("runtime_health_detections_total",
+                      amount=len(detected))
         for replica in detected:
             self.quarantine(replica.replica_id)
         return detected

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import bisect
 
+from .. import obs
 from ..errors import ServingError
 from .telemetry import RequestTrace
 
@@ -84,6 +85,7 @@ class AdmissionQueue:
             shed.append(self._pop_index(0))
         request.enqueued = now
         self._insert(request)
+        self._observe_depth()
         return True, shed
 
     def push_back(self, requests: list[RequestTrace]) -> None:
@@ -94,6 +96,8 @@ class AdmissionQueue:
         """
         for request in requests:
             self._insert(request)
+        if requests:
+            self._observe_depth()
 
     def pop(self, count: int, now: float
             ) -> tuple[list[RequestTrace], list[RequestTrace]]:
@@ -105,6 +109,8 @@ class AdmissionQueue:
         """
         expired = self.expire(now)
         taken = [self._pop_index(0) for _ in range(min(count, len(self._items)))]
+        if taken:
+            self._observe_depth()
         return taken, expired
 
     def expire(self, now: float) -> list[RequestTrace]:
@@ -116,9 +122,14 @@ class AdmissionQueue:
                     if id(r) not in dead]
             self._keys = [k for k, _ in kept]
             self._items = [r for _, r in kept]
+            self._observe_depth()
         return expired
 
     # -- internals ------------------------------------------------------
+    def _observe_depth(self) -> None:
+        if obs.enabled():
+            obs.gauge("runtime_queue_depth", len(self._items))
+            obs.gauge("runtime_queue_backpressure", self.backpressure)
     def _insert(self, request: RequestTrace) -> None:
         key = (request.arrival, request.request_id)
         index = bisect.bisect(self._keys, key)

@@ -13,8 +13,23 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+from .. import obs
 from ..errors import BudgetError, ServingError
 from ..slicing.budget import rate_for_latency
+
+
+def _record_decision(policy: str, batch_size: int, rate: float | None,
+                     window: float, cost: float | None) -> None:
+    """Count and trace one slice-rate decision (only while obs is on).
+
+    The event carries the run-time budget (``window``, the paper's
+    ``T/2``) and the planned spend at the chosen rate, so a trace shows
+    *why* the controller degraded: the budget that forced the rate.
+    """
+    label = "none" if rate is None else f"{rate:g}"
+    obs.count("controller_decisions_total", rate=label)
+    obs.event("controller.decision", policy=policy, batch_size=batch_size,
+              rate=rate, window=window, cost=cost)
 
 
 class SliceRateController:
@@ -55,6 +70,15 @@ class SliceRateController:
 
     def choose(self, batch_size: int) -> float | None:
         """Slice rate for a batch, or None if even the base net is too slow."""
+        rate = self._decide(batch_size)
+        if obs.enabled():
+            cost = None if rate is None \
+                else batch_size * self.per_sample_cost(rate)
+            _record_decision("elastic", batch_size, rate,
+                             self.latency_slo / 2.0, cost)
+        return rate
+
+    def _decide(self, batch_size: int) -> float | None:
         if batch_size == 0:
             return None
         if self.cost_of_rate is not None:
@@ -100,7 +124,7 @@ class AdaptiveSliceRateController(SliceRateController):
         self.safety = safety
         self.observations = 0
 
-    def choose(self, batch_size: int) -> float | None:
+    def _decide(self, batch_size: int) -> float | None:
         if batch_size == 0:
             return None
         try:
@@ -122,6 +146,8 @@ class AdaptiveSliceRateController(SliceRateController):
         self.full_latency = ((1 - self.smoothing) * self.full_latency
                              + self.smoothing * implied)
         self.observations += 1
+        if obs.enabled():
+            obs.gauge("controller_latency_estimate", self.full_latency)
         return self.full_latency
 
 
@@ -149,6 +175,15 @@ class FixedRateController:
         return self.full_latency * rate * rate
 
     def choose(self, batch_size: int) -> float | None:
+        rate = self._decide(batch_size)
+        if obs.enabled():
+            cost = None if rate is None \
+                else batch_size * self.per_sample_cost(rate)
+            _record_decision("fixed", batch_size, rate,
+                             self.latency_slo / 2.0, cost)
+        return rate
+
+    def _decide(self, batch_size: int) -> float | None:
         if batch_size == 0:
             return None
         cost = batch_size * self.per_sample_cost(self.rate)

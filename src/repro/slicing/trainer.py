@@ -8,10 +8,12 @@ structure of Algorithm 1 in the paper.
 
 from __future__ import annotations
 
+import json
 from typing import Callable, Sequence
 
 import numpy as np
 
+from .. import obs
 from ..errors import ConfigError
 from ..nn.module import Module
 from ..optim import SGD
@@ -32,6 +34,31 @@ class EpochRecord:
 
     def __repr__(self) -> str:
         return f"EpochRecord(epoch={self.epoch}, eval_error={self.eval_error})"
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view (slice-rate keys stay floats here;
+        ``json.dumps`` coerces them to strings on the wire)."""
+        return {
+            "epoch": self.epoch,
+            "train_loss": dict(self.train_loss),
+            "eval_error": dict(self.eval_error),
+            "eval_loss": dict(self.eval_loss),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EpochRecord":
+        """Inverse of :meth:`to_dict`; accepts string rate keys (JSON)."""
+        record = cls(int(data["epoch"]))
+        for field in ("train_loss", "eval_error", "eval_loss"):
+            record.__dict__[field] = {
+                float(rate): float(value)
+                for rate, value in data.get(field, {}).items()}
+        record.extra = dict(data.get("extra", {}))
+        return record
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
 
 
 class SliceTrainer:
@@ -78,6 +105,7 @@ class SliceTrainer:
         every scheme — without it, static scheduling of k rates behaves
         like a k-times larger learning rate and diverges.)
         """
+        started = obs.clock_now() if obs.enabled() else None
         self.model.train()
         self.optimizer.zero_grad()
         rates = self.scheme.sample(self.rng)
@@ -93,8 +121,24 @@ class SliceTrainer:
             for param in self.optimizer.params:
                 if param.grad is not None:
                     param.grad = param.grad * inv
+        if started is not None:
+            obs.gauge("train_grad_norm", self._grad_norm())
         self.optimizer.step()
+        if started is not None:
+            obs.count("train_steps_total")
+            for rate, value in losses.items():
+                obs.count("train_rate_scheduled_total", rate=f"{rate:g}")
+                obs.gauge("train_loss", value, rate=f"{rate:g}")
+            obs.observe("train_step_seconds", obs.clock_now() - started)
         return losses
+
+    def _grad_norm(self) -> float:
+        """Global L2 norm of the accumulated (averaged) gradients."""
+        total = 0.0
+        for param in self.optimizer.params:
+            if param.grad is not None:
+                total += float((param.grad ** 2).sum())
+        return total ** 0.5
 
     def train_epoch(self, loader) -> dict[float, float]:
         """Train over an iterable of ``(inputs, targets)`` batches.
@@ -151,14 +195,41 @@ class SliceTrainer:
         """
         for epoch in range(epochs):
             record = EpochRecord(epoch)
-            record.train_loss = self.train_epoch(train_loader_fn())
-            if eval_loader_fn is not None:
-                results = self.evaluate(eval_loader_fn(), rates=eval_rates)
-                record.eval_error = {r: m["error"] for r, m in results.items()}
-                record.eval_loss = {r: m["loss"] for r, m in results.items()}
+            with obs.span("train.epoch", epoch=epoch):
+                record.train_loss = self.train_epoch(train_loader_fn())
+                if eval_loader_fn is not None:
+                    results = self.evaluate(eval_loader_fn(),
+                                            rates=eval_rates)
+                    record.eval_error = {r: m["error"]
+                                         for r, m in results.items()}
+                    record.eval_loss = {r: m["loss"]
+                                        for r, m in results.items()}
+            obs.event("train.epoch_record", **record.to_dict())
             if lr_schedule is not None:
                 lr_schedule.step()
             if epoch_hook is not None:
                 epoch_hook(record, self.model)
             self.history.append(record)
         return self.history
+
+    # ------------------------------------------------------------------
+    def history_dicts(self) -> list[dict]:
+        """The training history as JSON-serializable dicts."""
+        return [record.to_dict() for record in self.history]
+
+    def export_history(self, path: str) -> int:
+        """Write the history as JSONL ``train.epoch`` trace events.
+
+        The records use the same schema as :mod:`repro.obs` traces, so
+        training curves and runtime telemetry flow through the same
+        tooling (``repro obs summarize`` reads either).  Returns the
+        number of records written.
+        """
+        with open(path, "w") as handle:
+            for n, record in enumerate(self.history, 1):
+                handle.write(obs.dumps_record({
+                    "kind": "event", "id": n, "parent": None,
+                    "name": "train.epoch", "time": float(record.epoch),
+                    "attrs": record.to_dict(),
+                }) + "\n")
+        return len(self.history)

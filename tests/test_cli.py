@@ -46,6 +46,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["runtime", "--dispatch", "random"])
 
+    def test_runtime_trace_option(self):
+        args = build_parser().parse_args(["runtime"])
+        assert args.trace is None
+        args = build_parser().parse_args(["runtime", "--trace", "t.jsonl"])
+        assert args.trace == "t.jsonl"
+
+    def test_obs_summarize_parses(self):
+        args = build_parser().parse_args(["obs", "summarize", "t.jsonl"])
+        assert args.obs_command == "summarize"
+        assert args.trace == "t.jsonl"
+        assert args.top == 15
+        args = build_parser().parse_args(
+            ["obs", "summarize", "t.jsonl", "--top", "3"])
+        assert args.top == 3
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs"])
+
 
 class TestCommands:
     def test_info_prints_protocols(self, capsys):
@@ -84,6 +101,23 @@ class TestCommands:
                      "--no-faults"]) == 0
         out = capsys.readouterr().out
         assert "faults=none" in out
+
+    def test_runtime_trace_then_obs_summarize(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["runtime", "--duration", "5", "--base-rate", "50",
+                     "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert trace.exists()
+        assert main(["obs", "summarize", str(trace), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "runtime.request" in out
+        assert "metrics snapshot" in out
+        assert "runtime_requests_total" in out
+
+    def test_obs_summarize_missing_file_fails_cleanly(self, capsys,
+                                                      tmp_path):
+        assert main(["obs", "summarize", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot summarize" in capsys.readouterr().err
 
     def test_artifact_table_registry_is_consistent(self):
         import importlib

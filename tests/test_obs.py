@@ -1,0 +1,441 @@
+"""Tests for the unified observability layer (repro.obs)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import MLP, RandomStaticScheme, SliceTrainer, obs
+from repro.errors import ConfigError
+from repro.experiments.cache import ExperimentCache
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.summary import load_records, summarize
+from repro.optim import SGD
+from repro.runtime import (
+    FaultPlan,
+    InferenceRuntime,
+    LatencyProfile,
+    Replica,
+    ReplicaPool,
+    RuntimeConfig,
+)
+from repro.serving import SliceRateController
+from repro.slicing.trainer import EpochRecord
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs():
+    """Every test starts and ends with observability off and pristine.
+
+    ``obs.disable()`` deliberately keeps the last registry/tracer
+    readable, so a fresh pair is installed here to shield these tests
+    from instrumented runs elsewhere in the suite (e.g. the CLI tests).
+    """
+    obs.disable()
+    obs._registry = MetricsRegistry()
+    obs._tracer = obs.Tracer()
+    yield
+    obs.disable()
+
+
+# ---------------------------------------------------------------------------
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("requests_total")
+        counter.inc()
+        counter.inc(2.0)
+        assert counter.value() == 3.0
+
+    def test_label_sets_are_independent_and_order_free(self):
+        counter = Counter("c")
+        counter.inc(outcome="ok", replica="r0")
+        counter.inc(replica="r0", outcome="ok")
+        counter.inc(outcome="bad", replica="r0")
+        assert counter.value(outcome="ok", replica="r0") == 2.0
+        assert counter.value(outcome="bad", replica="r0") == 1.0
+        assert counter.total() == 3.0
+
+    def test_counter_cannot_decrease(self):
+        with pytest.raises(ConfigError):
+            Counter("c").inc(-1.0)
+
+    def test_unobserved_series_reads_zero(self):
+        assert Counter("c").value(outcome="never") == 0.0
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("depth")
+        gauge.set(5.0)
+        gauge.inc(2.0)
+        gauge.dec()
+        assert gauge.value() == 6.0
+
+    def test_gauge_may_go_negative(self):
+        gauge = Gauge("g")
+        gauge.dec(3.0)
+        assert gauge.value() == -3.0
+
+
+class TestHistogram:
+    def test_count_sum_mean(self):
+        hist = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.count() == 3
+        assert hist.sum() == pytest.approx(55.5)
+        assert hist.mean() == pytest.approx(55.5 / 3)
+
+    def test_bucket_counts_are_cumulative_with_inf(self):
+        hist = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 0.7, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.bucket_counts() == {"1": 2, "10": 3, "+Inf": 4}
+
+    def test_boundary_lands_in_bucket(self):
+        hist = Histogram("h", buckets=(1.0,))
+        hist.observe(1.0)
+        assert hist.bucket_counts() == {"1": 1, "+Inf": 1}
+
+    def test_per_label_series(self):
+        hist = Histogram("h", buckets=(1.0,))
+        hist.observe(0.5, rate="0.5")
+        hist.observe(2.0, rate="1")
+        assert hist.count(rate="0.5") == 1
+        assert hist.count(rate="1") == 1
+        assert hist.count() == 0
+
+    def test_bad_buckets(self):
+        with pytest.raises(ConfigError):
+            Histogram("h", buckets=())
+        with pytest.raises(ConfigError):
+            Histogram("h", buckets=(1.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c") is registry.counter("c")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(ConfigError):
+            registry.gauge("m")
+        with pytest.raises(ConfigError):
+            registry.histogram("m")
+
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs_total", "Requests.").inc(3, outcome="ok")
+        registry.gauge("depth").set(2.5)
+        registry.histogram("lat", buckets=(0.1,)).observe(0.05)
+        text = registry.to_prometheus()
+        assert "# HELP reqs_total Requests." in text
+        assert "# TYPE reqs_total counter" in text
+        assert 'reqs_total{outcome="ok"} 3' in text
+        assert "depth 2.5" in text
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_count 1" in text
+
+    def test_to_dict_and_rows(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(outcome="ok")
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        data = registry.to_dict()
+        assert data["c"]["samples"][0] == {
+            "labels": {"outcome": "ok"}, "value": 1.0}
+        assert data["h"]["samples"][0]["count"] == 1
+        names = [row[0] for row in registry.rows()]
+        assert "c" in names and "h_count" in names and "h_mean" in names
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert len(registry) == 0
+
+
+# ---------------------------------------------------------------------------
+class TestTracer:
+    def test_nested_spans_record_parents(self):
+        clock = obs.ManualClock()
+        tracer = obs.Tracer(clock=clock)
+        with tracer.span("outer") as outer:
+            clock.advance(1.0)
+            with tracer.span("inner", depth=2) as inner:
+                clock.advance(0.5)
+        assert inner.parent == outer.span_id
+        records = {r["name"]: r for r in tracer.records}
+        assert records["inner"]["dur"] == pytest.approx(0.5)
+        assert records["outer"]["dur"] == pytest.approx(1.5)
+        assert records["inner"]["attrs"] == {"depth": 2}
+        # children are emitted on exit, before their parents
+        assert [r["name"] for r in tracer.records] == ["inner", "outer"]
+
+    def test_span_at_and_event_use_explicit_time(self):
+        tracer = obs.Tracer(clock=obs.ManualClock())
+        span_id = tracer.span_at("req", 1.0, 3.0, outcome="ok")
+        tracer.event("fault", at=2.0, parent=span_id, kind="crash")
+        span, event = tracer.records
+        assert (span["start"], span["end"], span["dur"]) == (1.0, 3.0, 2.0)
+        assert event["time"] == 2.0
+        assert event["parent"] == span_id
+
+    def test_span_at_defaults_parent_to_open_span(self):
+        tracer = obs.Tracer(clock=obs.ManualClock())
+        with tracer.span("outer") as outer:
+            tracer.span_at("child", 0.0, 1.0)
+        child = [r for r in tracer.records if r["name"] == "child"][0]
+        assert child["parent"] == outer.span_id
+
+    def test_span_cannot_end_before_start(self):
+        with pytest.raises(ConfigError):
+            obs.Tracer().span_at("bad", 2.0, 1.0)
+
+    def test_error_inside_span_is_recorded(self):
+        tracer = obs.Tracer(clock=obs.ManualClock())
+        with pytest.raises(ValueError):
+            with tracer.span("work"):
+                raise ValueError("boom")
+        assert tracer.records[0]["attrs"]["error"] == "ValueError"
+
+    def test_closed_tracer_refuses_records(self):
+        tracer = obs.Tracer()
+        tracer.close()
+        with pytest.raises(ConfigError):
+            tracer.event("late")
+
+    def test_file_sink_round_trips(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = obs.Tracer(path, clock=obs.ManualClock())
+        tracer.span_at("req", 0.0, 1.0)
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        tracer.write_metrics(registry)
+        tracer.close()
+        records = load_records(path)
+        assert [r["kind"] for r in records] == ["span", "metrics"]
+        assert records[1]["metrics"]["c"]["samples"][0]["value"] == 1.0
+
+    def test_identical_programs_write_identical_bytes(self, tmp_path):
+        def run(path):
+            tracer = obs.Tracer(str(path), clock=obs.TickClock())
+            with tracer.span("outer", k="v"):
+                tracer.event("tick")
+                tracer.span_at("inner", 0.25, 0.75, rate=0.5)
+            tracer.close()
+        run(tmp_path / "a.jsonl")
+        run(tmp_path / "b.jsonl")
+        assert (tmp_path / "a.jsonl").read_bytes() == \
+            (tmp_path / "b.jsonl").read_bytes()
+
+
+# ---------------------------------------------------------------------------
+class TestGlobalState:
+    def test_disabled_fast_path_emits_nothing(self):
+        assert obs.disabled()
+        before_registry = obs.registry()
+        before_count = len(obs.tracer())
+        obs.count("c")
+        obs.gauge("g", 1.0)
+        obs.observe("h", 1.0)
+        assert obs.event("e") is None
+        assert obs.span_at("s", 0.0, 1.0) is None
+        with obs.span("nothing", a=1) as ctx:
+            pass
+        assert not hasattr(ctx, "span_id")
+        assert len(before_registry) == 0
+        assert len(obs.tracer()) == before_count
+
+    def test_configure_and_shutdown(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        registry, tracer = obs.configure(trace_path=path,
+                                         clock=obs.ManualClock())
+        assert obs.enabled()
+        assert obs.registry() is registry and obs.tracer() is tracer
+        obs.count("runtime_requests_total", outcome="completed")
+        with obs.span("work"):
+            pass
+        obs.shutdown()
+        assert obs.disabled()
+        kinds = [r["kind"] for r in load_records(path)]
+        assert kinds == ["span", "metrics"]
+
+    def test_helpers_attach_catalog_help(self):
+        obs.configure(clock=obs.ManualClock())
+        obs.count("runtime_requests_total", outcome="completed")
+        metric = obs.registry().get("runtime_requests_total")
+        assert "outcome" in metric.to_dict()["samples"][0]["labels"]
+        assert metric.help
+        obs.shutdown(write_metrics=False)
+
+
+# ---------------------------------------------------------------------------
+RATES = [0.25, 0.5, 0.75, 1.0]
+ACCURACY = {0.25: 0.62, 0.5: 0.85, 0.75: 0.91, 1.0: 0.94}
+
+
+def _runtime_run(duration=3.0):
+    rng = np.random.default_rng(7)
+    arrivals = np.sort(rng.uniform(0.0, duration, size=600))
+    pool = ReplicaPool([Replica(f"r{i}", LatencyProfile(0.002))
+                        for i in range(3)])
+    config = RuntimeConfig(latency_slo=0.1, max_batch_size=64,
+                           batch_timeout=0.01)
+    runtime = InferenceRuntime(
+        pool, SliceRateController(RATES, 0.002, 0.1), config, ACCURACY,
+        fault_plan=FaultPlan.single_crash("r1", duration / 3))
+    return runtime.run(arrivals, duration)
+
+
+class TestRuntimeInstrumentation:
+    def test_two_runs_write_byte_identical_traces(self, tmp_path):
+        paths = [str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")]
+        for path in paths:
+            obs.configure(trace_path=path, clock=obs.TickClock())
+            _runtime_run()
+            obs.shutdown()
+        first, second = (open(p, "rb").read() for p in paths)
+        assert first == second
+        assert len(first) > 0
+
+    def test_disabled_run_matches_enabled_run(self, tmp_path):
+        obs.configure(trace_path=str(tmp_path / "t.jsonl"),
+                      clock=obs.TickClock())
+        enabled_report = _runtime_run()
+        obs.shutdown()
+        disabled_report = _runtime_run()
+        assert disabled_report.to_json() == enabled_report.to_json()
+
+    def test_trace_contents(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        obs.configure(trace_path=path, clock=obs.TickClock())
+        report = _runtime_run()
+        obs.shutdown()
+        records = load_records(path)
+        spans = [r for r in records if r["kind"] == "span"]
+        request_spans = [s for s in spans if s["name"] == "runtime.request"]
+        # one lifecycle span per arrival, stamped in simulated time
+        assert len(request_spans) == report.total_requests
+        assert all(0.0 <= s["start"] <= s["end"] <= 3.0 + 0.1
+                   for s in request_spans)
+        service = [s for s in spans if s["name"] == "runtime.request.service"]
+        parents = {s["id"] for s in request_spans}
+        assert service and all(s["parent"] in parents for s in service)
+        faults = [r for r in records if r["kind"] == "event"
+                  and r["name"] == "runtime.fault"]
+        assert len(faults) == 1 and faults[0]["attrs"]["kind"] == "crash"
+        snapshot = [r for r in records if r["kind"] == "metrics"][-1]
+        outcomes = snapshot["metrics"]["runtime_requests_total"]["samples"]
+        total = sum(sample["value"] for sample in outcomes)
+        assert total == report.total_requests
+        decisions = snapshot["metrics"]["controller_decisions_total"]
+        assert decisions["samples"]
+
+    def test_summarize_renders_tables(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        obs.configure(trace_path=path, clock=obs.TickClock())
+        _runtime_run()
+        obs.shutdown()
+        text = summarize(path, top=5)
+        assert "runtime.request" in text
+        assert "metrics snapshot" in text
+        assert "runtime_requests_total" in text
+
+
+# ---------------------------------------------------------------------------
+class TestTrainerInstrumentation:
+    def _trainer(self, seed=0):
+        rng = np.random.default_rng(seed)
+        model = MLP(4, [8], 2, seed=seed)
+        return SliceTrainer(model, RandomStaticScheme(RATES, num_random=1),
+                            SGD(model.parameters(), lr=0.1), rng=rng), rng
+
+    def test_metrics_and_epoch_events(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        obs.configure(trace_path=path, clock=obs.TickClock())
+        trainer, rng = self._trainer()
+        inputs = rng.normal(size=(16, 4)).astype(np.float32)
+        targets = (inputs.sum(axis=1) > 0).astype(int)
+        trainer.fit(lambda: [(inputs, targets)],
+                    lambda: [(inputs, targets)], epochs=2)
+        obs.shutdown()
+        registry = obs.registry()
+        assert registry.get("train_steps_total").value() == 2.0
+        assert registry.get("train_rate_scheduled_total").total() > 0
+        assert registry.get("train_loss") is not None
+        assert registry.get("train_grad_norm").value() >= 0.0
+        assert registry.get("train_step_seconds").count() == 2
+        records = load_records(path)
+        epochs = [r for r in records if r["kind"] == "event"
+                  and r["name"] == "train.epoch_record"]
+        assert len(epochs) == 2
+        assert "train_loss" in epochs[0]["attrs"]
+        assert any(r["kind"] == "span" and r["name"] == "train.epoch"
+                   for r in records)
+
+    def test_training_unchanged_by_observability(self, tmp_path):
+        def losses(enable):
+            if enable:
+                obs.configure(trace_path=str(tmp_path / "t.jsonl"),
+                              clock=obs.TickClock())
+            trainer, rng = self._trainer()
+            inputs = rng.normal(size=(16, 4)).astype(np.float32)
+            targets = (inputs.sum(axis=1) > 0).astype(int)
+            out = [trainer.train_batch(inputs, targets) for _ in range(3)]
+            if enable:
+                obs.shutdown()
+            return out
+        assert losses(True) == losses(False)
+
+
+class TestEpochRecordSerialization:
+    def test_round_trip(self):
+        record = EpochRecord(3)
+        record.train_loss = {0.5: 1.25, 1.0: 0.75}
+        record.eval_error = {0.5: 0.2}
+        record.extra["note"] = "x"
+        clone = EpochRecord.from_dict(json.loads(record.to_json()))
+        assert clone.epoch == 3
+        assert clone.train_loss == record.train_loss
+        assert clone.eval_error == record.eval_error
+        assert clone.extra == {"note": "x"}
+
+    def test_export_history_jsonl(self, tmp_path):
+        trainer, rng = TestTrainerInstrumentation()._trainer()
+        inputs = rng.normal(size=(16, 4)).astype(np.float32)
+        targets = (inputs.sum(axis=1) > 0).astype(int)
+        trainer.fit(lambda: [(inputs, targets)], epochs=2)
+        path = str(tmp_path / "history.jsonl")
+        assert trainer.export_history(path) == 2
+        records = load_records(path)
+        assert [r["name"] for r in records] == ["train.epoch"] * 2
+        restored = EpochRecord.from_dict(records[1]["attrs"])
+        assert restored.epoch == 1
+        assert restored.train_loss == trainer.history[1].train_loss
+        assert len(trainer.history_dicts()) == 2
+        # the shared trace schema means the summarizer reads it too
+        assert "train.epoch" in summarize(path)
+
+
+# ---------------------------------------------------------------------------
+class TestExperimentCache:
+    def test_env_var_resolved_at_construction(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "redirected"))
+        cache = ExperimentCache()
+        assert cache.root == str(tmp_path / "redirected")
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert ExperimentCache().root != str(tmp_path / "redirected")
+
+    def test_hit_miss_counters(self, tmp_path):
+        obs.configure(clock=obs.ManualClock())
+        cache = ExperimentCache(str(tmp_path))
+        assert cache.get("k") is None
+        cache.put("k", {"v": 1})
+        assert cache.get("k") == {"v": 1}
+        registry = obs.registry()
+        assert registry.get("expcache_misses_total").value() == 1.0
+        assert registry.get("expcache_hits_total").value() == 1.0
+        obs.shutdown(write_metrics=False)
