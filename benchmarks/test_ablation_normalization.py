@@ -5,6 +5,10 @@ that GN matches the multi-BN (SlimmableNet) fix without its per-rate
 memory.  Shape: GN and multi-BN clearly beat naive BN at the small rates.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.experiments.ablation_suite import normalization_ablation
 from repro.utils import format_table
 

@@ -7,6 +7,10 @@
   granularity per dataset without tuning).
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.experiments.ablation_suite import (
     granularity_ablation,
     incremental_ablation,

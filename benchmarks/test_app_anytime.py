@@ -7,6 +7,10 @@ non-decreasing-ish along refinement, and the cumulative cost of refining
 to full width equals ONE full-width pass — not the sum of all passes.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import numpy as np
 
 from repro.anytime import AnytimeMLP, anytime_accuracy_curve

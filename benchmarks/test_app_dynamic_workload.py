@@ -6,8 +6,11 @@ fixed full-width policy sheds a large fraction of peak traffic; the fixed
 narrow policy meets the SLO but wastes accuracy off-peak.
 """
 
-import numpy as np
 import pytest
+
+pytestmark = pytest.mark.slow
+
+import numpy as np
 
 from repro.experiments.serving_suite import (
     adaptive_serving_experiment,

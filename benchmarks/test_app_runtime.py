@@ -12,6 +12,10 @@ Uses calibrated latency profiles only (no model training), so it runs in
 seconds.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import numpy as np
 
 from repro.runtime import (

@@ -10,6 +10,10 @@ VGG backbone — see DESIGN.md).  Paper shapes:
 * slicing works better on the wider backbone.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.experiments.resnet_suite import (
     depth_ensemble_resnet_experiment,
     fixed_resnet_ensemble_experiment,

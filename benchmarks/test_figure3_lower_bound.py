@@ -5,6 +5,10 @@ and collapses below it; each model is best in the neighbourhood of its
 own lower bound.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.experiments.vgg_suite import lower_bound_experiment
 from repro.experiments.harness import build_image_task, make_vgg
 from repro.slicing import slice_rate

@@ -5,6 +5,10 @@ rate shrinks; the sliced model's curve stays close to the fixed-model
 ensemble across the whole grid.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.experiments.nnlm_suite import (
     build_text_task,
     make_nnlm,

@@ -5,6 +5,10 @@ trade-off curve; the varying-depth ensemble is weaker; direct slicing of
 a conventionally trained model collapses immediately.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.experiments.vgg_suite import (
     depth_ensemble_experiment,
     direct_slicing_experiment,

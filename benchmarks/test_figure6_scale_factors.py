@@ -5,6 +5,10 @@ groups (G1-G3) learn the largest scale factors, later groups
 progressively smaller ones — evidence of group residual learning.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import numpy as np
 
 from repro.experiments.vgg_suite import sliced_vgg_experiment

@@ -5,6 +5,10 @@ Paper shapes: larger subnets' error drops faster; smaller subnets follow
 individually trained full model.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import numpy as np
 
 from repro.experiments.vgg_suite import (

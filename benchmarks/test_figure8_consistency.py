@@ -5,6 +5,10 @@ is dramatically higher (~0.75-0.97) than between independently trained
 fixed models (~0.55-0.62 at this scale: near-chance overlap).
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import numpy as np
 
 from repro.experiments.vgg_suite import (

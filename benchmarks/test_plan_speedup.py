@@ -1,0 +1,75 @@
+"""Compiled-plan speedup over the uncompiled sliced forward.
+
+The inference plan compiler (:mod:`repro.slicing.plans`) exists to make
+small-rate serving cheap: weight prefixes are materialized contiguously
+with the rescale folded in, no autograd graph is built, and conv scratch
+buffers are reused.  This benchmark measures the payoff directly —
+median forward wall-clock of the plan path vs the sliced forward, per
+rate, on the two model families the paper serves (GN-CNN and the LSTM
+NNLM) — and *asserts* the tentpole's acceptance bar: at r = 0.25 the
+plan must be at least 2x faster.
+
+Set ``REPRO_PLAN_SMOKE=1`` (CI does) for a quick, noise-tolerant run:
+fewer repeats and a relaxed 1.2x assertion, since shared CI runners
+cannot guarantee stable wall-clock ratios.
+"""
+
+import os
+
+import numpy as np
+
+from repro.metrics import measure_latency
+from repro.models import NNLM, SlicedVGG
+from repro.slicing import PlanCache
+from repro.utils import format_table
+
+SMOKE = os.environ.get("REPRO_PLAN_SMOKE") == "1"
+REPEATS = 9 if SMOKE else 31
+MIN_SPEEDUP = 1.2 if SMOKE else 2.0
+RATES = (0.25, 0.5, 0.75, 1.0)
+
+
+def _speedup_rows(model, inputs, rates):
+    """Per-rate (plan_ms, sliced_ms, speedup) with a private cache."""
+    cache = PlanCache()
+    rows = []
+    for rate in rates:
+        plan = measure_latency(model, inputs, rate, repeats=REPEATS,
+                               warmup=2, use_plan=True, plan_cache=cache)
+        sliced = measure_latency(model, inputs, rate, repeats=REPEATS,
+                                 warmup=1)
+        rows.append((rate, plan * 1e3, sliced * 1e3, sliced / plan))
+    return rows
+
+
+def _emit_table(emit, name, rows):
+    emit(name, format_table(
+        ["rate", "plan ms", "sliced ms", "speedup"],
+        [[f"{rate:.2f}", f"{plan:.3f}", f"{sliced:.3f}", f"{ratio:.2f}x"]
+         for rate, plan, sliced, ratio in rows]))
+
+
+def test_gn_cnn_plan_speedup(emit):
+    model = SlicedVGG.cifar_mini(num_classes=8, width=16, seed=0)
+    model.eval()
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(8, 3, 8, 8)).astype(np.float32)
+    rows = _speedup_rows(model, x, RATES)
+    _emit_table(emit, "plan_speedup_gn_cnn", rows)
+    at_quarter = rows[0][3]
+    assert at_quarter >= MIN_SPEEDUP, (
+        f"GN-CNN plan speedup at r=0.25 was {at_quarter:.2f}x, "
+        f"needs >= {MIN_SPEEDUP}x")
+
+
+def test_nnlm_plan_speedup(emit):
+    model = NNLM(vocab_size=64, embed_dim=32, hidden_size=32, seed=0)
+    model.eval()
+    rng = np.random.default_rng(0)
+    tokens = rng.integers(0, 64, size=(12, 8))
+    rows = _speedup_rows(model, tokens, RATES)
+    _emit_table(emit, "plan_speedup_nnlm", rows)
+    at_quarter = rows[0][3]
+    assert at_quarter >= MIN_SPEEDUP, (
+        f"NNLM plan speedup at r=0.25 was {at_quarter:.2f}x, "
+        f"needs >= {MIN_SPEEDUP}x")

@@ -9,6 +9,10 @@ small rates — it simply spends the most compute per batch; see
 EXPERIMENTS.md for the discussion.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import numpy as np
 
 from repro.experiments.vgg_suite import scheduling_experiment

@@ -9,6 +9,10 @@ Paper shape to reproduce:
 * the remaining computation column ``Ct`` scales ~quadratically.
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.experiments.nnlm_suite import (
     build_text_task,
     evaluate_ppl,

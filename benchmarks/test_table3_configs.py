@@ -10,6 +10,9 @@ so its count is reported for the convolutional tower only.)
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
+
 from repro.models import SlicedResNet, SlicedVGG
 from repro.utils import format_table
 

@@ -9,6 +9,10 @@ ensemble, and slicing-trained VGG and ResNet models.  Paper shapes:
   and *measured*, not computed from a formula).
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.experiments.resnet_suite import sliced_resnet_experiment
 from repro.experiments.vgg_suite import (
     direct_slicing_experiment,

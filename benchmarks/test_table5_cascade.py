@@ -5,6 +5,10 @@ Paper shapes: the model-slicing cascade has (a) higher aggregate recall
 (b) a fraction of the deployment parameters (one model vs. one per stage).
 """
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import numpy as np
 
 from repro.experiments.cascade_suite import cascade_experiment

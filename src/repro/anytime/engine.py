@@ -23,10 +23,10 @@ from ..errors import ConfigError, SliceRateError
 from ..models.mlp import MLP
 from ..slicing.incremental import (
     IncrementalLinearState,
-    forward_narrow,
     widen,
 )
 from ..slicing.layers import SlicedLinear
+from ..slicing.plans import LinearStep, compile_layer
 
 
 @dataclass
@@ -61,6 +61,11 @@ class AnytimeMLP:
         self.model = model
         self.rates = rates
         self.layers: list[SlicedLinear] = list(model.layers) + [model.head]
+        # Compiled base-rate steps, reused across run() calls until the
+        # parameters mutate (detected via their version counters).
+        self._base_steps: list[LinearStep] | None = None
+        self._base_key: tuple | None = None
+        self.plan_compiles = 0
 
     # ------------------------------------------------------------------
     def run(self, inputs: np.ndarray,
@@ -84,14 +89,16 @@ class AnytimeMLP:
         steps: list[AnytimeStep] = []
         states: list[IncrementalLinearState] = []
 
-        # Base pass at the smallest rate: plain narrow forward.
+        # Base pass at the smallest rate: compiled narrow steps.  The
+        # rescale stays *unfolded* (``fold_rescale=False``) so widen()'s
+        # exact inversion of the post-processing still holds.
         base_rate = self.rates[0]
         x = inputs
         spent = 0
-        for layer in self.layers:
-            y, state = forward_narrow(layer, x, base_rate)
+        for layer, step in zip(self.layers, self._base_plan()):
+            y = step(x)
             spent += x.shape[0] * y.shape[-1] * x.shape[-1]
-            states.append(state)
+            states.append(IncrementalLinearState(x, y))
             x = self._activate(layer, y)
         cumulative = spent
         steps.append(AnytimeStep(base_rate, x, spent, cumulative))
@@ -127,6 +134,24 @@ class AnytimeMLP:
         return total
 
     # ------------------------------------------------------------------
+    def _base_plan(self) -> list[LinearStep]:
+        """The base-rate steps, recompiled only when parameters change."""
+        key = tuple((id(p), p.version)
+                    for layer in self.layers for p in layer.parameters())
+        if self._base_steps is None or key != self._base_key:
+            rate = self.rates[0]
+            steps: list[LinearStep] = []
+            width = self.layers[0].in_features
+            for layer in self.layers:
+                steps.append(compile_layer(layer, rate, fold_rescale=False,
+                                           in_width=width))
+                width = (layer.out_partition.width_for(rate)
+                         if layer.slice_output else layer.out_features)
+            self._base_steps = steps
+            self._base_key = key
+            self.plan_compiles += 1
+        return self._base_steps
+
     def _activate(self, layer: SlicedLinear, y: np.ndarray) -> np.ndarray:
         if layer is self.layers[-1]:
             return y

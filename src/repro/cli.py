@@ -18,6 +18,11 @@ Commands
     telemetry report (``--json``).  ``--trace PATH`` additionally
     records a deterministic JSONL observability trace (spans, events,
     metrics snapshot) via :mod:`repro.obs`.
+``plan``
+    Compile per-rate inference plans for a demo model and print, per
+    rate, the plan's resident weight size, compile time, and the
+    compiled-vs-uncompiled forward latency (see
+    :mod:`repro.slicing.plans`).
 ``obs summarize TRACE``
     Summarize a JSONL observability trace: top spans by total time,
     event counts, and the metrics snapshot as aligned tables.
@@ -243,6 +248,55 @@ def _cmd_obs(args) -> int:
     return 0
 
 
+def _cmd_plan(args) -> int:
+    import time
+
+    import numpy as np
+
+    from .metrics.latency import measure_latency
+    from .models import MLP, NNLM, SlicedVGG
+    from .slicing import PlanCache
+
+    rng = np.random.default_rng(args.seed)
+    if args.model == "mlp":
+        model = MLP(32, [64, 64], 8, seed=args.seed)
+        inputs = rng.normal(size=(args.batch, 32)).astype(np.float32)
+    elif args.model == "cnn":
+        model = SlicedVGG.cifar_mini(width=16, seed=args.seed)
+        inputs = rng.normal(size=(args.batch, 3, 8, 8)).astype(np.float32)
+    else:
+        model = NNLM(64, embed_dim=32, hidden_size=32, seed=args.seed)
+        inputs = rng.integers(0, 64, size=(12, args.batch))
+    model.eval()
+
+    rates = sorted(set(args.rates)) if args.rates else [i / 8 for i in
+                                                        range(1, 9)]
+    cache = PlanCache()
+    print(f"compiled inference plans — {args.model}, batch {args.batch}, "
+          f"{args.repeats} timing repeats")
+    header = (f"{'rate':>6} {'steps':>6} {'plan KiB':>9} {'compile ms':>11} "
+              f"{'plan ms':>9} {'sliced ms':>10} {'speedup':>8}")
+    print(header)
+    print("-" * len(header))
+    for rate in rates:
+        start = time.perf_counter()
+        plan = cache.get(model, rate)
+        compile_ms = (time.perf_counter() - start) * 1e3
+        plan_s = measure_latency(model, inputs, rate, repeats=args.repeats,
+                                 warmup=1, use_plan=True, plan_cache=cache)
+        sliced_s = measure_latency(model, inputs, rate, repeats=args.repeats,
+                                   warmup=1)
+        print(f"{rate:>6.3f} {len(plan.steps):>6d} "
+              f"{plan.param_bytes() / 1024:>9.1f} {compile_ms:>11.2f} "
+              f"{plan_s * 1e3:>9.3f} {sliced_s * 1e3:>10.3f} "
+              f"{sliced_s / plan_s:>7.2f}x")
+    stats = cache.stats()
+    print(f"\ncache: size={stats['size']} hits={stats['hits']} "
+          f"misses={stats['misses']} invalidations={stats['invalidations']} "
+          f"evictions={stats['evictions']}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -291,6 +345,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="record a deterministic JSONL observability "
                               "trace (spans, events, metrics snapshot)")
 
+    plan = sub.add_parser(
+        "plan",
+        help="compile per-rate inference plans and compare against the "
+             "uncompiled sliced forward")
+    plan.add_argument("--model", default="cnn",
+                      choices=["mlp", "cnn", "nnlm"])
+    plan.add_argument("--batch", type=int, default=8)
+    plan.add_argument("--repeats", type=int, default=15)
+    plan.add_argument("--rates", type=float, nargs="*", default=None,
+                      help="slice rates to compile (default: the G=8 grid)")
+    plan.add_argument("--seed", type=int, default=0)
+
     obs_parser = sub.add_parser("obs", help="observability utilities")
     obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
     summ = obs_sub.add_parser(
@@ -310,6 +376,7 @@ def main(argv: list[str] | None = None) -> int:
         "reproduce": _cmd_reproduce,
         "serve-demo": _cmd_serve_demo,
         "runtime": _cmd_runtime,
+        "plan": _cmd_plan,
         "obs": _cmd_obs,
     }
     return handlers[args.command](args)

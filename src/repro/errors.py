@@ -40,3 +40,7 @@ class DataError(ReproError):
 
 class ServingError(ReproError):
     """The serving simulator or controller hit an invalid state."""
+
+
+class PlanError(ReproError):
+    """An inference plan could not be compiled or was misused."""

@@ -24,14 +24,37 @@ PERCENTILES = (50, 95, 99)
 
 
 def _forward_times(model: Module, inputs: np.ndarray, rate: float,
-                   repeats: int, warmup: int) -> list[float]:
-    """Raw forward wall-clock samples (seconds) at ``rate``."""
+                   repeats: int, warmup: int, use_plan: bool = False,
+                   plan_cache=None) -> list[float]:
+    """Raw forward wall-clock samples (seconds) at ``rate``.
+
+    With ``use_plan=True`` the timed path is the compiled inference plan
+    (fetched through ``plan_cache``, the shared cache by default) — the
+    path the serving runtime actually executes — instead of the
+    uncompiled sliced forward.
+    """
     if repeats < 1:
         raise ConfigError("repeats must be >= 1")
+    times: list[float] = []
+    if use_plan:
+        from ..slicing.plans import shared_cache
+
+        cache = plan_cache if plan_cache is not None else shared_cache()
+        plan = cache.get(model, rate)
+        arr = np.asarray(inputs)
+        for _ in range(warmup):
+            plan.run(arr)
+        for _ in range(repeats):
+            start = time.perf_counter()
+            plan.run(arr)
+            times.append(time.perf_counter() - start)
+        return times
     was_training = model.training
     model.eval()
-    batch = Tensor(np.asarray(inputs, dtype=np.float32))
-    times = []
+    arr = np.asarray(inputs)
+    # Integer inputs are token ids (e.g. the NNLM) and are consumed raw.
+    batch = arr if arr.dtype.kind in "iu" \
+        else Tensor(arr.astype(np.float32, copy=False))
     try:
         with no_grad():
             with slice_rate(rate):
@@ -47,20 +70,26 @@ def _forward_times(model: Module, inputs: np.ndarray, rate: float,
 
 
 def measure_latency(model: Module, inputs: np.ndarray, rate: float,
-                    repeats: int = 5, warmup: int = 1) -> float:
+                    repeats: int = 5, warmup: int = 1,
+                    use_plan: bool = False, plan_cache=None) -> float:
     """Median forward wall-clock (seconds) at ``rate`` for ``inputs``."""
     return float(np.median(_forward_times(model, inputs, rate,
-                                          repeats, warmup)))
+                                          repeats, warmup,
+                                          use_plan=use_plan,
+                                          plan_cache=plan_cache)))
 
 
 def measure_latency_stats(model: Module, inputs: np.ndarray, rate: float,
-                          repeats: int = 5, warmup: int = 1
+                          repeats: int = 5, warmup: int = 1,
+                          use_plan: bool = False, plan_cache=None
                           ) -> dict[str, float]:
     """Percentile statistics of the forward wall-clock at ``rate``.
 
     Returns ``{"p50", "p95", "p99", "mean", "min", "max"}`` in seconds.
     """
-    times = np.asarray(_forward_times(model, inputs, rate, repeats, warmup))
+    times = np.asarray(_forward_times(model, inputs, rate, repeats, warmup,
+                                      use_plan=use_plan,
+                                      plan_cache=plan_cache))
     stats = {f"p{p}": float(np.percentile(times, p)) for p in PERCENTILES}
     stats["mean"] = float(times.mean())
     stats["min"] = float(times.min())
@@ -69,7 +98,8 @@ def measure_latency_stats(model: Module, inputs: np.ndarray, rate: float,
 
 
 def latency_table(model: Module, inputs: np.ndarray,
-                  rates: list[float], repeats: int = 5
+                  rates: list[float], repeats: int = 5,
+                  use_plan: bool = False, plan_cache=None
                   ) -> dict[float, dict[str, float]]:
     """Per-rate latency with per-sample cost, fraction of full, and tails.
 
@@ -78,13 +108,17 @@ def latency_table(model: Module, inputs: np.ndarray,
     (``p50``/``p95``/``p99``, whole-batch seconds), and ``samples`` (the
     batch size), so consumers can derive per-sample tail latencies —
     see :meth:`repro.runtime.LatencyProfile.from_latency_table`.
+    ``use_plan=True`` times the compiled plan path, so the calibration
+    matches what the runtime's replicas actually execute.
     """
     rates = sorted(set(float(r) for r in rates))
     results: dict[float, dict[str, float]] = {}
     full = None
     for rate in sorted(rates, reverse=True):
         times = np.asarray(_forward_times(model, inputs, rate,
-                                          repeats=repeats, warmup=1))
+                                          repeats=repeats, warmup=1,
+                                          use_plan=use_plan,
+                                          plan_cache=plan_cache))
         total = float(np.median(times))
         if full is None:
             full = total

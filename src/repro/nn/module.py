@@ -16,11 +16,45 @@ from ..errors import ConfigError
 from ..tensor import Tensor
 
 
+# The slot descriptor Tensor declares for ``data``; Parameter shadows it
+# with a property below so rebinding writes bump the version counter.
+_TENSOR_DATA = Tensor.data
+
+
 class Parameter(Tensor):
-    """A trainable tensor: ``requires_grad`` defaults to True."""
+    """A trainable tensor: ``requires_grad`` defaults to True.
+
+    Every *rebinding* write to :attr:`data` (``param.data = arr``,
+    ``param.data -= lr * grad``) bumps a monotone :attr:`version`
+    counter, which compiled inference plans use to detect staleness.
+    In-place element writes (``param.data[...] = arr``) bypass the
+    property; callers doing those must call :meth:`bump_version`
+    explicitly — as :meth:`Module.load_state_dict` does.
+    """
 
     def __init__(self, data, dtype=None):
         super().__init__(data, requires_grad=True, dtype=dtype)
+        self._version = 0
+
+    @property
+    def data(self) -> np.ndarray:
+        return _TENSOR_DATA.__get__(self, Parameter)
+
+    @data.setter
+    def data(self, value) -> None:
+        _TENSOR_DATA.__set__(self, value)
+        # __init__ routes through here before _version exists.
+        self._version = getattr(self, "_version", -1) + 1
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (see class docstring)."""
+        return self._version
+
+    def bump_version(self) -> int:
+        """Record an in-place mutation that bypassed the ``data`` setter."""
+        self._version += 1
+        return self._version
 
 
 class Module:
@@ -72,6 +106,17 @@ class Module:
         """Total number of scalar parameters."""
         return sum(p.size for p in self.parameters())
 
+    def parameter_version(self) -> int:
+        """Sum of all parameter version counters.
+
+        Any mutation of any parameter changes this value, so it serves
+        as a cheap staleness token for caches keyed on model weights
+        (see :mod:`repro.slicing.plans`).  Structural edits that swap
+        parameters wholesale (e.g. ``upgrade_model``) are caught by the
+        identity checks those caches perform in addition to this sum.
+        """
+        return sum(p.version for p in self.parameters())
+
     # -- mode & grads -----------------------------------------------------
     def train(self, mode: bool = True) -> "Module":
         """Set training mode recursively (affects dropout, batch norm)."""
@@ -111,6 +156,7 @@ class Module:
                     f"{value.shape} vs {param.data.shape}"
                 )
             param.data[...] = value
+            param.bump_version()
         for name, module in self._named_stateful():
             extra = module.extra_state()
             for key in extra:

@@ -107,6 +107,16 @@ _CATALOG = {
     # -- experiment cache (repro.experiments.cache) --
     "expcache_hits_total": "Experiment-cache lookups served from disk.",
     "expcache_misses_total": "Experiment-cache lookups that missed.",
+    # -- inference plans (repro.slicing.plans) --
+    "plan_cache_hits_total": "Plan-cache lookups served without recompiling.",
+    "plan_cache_misses_total": "Plan-cache lookups that compiled a new plan.",
+    "plan_cache_invalidations_total":
+        "Cached plans dropped because model parameters changed.",
+    "plan_cache_evictions_total": "Plans evicted by the cache's LRU policy.",
+    "plan_cache_size": "Plans currently resident in the cache.",
+    "plan_compiles_total": "Plan compilations per model class.",
+    "plan_fallbacks_total":
+        "Plans that fell back to the uncompiled sliced forward.",
 }
 
 # Non-default histogram buckets per metric name.

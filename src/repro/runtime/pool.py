@@ -84,6 +84,17 @@ class ReplicaPool:
             self.quarantine(replica.replica_id)
         return detected
 
+    # -- plan warm-up ---------------------------------------------------
+    def warm_plans(self, rates) -> int:
+        """Pre-compile inference plans for ``rates`` on every replica.
+
+        Run once before serving so the first request at each rate does
+        not pay the compilation cost; returns the total number of plans
+        ensured across the pool.
+        """
+        rates = list(rates)
+        return sum(replica.warm_plans(rates) for replica in self.replicas)
+
     # -- dispatch -------------------------------------------------------
     def idle(self, now: float) -> list[Replica]:
         """Replicas in rotation that are free to accept a batch now."""

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..errors import ServingError
 from ..slicing.context import slice_rate, validate_rate
+from ..slicing.plans import PlanCache, shared_cache
 from ..tensor import Tensor, no_grad
 
 STATE_HEALTHY = "healthy"
@@ -87,11 +88,14 @@ class Replica:
     """One server in the pool, with its own calibration and fault state."""
 
     def __init__(self, replica_id: str, profile: LatencyProfile,
-                 model=None, artifacts: Mapping[float, object] | None = None):
+                 model=None, artifacts: Mapping[float, object] | None = None,
+                 use_plans: bool = True, plan_cache: PlanCache | None = None):
         self.replica_id = str(replica_id)
         self.profile = profile
         self.model = model
         self.artifacts = dict(artifacts or {})
+        self.use_plans = bool(use_plans)
+        self.plan_cache = plan_cache
         self.state = STATE_HEALTHY
         self.busy_until = 0.0
         self.slowdown_factor = 1.0
@@ -144,20 +148,47 @@ class Replica:
         self.busy_until = now
 
     # -- real execution -------------------------------------------------
+    def _cache(self) -> PlanCache:
+        return self.plan_cache if self.plan_cache is not None \
+            else shared_cache()
+
+    def warm_plans(self, rates, fold_rescale: bool = True) -> int:
+        """Pre-compile inference plans for ``rates``; returns plans ensured.
+
+        Rates already covered by a materialized artifact are skipped —
+        artifacts win over plans in :meth:`predict`.
+        """
+        if self.model is None:
+            return 0
+        warmed = 0
+        for rate in rates:
+            rate = validate_rate(rate)
+            if rate in self.artifacts:
+                continue
+            self._cache().get(self.model, rate, fold_rescale=fold_rescale)
+            warmed += 1
+        return warmed
+
     def predict(self, inputs: np.ndarray, rate: float) -> np.ndarray | None:
         """Class predictions for ``inputs`` at ``rate`` (None if no model).
 
         Prefers a materialized per-rate artifact (a deployed standalone
-        subnet); otherwise runs the sliced model under ``slice_rate``.
+        subnet); otherwise serves through the compiled inference plan for
+        ``(model, rate)`` (see :mod:`repro.slicing.plans`), falling back
+        to the uncompiled sliced forward when ``use_plans=False``.
         """
         rate = validate_rate(rate)
-        batch = Tensor(np.asarray(inputs, dtype=np.float32))
-        with no_grad():
-            if rate in self.artifacts:
-                logits = self.artifacts[rate](batch)
-            elif self.model is not None:
-                with slice_rate(rate):
-                    logits = self.model(batch)
-            else:
-                return None
-        return np.argmax(logits.data, axis=-1)
+        if rate in self.artifacts:
+            batch = Tensor(np.asarray(inputs, dtype=np.float32))
+            with no_grad():
+                logits = self.artifacts[rate](batch).data
+        elif self.model is None:
+            return None
+        elif self.use_plans:
+            plan = self._cache().get(self.model, rate)
+            logits = plan.run(np.asarray(inputs))
+        else:
+            batch = Tensor(np.asarray(inputs, dtype=np.float32))
+            with no_grad(), slice_rate(rate):
+                logits = self.model(batch).data
+        return np.argmax(logits, axis=-1)

@@ -16,6 +16,7 @@ from .simulator import (
     ServingReport,
     WindowStats,
     accuracy_for_rate,
+    measured_accuracy_table,
     simulate_serving,
 )
 
@@ -31,5 +32,6 @@ __all__ = [
     "ServingReport",
     "WindowStats",
     "accuracy_for_rate",
+    "measured_accuracy_table",
     "simulate_serving",
 ]

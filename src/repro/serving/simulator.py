@@ -176,3 +176,25 @@ def accuracy_for_rate(table: Mapping[float, float], rate: float) -> float:
         return table[rate]
     best = min(table, key=lambda r: abs(r - rate))
     return table[best]
+
+
+def measured_accuracy_table(model, inputs, labels, rates,
+                            plan_cache=None) -> dict[float, float]:
+    """Accuracy-of-rate table from real evaluation through cached plans.
+
+    Evaluates ``model`` on ``(inputs, labels)`` at every rate via
+    :mod:`repro.slicing.plans` (compiled once per rate, reused across
+    calls through ``plan_cache`` — the shared cache by default), giving
+    the controllers a measured table instead of an assumed one.
+    """
+    from ..slicing.context import validate_rate
+    from ..slicing.plans import shared_cache
+
+    cache = plan_cache if plan_cache is not None else shared_cache()
+    labels = np.asarray(labels)
+    table: dict[float, float] = {}
+    for rate in sorted(set(float(r) for r in rates)):
+        rate = validate_rate(rate)
+        predictions = np.argmax(cache.get(model, rate).run(inputs), axis=-1)
+        table[rate] = float((predictions == labels).mean())
+    return table

@@ -48,6 +48,15 @@ from .budget import max_rate_for_budget, rate_for_budget, rate_for_latency
 from .trainer import EpochRecord, SliceTrainer
 from .upgrade import upgrade_model
 from .deploy import materialize_subnet
+from .plans import (
+    FallbackPlan,
+    InferencePlan,
+    PlanCache,
+    compile_layer,
+    compile_plan,
+    get_plan,
+    shared_cache,
+)
 from . import analysis, incremental
 
 __all__ = [
@@ -83,6 +92,13 @@ __all__ = [
     "EpochRecord",
     "upgrade_model",
     "materialize_subnet",
+    "InferencePlan",
+    "FallbackPlan",
+    "PlanCache",
+    "compile_plan",
+    "compile_layer",
+    "get_plan",
+    "shared_cache",
     "incremental",
     "analysis",
 ]

@@ -19,8 +19,3 @@ def rng():
 @pytest.fixture
 def rng2():
     return np.random.default_rng(1)
-
-
-def pytest_configure(config):
-    config.addinivalue_line(
-        "markers", "slow: long-running integration tests")
