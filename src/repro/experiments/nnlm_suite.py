@@ -86,7 +86,7 @@ def train_nnlm(cfg: TextExperimentConfig, scheme: Scheme,
                 inv = 1.0 / len(rates)
                 for param in optimizer.params:
                     if param.grad is not None:
-                        param.grad = param.grad * inv
+                        param.grad *= inv
             clip_grad_norm(model.parameters(), cfg.grad_clip)
             optimizer.step()
         valid_ppl = evaluate_ppl(model, streams["valid"], cfg,

@@ -24,6 +24,11 @@ class Conv2d(Module):
     bias:
         Whether to add a per-channel bias (conventionally False when a
         normalization layer follows).
+
+    Under an active training workspace (:func:`repro.tensor.workspace.
+    use_workspace`) the underlying :func:`~repro.tensor.ops.conv2d`
+    automatically draws its im2col/col2im and GEMM buffers from the
+    pooled arena; no layer-level opt-in is needed.
     """
 
     def __init__(self, in_channels: int, out_channels: int, kernel_size,

@@ -82,6 +82,18 @@ _CATALOG = {
     "train_grad_norm":
         "Global gradient norm of the last accumulated update.",
     "train_step_seconds": "Wall (or injected-clock) time per train step.",
+    # -- training fast path (repro.tensor.workspace / fused) --
+    "train_fast_steps_total":
+        "Train steps that ran under a pooled workspace arena.",
+    "train_ws_pool_hits_total":
+        "Workspace buffer requests served from the pool, by scope.",
+    "train_ws_pool_misses_total":
+        "Workspace buffer requests that allocated, by scope.",
+    "train_ws_col_reuses_total":
+        "Forward passes that reused the pinned input's im2col columns.",
+    "train_ws_bytes": "Bytes resident in the workspace arena's pools.",
+    "train_layer_seconds":
+        "Fast-path kernel time by layer type and phase.",
     # -- runtime (repro.runtime) --
     "runtime_queue_depth": "Requests waiting in the admission queue.",
     "runtime_queue_backpressure": "Queue fullness in [0, 1].",

@@ -39,23 +39,50 @@ class SGD:
         self.weight_decay = weight_decay
         self.nesterov = nesterov
         self._velocity = [None] * len(self.params)
+        # Persistent per-parameter scratch so the hot loop allocates
+        # nothing after the first step.  Never aliases param.grad: tests
+        # and callers may hold on to the gradient arrays they assign.
+        self._scratch = [None] * len(self.params)
+        self._scratch2 = [None] * len(self.params)
+
+    def _buf(self, store: list, i: int, param: Parameter) -> np.ndarray:
+        buf = store[i]
+        if buf is None or buf.shape != param.data.shape:
+            buf = store[i] = np.empty_like(param.data)
+        return buf
 
     def step(self) -> None:
-        """Apply one update to every parameter that has a gradient."""
+        """Apply one update to every parameter that has a gradient.
+
+        All temporaries are written into persistent scratch buffers; the
+        update values are bitwise identical to the out-of-place formula
+        ``data -= lr * (momentum-adjusted (grad + wd * data))`` because
+        every fused step keeps the same operand order and dtypes.
+        """
         for i, param in enumerate(self.params):
             grad = param.grad
             if grad is None:
                 continue
+            buf = self._buf(self._scratch, i, param)
             if self.weight_decay:
-                grad = grad + self.weight_decay * param.data
+                np.multiply(param.data, self.weight_decay, out=buf)
+                buf += grad
+                grad = buf
             if self.momentum:
                 if self._velocity[i] is None:
                     self._velocity[i] = np.zeros_like(param.data)
                 vel = self._velocity[i]
                 vel *= self.momentum
                 vel += grad
-                grad = self.momentum * vel + grad if self.nesterov else vel
-            param.data -= (self.lr * grad).astype(param.data.dtype, copy=False)
+                if self.nesterov:
+                    buf2 = self._buf(self._scratch2, i, param)
+                    np.multiply(vel, self.momentum, out=buf2)
+                    buf2 += grad
+                    grad = buf2
+                else:
+                    grad = vel
+            np.multiply(grad, self.lr, out=buf)
+            param.data -= buf
 
     def zero_grad(self) -> None:
         """Drop all parameter gradients."""
@@ -69,9 +96,13 @@ def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
     Returns the norm before clipping (standard for LSTM language models).
     """
     params = [p for p in params if p.grad is not None]
-    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    total = 0.0
+    for p in params:
+        flat = p.grad.reshape(-1)
+        total += float(np.dot(flat, flat))
+    total = float(np.sqrt(total))
     if total > max_norm and total > 0:
         scale = max_norm / total
         for param in params:
-            param.grad = param.grad * scale
+            param.grad *= scale
     return total

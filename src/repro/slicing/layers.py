@@ -21,6 +21,8 @@ from ..nn.init import kaiming_normal, ones, zeros
 from ..nn.module import Module, Parameter
 from ..nn.norm import BatchNorm2d
 from ..tensor import Tensor, conv2d
+from ..tensor.fused import fused_group_norm
+from ..tensor.workspace import active_workspace
 from .context import current_rate
 from .partition import GroupPartition
 
@@ -201,6 +203,12 @@ class SlicedGroupNorm(Module):
                 f"group size {self.group_size}"
             )
         groups = channels // self.group_size
+        if active_workspace() is not None:
+            # Training fast path: fused kernel with analytic gradients.
+            # The prefix views keep the gradient routed into the full
+            # parameters through their __getitem__ backward.
+            return fused_group_norm(x, self.weight[:channels],
+                                    self.bias[:channels], groups, self.eps)
         batch = x.shape[0]
         spatial = x.shape[2:]
         flat = int(np.prod(spatial, dtype=int)) if spatial else 1

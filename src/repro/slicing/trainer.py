@@ -18,6 +18,7 @@ from ..errors import ConfigError
 from ..nn.module import Module
 from ..optim import SGD
 from ..tensor import Tensor, cross_entropy, no_grad
+from ..tensor.workspace import WorkspaceArena, use_workspace
 from .context import slice_rate
 from .schemes import Scheme
 
@@ -78,11 +79,22 @@ class SliceTrainer:
         ``loss_fn(logits, targets) -> Tensor``; defaults to cross-entropy.
     rng:
         Generator driving the scheme's sampling.
+    fast_path:
+        When True (the default) each :meth:`train_batch` runs under a
+        pooled :class:`~repro.tensor.workspace.WorkspaceArena`: conv
+        im2col/col2im buffers are reused across batches, the unsliced
+        input's columns are shared across the scheduled rates, and
+        GroupNorm / cross-entropy use fused analytic-gradient kernels.
+        Loss values are bitwise identical to the reference path per
+        forward; weight trajectories agree to float32 rounding (the fused
+        backwards round differently).  Set False to train through the
+        plain composed autograd.
     """
 
     def __init__(self, model: Module, scheme: Scheme, optimizer: SGD,
                  loss_fn: Callable = cross_entropy,
-                 rng: np.random.Generator | None = None):
+                 rng: np.random.Generator | None = None,
+                 fast_path: bool = True):
         if not isinstance(scheme, Scheme):
             raise ConfigError(f"scheme must be a Scheme, got {type(scheme)}")
         self.model = model
@@ -90,6 +102,8 @@ class SliceTrainer:
         self.optimizer = optimizer
         self.loss_fn = loss_fn
         self.rng = rng if rng is not None else np.random.default_rng()
+        self.fast_path = bool(fast_path)
+        self.arena = WorkspaceArena() if self.fast_path else None
         self.history: list[EpochRecord] = []
 
     # ------------------------------------------------------------------
@@ -109,18 +123,41 @@ class SliceTrainer:
         self.model.train()
         self.optimizer.zero_grad()
         rates = self.scheme.sample(self.rng)
+        # Integer payloads (token ids) go to the model raw — embedding
+        # lookups take plain index arrays; everything else is wrapped
+        # once, outside the rate loop, so all rates share one array.
+        arr = np.asarray(inputs)
+        if arr.dtype.kind in "iu":
+            model_input, pinned = arr, None
+        else:
+            model_input = Tensor(arr)
+            pinned = model_input.data
         losses: dict[float, float] = {}
-        for rate in rates:
-            with slice_rate(rate):
-                logits = self.model(Tensor(inputs))
-                loss = self.loss_fn(logits, targets)
-            loss.backward()
-            losses[rate] = loss.item()
+        if self.arena is not None:
+            self.arena.begin_step(pinned_input=pinned)
+            with use_workspace(self.arena):
+                for rate in rates:
+                    with slice_rate(rate):
+                        logits = self.model(model_input)
+                        loss = self.loss_fn(logits, targets)
+                    loss.backward()
+                    losses[rate] = loss.item()
+                    self.arena.end_pass()
+            self.arena.end_step()
+            if started is not None:
+                obs.count("train_fast_steps_total")
+        else:
+            for rate in rates:
+                with slice_rate(rate):
+                    logits = self.model(model_input)
+                    loss = self.loss_fn(logits, targets)
+                loss.backward()
+                losses[rate] = loss.item()
         if len(rates) > 1:
             inv = 1.0 / len(rates)
             for param in self.optimizer.params:
                 if param.grad is not None:
-                    param.grad = param.grad * inv
+                    param.grad *= inv
         if started is not None:
             obs.gauge("train_grad_norm", self._grad_norm())
         self.optimizer.step()
@@ -137,7 +174,8 @@ class SliceTrainer:
         total = 0.0
         for param in self.optimizer.params:
             if param.grad is not None:
-                total += float((param.grad ** 2).sum())
+                flat = param.grad.reshape(-1)
+                total += float(np.dot(flat, flat))
         return total ** 0.5
 
     def train_epoch(self, loader) -> dict[float, float]:

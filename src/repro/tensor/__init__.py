@@ -28,8 +28,10 @@ from .functional import (
     softmax,
     tanh,
 )
+from .fused import fused_cross_entropy, fused_group_norm
 from .gradcheck import check_gradients, numeric_gradient
 from .profile import FlopCounter, count_flops, profiling_active, record_flops
+from .workspace import WorkspaceArena, active_workspace, use_workspace
 
 __all__ = [
     "Tensor",
@@ -54,6 +56,11 @@ __all__ = [
     "dropout",
     "one_hot",
     "mse_loss",
+    "fused_cross_entropy",
+    "fused_group_norm",
+    "WorkspaceArena",
+    "active_workspace",
+    "use_workspace",
     "check_gradients",
     "numeric_gradient",
     "FlopCounter",

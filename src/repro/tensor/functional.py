@@ -5,7 +5,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ShapeError
+from .fused import fused_cross_entropy
 from .tensor import Tensor
+from .workspace import active_workspace
 
 
 def relu(x: Tensor) -> Tensor:
@@ -66,7 +68,14 @@ def nll_loss(log_probs: Tensor, targets: np.ndarray) -> Tensor:
 
 
 def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
-    """Mean cross-entropy between ``logits`` and integer ``targets``."""
+    """Mean cross-entropy between ``logits`` and integer ``targets``.
+
+    Under an active training workspace (:func:`~repro.tensor.workspace.
+    use_workspace`) this dispatches to the single-node fused kernel; the
+    forward value is bitwise identical either way.
+    """
+    if active_workspace() is not None:
+        return fused_cross_entropy(logits, targets)
     return nll_loss(log_softmax(logits, axis=-1), targets)
 
 

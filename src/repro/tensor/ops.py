@@ -9,9 +9,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..errors import ShapeError
 from .profile import profiling_active, record_flops
 from .tensor import Tensor
+from .workspace import active_workspace
 
 
 def _pair(value) -> tuple[int, int]:
@@ -96,26 +98,107 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
         raise ShapeError(
             f"conv2d input has {x.shape[1]} channels but weight expects {c_in}"
         )
-    cols, (h_out, w_out) = _im2col(x.data, kh, kw, stride, padding)
+    ws = active_workspace()
+    timed = ws is not None and obs.enabled()
+    started = obs.clock_now() if timed else None
     w_mat = weight.data.reshape(c_out, c_in * kh * kw)
-    out = w_mat @ cols  # (B, C_out, Hout*Wout) via broadcasting over batch
-    out = out.reshape(x.shape[0], c_out, h_out, w_out)
+    if ws is not None:
+        # Training fast path: im2col / GEMM output / col2im all come from
+        # the pooled arena; values are bitwise identical to the branch
+        # below.  The arena object is captured by the backward closure so
+        # the buffers stay paired even if backward runs after the
+        # use_workspace context exited.
+        cols, (h_out, w_out) = ws.im2col(x.data, kh, kw, stride, padding)
+        # The pinned-input column cache must never be written to; any
+        # other cols buffer can be recycled as the grad_cols scratch in
+        # backward (grad_w reads it first).
+        cols_writable = x.data is not ws.pinned
+        out3 = ws.acquire(
+            (x.shape[0], c_out, h_out * w_out),
+            np.result_type(w_mat.dtype, cols.dtype),
+        )
+        np.matmul(w_mat, cols, out=out3)
+        out = out3.reshape(x.shape[0], c_out, h_out, w_out)
+        if bias is not None:
+            out += bias.data.reshape(1, c_out, 1, 1)
+    else:
+        cols, (h_out, w_out) = _im2col(x.data, kh, kw, stride, padding)
+        out = w_mat @ cols  # (B, C_out, Hout*Wout) via broadcasting over batch
+        out = out.reshape(x.shape[0], c_out, h_out, w_out)
+        if bias is not None:
+            out = out + bias.data.reshape(1, c_out, 1, 1)
     if profiling_active():
         record_flops(
             "conv2d", x.shape[0] * c_out * c_in * kh * kw * h_out * w_out
         )
-    if bias is not None:
-        out = out + bias.data.reshape(1, c_out, 1, 1)
+    if timed:
+        obs.observe("train_layer_seconds", obs.clock_now() - started,
+                    layer="conv2d", phase="forward")
 
     parents = [x, weight] if bias is None else [x, weight, bias]
     x_shape = x.shape
+    needs_grad_x = x.requires_grad
 
     def backward(grad):
+        t0 = obs.clock_now() if ws is not None and obs.enabled() else None
         grad_mat = grad.reshape(grad.shape[0], c_out, h_out * w_out)
-        grad_w = np.einsum("boL,bkL->ok", grad_mat, cols, optimize=True)
-        grad_w = grad_w.reshape(weight.shape)
-        grad_cols = w_mat.T @ grad_mat  # (B, C_in*kh*kw, L)
-        grad_x = _col2im(grad_cols, x_shape, kh, kw, stride, padding, (h_out, w_out))
+        if ws is not None:
+            # Batched GEMM into a pooled buffer then reduce over the batch
+            # beats the einsum contraction at the large-L early layers.
+            bmm = ws.acquire(
+                (grad.shape[0], c_out, c_in * kh * kw),
+                np.result_type(grad_mat.dtype, cols.dtype),
+            )
+            np.matmul(grad_mat, cols.transpose(0, 2, 1), out=bmm)
+            grad_w = bmm.sum(axis=0).reshape(weight.shape)
+        else:
+            grad_w = np.einsum("boL,bkL->ok", grad_mat, cols, optimize=True)
+            grad_w = grad_w.reshape(weight.shape)
+        if ws is not None:
+            if needs_grad_x:
+                sh, sw = stride
+                ph, pw = padding
+                if (sh == 1 and sw == 1 and ph < kh and pw < kw
+                        and c_in > c_out // 2):
+                    # Transposed convolution as a correlation with the
+                    # flipped kernel: im2col of the output gradient plus
+                    # one GEMM replaces the GEMM + col2im scatter-add.
+                    # Wins when the input has enough channels that the
+                    # scatter traffic exceeds the grad-unfold copy.
+                    gcols, _ = ws.im2col(
+                        np.ascontiguousarray(grad), kh, kw, (1, 1),
+                        (kh - 1 - ph, kw - 1 - pw))
+                    w_flip = weight.data[:, :, ::-1, ::-1].transpose(
+                        1, 0, 2, 3).reshape(c_in, c_out * kh * kw)
+                    gx3 = ws.acquire(
+                        (grad.shape[0], c_in, x_shape[2] * x_shape[3]),
+                        np.result_type(w_flip.dtype, gcols.dtype),
+                    )
+                    np.matmul(w_flip, gcols, out=gx3)
+                    grad_x = gx3.reshape(x_shape)
+                else:
+                    if cols_writable and cols.dtype == np.result_type(
+                            w_mat.dtype, grad_mat.dtype):
+                        grad_cols = cols  # grad_w above was the last reader
+                    else:
+                        grad_cols = ws.acquire(
+                            (grad.shape[0], c_in * kh * kw, h_out * w_out),
+                            np.result_type(w_mat.dtype, grad_mat.dtype),
+                        )
+                    np.matmul(w_mat.T, grad_mat, out=grad_cols)
+                    grad_x = ws.col2im(grad_cols, x_shape, kh, kw, stride,
+                                       padding, (h_out, w_out))
+            else:
+                # The input never receives a gradient (e.g. the stem conv
+                # fed by raw images) — skip the GEMM and the scatter.
+                grad_x = None
+        else:
+            grad_cols = w_mat.T @ grad_mat  # (B, C_in*kh*kw, L)
+            grad_x = _col2im(grad_cols, x_shape, kh, kw, stride, padding,
+                             (h_out, w_out))
+        if t0 is not None:
+            obs.observe("train_layer_seconds", obs.clock_now() - t0,
+                        layer="conv2d", phase="backward")
         if bias is None:
             return (grad_x, grad_w)
         grad_b = grad.sum(axis=(0, 2, 3))
@@ -132,12 +215,46 @@ def max_pool2d(x: Tensor, kernel_size: int) -> Tensor:
         raise ShapeError(f"max_pool2d: spatial dims {height}x{width} not divisible by {k}")
     h_out, w_out = height // k, width // k
     view = x.data.reshape(batch, channels, h_out, k, w_out, k)
-    out = view.max(axis=(3, 5))
-    mask = view == out[:, :, :, None, :, None]
-    counts = mask.sum(axis=(3, 5), keepdims=True)
+    ws = active_workspace()
+    if ws is not None:
+        # Pairwise maxima/sums over the tap slices produce the same max
+        # values and tie counts as the multi-axis reductions (max and
+        # integer sums are exact) but avoid numpy's slow tiny-inner-axis
+        # reduce loop.  The tie-splitting divisor is kept in the input
+        # dtype: the reference divides by integer counts, which NEP-50
+        # promotes to float64 and drags every downstream gradient to
+        # doubled memory traffic.
+        dt = x.data.dtype
+        m5 = ws.acquire((batch, channels, h_out, k, w_out), dt)
+        np.copyto(m5, view[..., 0])
+        for j in range(1, k):
+            np.maximum(m5, view[..., j], out=m5)
+        out = ws.acquire((batch, channels, h_out, w_out), dt)
+        np.copyto(out, m5[:, :, :, 0])
+        for i in range(1, k):
+            np.maximum(out, m5[:, :, :, i], out=out)
+        mask = ws.acquire((batch, channels, h_out, k, w_out, k), np.bool_)
+        np.equal(view, out[:, :, :, None, :, None], out=mask)
+        c5 = ws.acquire((batch, channels, h_out, k, w_out), np.intp)
+        np.copyto(c5, mask[..., 0])
+        for j in range(1, k):
+            c5 += mask[..., j]
+        csmall = c5[:, :, :, 0].astype(np.intp)
+        for i in range(1, k):
+            csmall += c5[:, :, :, i]
+        counts = csmall[:, :, :, None, :, None].astype(dt)
+    else:
+        out = view.max(axis=(3, 5))
+        mask = view == out[:, :, :, None, :, None]
+        counts = mask.sum(axis=(3, 5), keepdims=True)
 
     def backward(grad):
         g = grad[:, :, :, None, :, None] / counts
+        if ws is not None:
+            buf = ws.acquire(
+                (batch, channels, h_out, k, w_out, k), g.dtype)
+            np.multiply(mask, g, out=buf)
+            return (buf.reshape(batch, channels, height, width),)
         return ((mask * g).reshape(batch, channels, height, width),)
 
     return Tensor._make(out, (x,), backward)

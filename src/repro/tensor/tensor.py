@@ -64,6 +64,21 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _is_basic_index(key) -> bool:
+    """Whether ``key`` is pure basic indexing (no integer/boolean arrays).
+
+    Basic indexing never selects the same element twice, so the adjoint of
+    ``x[key]`` can write with plain assignment instead of ``np.add.at``.
+    """
+    parts = key if isinstance(key, tuple) else (key,)
+    for part in parts:
+        if isinstance(part, (int, np.integer, slice)) or part is None \
+                or part is Ellipsis:
+            continue
+        return False
+    return True
+
+
 def _as_array(value, dtype=None) -> np.ndarray:
     arr = np.asarray(value, dtype=dtype if dtype is not None else None)
     if arr.dtype.kind not in "fiu":
@@ -160,6 +175,14 @@ class Tensor:
                     stack.append((parent, False))
 
         grads: dict[int, np.ndarray] = {id(self): grad}
+        # Keys whose stored gradient is an array we allocated ourselves and
+        # may therefore mutate in place.  A first contribution is stored
+        # as-is without copying — backward closures routinely hand back
+        # views (reshape, split, a no-op unbroadcast) or even the same
+        # array for several parents (``x + x``), so it is only after the
+        # second contribution forces a fresh out-of-place sum that further
+        # contributions can accumulate with ``+=``.
+        owned: set[int] = set()
         for node in reversed(order):
             node_grad = grads.pop(id(node), None)
             if node_grad is None:
@@ -169,11 +192,16 @@ class Tensor:
                 if node.grad is None:
                     node.grad = node_grad.copy()
                 else:
-                    node.grad = node.grad + node_grad
+                    node.grad += node_grad
                 continue
-            node._propagate(node_grad, grads)
+            node._propagate(node_grad, grads, owned)
 
-    def _propagate(self, node_grad: np.ndarray, grads: dict[int, np.ndarray]) -> None:
+    def _propagate(
+        self,
+        node_grad: np.ndarray,
+        grads: dict[int, np.ndarray],
+        owned: set[int],
+    ) -> None:
         """Run the backward closure, routing parent grads into ``grads``."""
         parent_grads = self._backward(node_grad)
         if not isinstance(parent_grads, tuple):
@@ -189,14 +217,19 @@ class Tensor:
             key = id(parent)
             if parent._backward is None:
                 # Leaf: accumulate immediately so repeated use sums up.
+                # The first copy() makes .grad privately owned, so later
+                # contributions may add in place.
                 if parent.grad is None:
                     parent.grad = pgrad.copy()
                 else:
-                    parent.grad = parent.grad + pgrad
-            elif key in grads:
-                grads[key] = grads[key] + pgrad
-            else:
+                    parent.grad += pgrad
+            elif key not in grads:
                 grads[key] = pgrad
+            elif key in owned:
+                grads[key] += pgrad
+            else:
+                grads[key] = grads[key] + pgrad
+                owned.add(key)
 
     def _is_leaf_like(self) -> bool:
         return self._backward is None
@@ -363,10 +396,17 @@ class Tensor:
         data = a.data[key]
         full_shape = a.shape
         dtype = a.data.dtype
+        basic = _is_basic_index(key)
 
         def backward(grad):
             out = np.zeros(full_shape, dtype=dtype)
-            np.add.at(out, key, grad)
+            if basic:
+                # Basic indexing selects each element at most once, so a
+                # plain assignment replaces the much slower buffered
+                # np.add.at scatter.
+                out[key] = grad
+            else:
+                np.add.at(out, key, grad)
             return (out,)
 
         return Tensor._make(data, (a,), backward)

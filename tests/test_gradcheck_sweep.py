@@ -11,7 +11,14 @@ Layer parameters are cast to float64 and passed to ``check_gradients``
 alongside the input, so the numeric probe perturbs weights and biases in
 place and the analytic gradients of the *prefix-sliced* operands are
 checked too (inactive prefix regions must receive exactly zero).
+
+The conv and groupnorm sweeps run twice: once through the composed
+reference autograd and once under an active workspace arena, which
+routes them through the pooled conv kernels and the fused analytic
+GroupNorm backward of the training fast path.
 """
+
+import contextlib
 
 import numpy as np
 import pytest
@@ -22,7 +29,12 @@ from repro.slicing import (
     SlicedLinear,
     slice_rate,
 )
-from repro.tensor import Tensor, check_gradients
+from repro.tensor import Tensor, WorkspaceArena, check_gradients, use_workspace
+
+
+def _kernel_ctx(fused):
+    return use_workspace(WorkspaceArena()) if fused else (
+        contextlib.nullcontext())
 
 RATE_CHOICES = [0.25, 0.5, 0.75, 1.0]
 
@@ -105,11 +117,12 @@ def test_sliced_linear_gradients(index, in_f, out_f, groups, rate, bias,
     check_gradients(func, [x] + layer.parameters())
 
 
+@pytest.mark.parametrize("fused", [False, True], ids=["composed", "fused"])
 @pytest.mark.parametrize(
     "index,in_ch,out_ch,kernel,padding,groups,rate,bias", _conv_cases(),
     ids=lambda v: str(v) if isinstance(v, (int, float, bool)) else None)
 def test_sliced_conv2d_gradients(index, in_ch, out_ch, kernel, padding,
-                                 groups, rate, bias):
+                                 groups, rate, bias, fused):
     rng = _case_rng(index, 2)
     layer = _to_float64(SlicedConv2d(in_ch, out_ch, kernel,
                                      padding=padding, bias=bias,
@@ -122,13 +135,15 @@ def test_sliced_conv2d_gradients(index, in_ch, out_ch, kernel, padding,
         with slice_rate(rate):
             return layer(inputs[0])
 
-    check_gradients(func, [x] + layer.parameters())
+    with _kernel_ctx(fused):
+        check_gradients(func, [x] + layer.parameters())
 
 
+@pytest.mark.parametrize("fused", [False, True], ids=["composed", "fused"])
 @pytest.mark.parametrize(
     "index,channels,groups,rate", _groupnorm_cases(),
     ids=lambda v: str(v) if isinstance(v, (int, float, bool)) else None)
-def test_sliced_groupnorm_gradients(index, channels, groups, rate):
+def test_sliced_groupnorm_gradients(index, channels, groups, rate, fused):
     rng = _case_rng(index, 3)
     layer = SlicedGroupNorm(channels, num_groups=groups)
     # Randomize the affine parameters: gradcheck through the default
@@ -145,4 +160,5 @@ def test_sliced_groupnorm_gradients(index, channels, groups, rate):
         with slice_rate(rate):
             return layer(inputs[0])
 
-    check_gradients(func, [x] + layer.parameters())
+    with _kernel_ctx(fused):
+        check_gradients(func, [x] + layer.parameters())

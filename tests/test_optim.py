@@ -71,6 +71,68 @@ class TestSGD:
             SGD([param([1.0])], lr=0.1, nesterov=True)
 
 
+class TestInPlaceUpdates:
+    """The scratch-buffer refactor must not change any update values."""
+
+    @pytest.mark.parametrize("momentum,weight_decay,nesterov", [
+        (0.0, 0.0, False),
+        (0.0, 1e-2, False),
+        (0.9, 0.0, False),
+        (0.9, 5e-4, False),
+        (0.9, 5e-4, True),
+    ])
+    def test_step_matches_out_of_place_reference(self, momentum,
+                                                 weight_decay, nesterov):
+        rng = np.random.default_rng(42)
+        shapes = [(3, 4), (5,), (2, 3, 2)]
+        params = [param(rng.normal(size=s).astype(np.float32))
+                  for s in shapes]
+        opt = SGD(params, lr=0.1, momentum=momentum,
+                  weight_decay=weight_decay, nesterov=nesterov)
+        ref_data = [p.data.copy() for p in params]
+        ref_vel = [np.zeros_like(p.data) for p in params]
+        for _ in range(3):
+            grads = [rng.normal(size=s).astype(np.float32) for s in shapes]
+            for p, g in zip(params, grads):
+                p.grad = g
+            opt.step()
+            for i, g in enumerate(grads):
+                if weight_decay:
+                    g = ref_data[i] * weight_decay + g
+                if momentum:
+                    ref_vel[i] = ref_vel[i] * momentum + g
+                    g = (ref_vel[i] * momentum + g if nesterov
+                         else ref_vel[i])
+                ref_data[i] = ref_data[i] - g * 0.1
+                np.testing.assert_array_equal(params[i].data, ref_data[i])
+
+    def test_step_does_not_mutate_grad(self):
+        p = param([1.0, 2.0])
+        grad = np.array([0.5, -0.25], dtype=np.float32)
+        p.grad = grad
+        SGD([p], lr=0.1, momentum=0.9, weight_decay=0.01).step()
+        assert p.grad is grad
+        np.testing.assert_array_equal(grad, [0.5, -0.25])
+
+    def test_clip_scales_the_same_arrays_in_place(self):
+        rng = np.random.default_rng(7)
+        params = [param(rng.normal(size=(4,)).astype(np.float32))
+                  for _ in range(3)]
+        originals = []
+        for p in params:
+            p.grad = rng.normal(size=p.data.shape).astype(np.float32)
+            originals.append((p.grad, p.grad.copy()))
+        expected_norm = float(np.sqrt(sum(
+            float(np.dot(g.reshape(-1), g.reshape(-1)))
+            for g, _ in originals)))
+        norm = clip_grad_norm(params, 1.0)
+        assert norm == pytest.approx(expected_norm, rel=1e-6)
+        scale = 1.0 / norm
+        for p, (array, before) in zip(params, originals):
+            assert p.grad is array  # scaled in place, not replaced
+            np.testing.assert_array_equal(p.grad, before * scale)
+
+
 class TestClipGradNorm:
     def test_no_clip_below_max(self):
         p = param([1.0])
