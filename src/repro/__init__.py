@@ -35,12 +35,19 @@ from .tensor import Tensor, no_grad
 from .slicing import (
     SliceContext,
     slice_rate,
+    slice_profile,
+    SliceProfile,
+    UniformProfile,
+    LayerProfile,
+    as_profile,
     SliceTrainer,
     rate_for_budget,
+    search_profile_for_budget,
     FixedScheme,
     RandomScheme,
     StaticScheme,
     RandomStaticScheme,
+    ProfileScheme,
 )
 from .models import MLP, NNLM, SlicedResNet, SlicedVGG
 
@@ -52,12 +59,19 @@ __all__ = [
     "no_grad",
     "SliceContext",
     "slice_rate",
+    "slice_profile",
+    "SliceProfile",
+    "UniformProfile",
+    "LayerProfile",
+    "as_profile",
     "SliceTrainer",
     "rate_for_budget",
+    "search_profile_for_budget",
     "FixedScheme",
     "RandomScheme",
     "StaticScheme",
     "RandomStaticScheme",
+    "ProfileScheme",
     "MLP",
     "NNLM",
     "SlicedResNet",

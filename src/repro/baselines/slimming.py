@@ -61,12 +61,15 @@ class PrunedVGG(Module):
         for i, spec in enumerate(conv_specs):
             conv = Conv2d(spec["in"], spec["out"], 3, padding=1, bias=False,
                           rng=np.random.default_rng(0))
-            conv.weight.data[...] = spec["weight"]
+            with conv.weight.mutate() as data:
+                data[...] = spec["weight"]
             self.register_module(f"conv{i}", conv)
             self._ops.append(("conv", conv))
             norm = GroupNorm(spec["groups"], spec["out"])
-            norm.weight.data[...] = spec["gamma"]
-            norm.bias.data[...] = spec["beta"]
+            with norm.weight.mutate() as data:
+                data[...] = spec["gamma"]
+            with norm.bias.mutate() as data:
+                data[...] = spec["beta"]
             self.register_module(f"norm{i}", norm)
             self._ops.append(("norm", norm))
             if i in pools_after:
@@ -148,6 +151,8 @@ def prune_vgg(model: SlicedVGG, keep_fraction: float) -> PrunedVGG:
     pruned = PrunedVGG(conv_specs, pools_after, len(previous_channels),
                        model.num_classes)
     # The head keeps the surviving input columns of the original head.
-    pruned.head.weight.data[...] = model.head.weight.data[:, previous_channels]
-    pruned.head.bias.data[...] = model.head.bias.data
+    with pruned.head.weight.mutate() as data:
+        data[...] = model.head.weight.data[:, previous_channels]
+    with pruned.head.bias.mutate() as data:
+        data[...] = model.head.bias.data
     return pruned

@@ -297,6 +297,59 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    import json
+
+    from .errors import BudgetError
+    from .metrics.flops import measured_flops
+    from .models import MLP, SlicedVGG
+    from .slicing.budget import (
+        search_profile_for_budget,
+        uniform_rate_for_budget,
+    )
+
+    if args.model == "mlp":
+        model = MLP(32, [64, 64], 8, seed=args.seed)
+        input_shape = (args.batch, 32)
+    else:
+        model = SlicedVGG.cifar_mini(width=16, seed=args.seed)
+        input_shape = (args.batch, 3, 8, 8)
+    model.eval()
+
+    rates = sorted(set(args.rates)) if args.rates \
+        else [i / 8 for i in range(1, 9)]
+    full_cost = measured_flops(model, input_shape, rate=1.0)
+    budget = args.budget if args.budget is not None \
+        else args.budget_fraction * full_cost
+    try:
+        searched = search_profile_for_budget(model, input_shape, budget,
+                                             rates)
+        uniform = uniform_rate_for_budget(model, input_shape, budget, rates)
+    except BudgetError as exc:
+        print(f"profile search failed: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps({
+            "model": args.model,
+            "full_cost": full_cost,
+            "budget": budget,
+            "searched": searched.to_dict(),
+            "uniform": uniform.to_dict(),
+        }, indent=1, sort_keys=True))
+        return 0
+    print(f"profile search — {args.model}, budget {budget:.4g} FLOPs "
+          f"({budget / full_cost:.1%} of full-width {full_cost:.4g})")
+    print(f"searched profile ({searched.profile.fingerprint()}):")
+    for name, rate in searched.profile.items():
+        print(f"  {name:<20} {rate:g}")
+    print(f"  cost {searched.cost:.4g} ({searched.cost / full_cost:.1%} "
+          f"of full) after {searched.evals} cost evaluations")
+    print(f"best uniform rate {float(uniform.profile):g}: "
+          f"cost {uniform.cost:.4g} ({uniform.cost / full_cost:.1%} of full)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -357,6 +410,26 @@ def build_parser() -> argparse.ArgumentParser:
                       help="slice rates to compile (default: the G=8 grid)")
     plan.add_argument("--seed", type=int, default=0)
 
+    prof = sub.add_parser("profile", help="per-layer slice-profile tools")
+    prof_sub = prof.add_subparsers(dest="profile_command", required=True)
+    search = prof_sub.add_parser(
+        "search",
+        help="greedy per-layer profile search under a FLOPs budget, "
+             "compared against the best uniform rate")
+    search.add_argument("--model", default="mlp", choices=["mlp", "cnn"])
+    search.add_argument("--budget-fraction", type=float, default=0.5,
+                        help="budget as a fraction of full-width FLOPs")
+    search.add_argument("--budget", type=float, default=None,
+                        help="absolute FLOPs budget "
+                             "(overrides --budget-fraction)")
+    search.add_argument("--rates", type=float, nargs="*", default=None,
+                        help="candidate per-layer rates "
+                             "(default: the G=8 grid)")
+    search.add_argument("--batch", type=int, default=4)
+    search.add_argument("--seed", type=int, default=0)
+    search.add_argument("--json", action="store_true",
+                        help="emit the search result as JSON")
+
     obs_parser = sub.add_parser("obs", help="observability utilities")
     obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
     summ = obs_sub.add_parser(
@@ -377,6 +450,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve-demo": _cmd_serve_demo,
         "runtime": _cmd_runtime,
         "plan": _cmd_plan,
+        "profile": _cmd_profile,
         "obs": _cmd_obs,
     }
     return handlers[args.command](args)

@@ -11,16 +11,21 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn.module import Module
-from ..slicing.context import slice_rate
+from ..slicing.context import slice_profile
+from ..slicing.profile import as_profile
 from ..tensor import Tensor, count_flops, no_grad
 
 
 def measured_flops(model: Module, input_shape: tuple[int, ...],
-                   rate: float = 1.0, input_builder=None) -> int:
+                   rate=1.0, input_builder=None) -> int:
     """Multiply-adds of one forward pass at ``rate``.
 
     Parameters
     ----------
+    rate:
+        A scalar slice rate or a :class:`~repro.slicing.profile.SliceProfile`;
+        the forward runs under the corresponding ambient profile, so the
+        count is exact for non-uniform per-layer profiles too.
     input_shape:
         Shape of a dummy input batch (e.g. ``(1, 3, 16, 16)``).
     input_builder:
@@ -35,7 +40,7 @@ def measured_flops(model: Module, input_shape: tuple[int, ...],
     model.eval()
     try:
         with no_grad():
-            with slice_rate(rate):
+            with slice_profile(rate):
                 with count_flops() as counter:
                     model(dummy)
     finally:
@@ -43,16 +48,18 @@ def measured_flops(model: Module, input_shape: tuple[int, ...],
     return counter.total
 
 
-def active_params(model: Module, rate: float = 1.0) -> int:
+def active_params(model: Module, rate=1.0) -> int:
     """Parameters resident in memory when the model is deployed at ``rate``.
 
-    Sliced layers report their active prefix; plain layers report their
-    full size.
+    Sliced layers report their active prefix (resolved per slice point
+    when ``rate`` is a profile); plain layers report their full size.
     """
+    profile = as_profile(rate)
     total = 0
     for module in model.modules():
         if hasattr(module, "active_param_count"):
-            total += module.active_param_count(rate)
+            layer_rate = profile.rate_for(getattr(module, "slice_point", None))
+            total += module.active_param_count(layer_rate)
         else:
             total += sum(p.size for p in module._parameters.values())
     return total

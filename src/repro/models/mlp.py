@@ -14,6 +14,7 @@ import numpy as np
 from ..errors import ConfigError
 from ..nn.module import Module
 from ..slicing.layers import DEFAULT_GROUPS, SlicedLinear
+from ..slicing.profile import assign_slice_points
 from ..tensor import Tensor
 
 
@@ -62,6 +63,7 @@ class MLP(Module):
             slice_input=True, slice_output=False,
             rescale=rescale, num_groups=num_groups, rng=rng,
         )
+        assign_slice_points(self)
 
     def forward(self, x: Tensor) -> Tensor:
         for layer in self.layers:

@@ -15,6 +15,7 @@ from ..nn.dropout import Dropout
 from ..nn.embedding import Embedding
 from ..nn.module import Module
 from ..slicing.layers import DEFAULT_GROUPS, SlicedLinear
+from ..slicing.profile import assign_slice_points
 from ..slicing.recurrent import SlicedLSTM
 from ..tensor import Tensor, log_softmax
 
@@ -53,6 +54,7 @@ class NNLM(Module):
             hidden_size, vocab_size, slice_input=True, slice_output=False,
             rescale=True, num_groups=num_groups, rng=rng,
         )
+        assign_slice_points(self)
 
     def forward(self, tokens: np.ndarray) -> Tensor:
         """Log-probabilities over the next token.

@@ -28,6 +28,7 @@ from ..slicing.layers import (
     SlicedGroupNorm,
     SlicedLinear,
 )
+from ..slicing.profile import assign_slice_points
 from ..tensor import Tensor
 
 #: (channels, conv count) per stage, paper Table 3 (CIFAR variant).
@@ -107,6 +108,7 @@ class SlicedVGG(Module):
             previous, num_classes, slice_input=True, slice_output=False,
             rescale=True, num_groups=num_groups, rng=rng,
         )
+        assign_slice_points(self)
 
     def forward(self, x: Tensor) -> Tensor:
         for kind, op in self._ops:

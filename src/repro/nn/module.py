@@ -8,6 +8,7 @@ gradient zeroing, and flat ``state_dict`` (de)serialization.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Iterator
 
 import numpy as np
@@ -28,8 +29,9 @@ class Parameter(Tensor):
     ``param.data -= lr * grad``) bumps a monotone :attr:`version`
     counter, which compiled inference plans use to detect staleness.
     In-place element writes (``param.data[...] = arr``) bypass the
-    property; callers doing those must call :meth:`bump_version`
-    explicitly — as :meth:`Module.load_state_dict` does.
+    property; wrap them in ``with param.mutate() as data:`` so the
+    version is bumped automatically, or call :meth:`bump_version`
+    explicitly.
     """
 
     def __init__(self, data, dtype=None):
@@ -55,6 +57,24 @@ class Parameter(Tensor):
         """Record an in-place mutation that bypassed the ``data`` setter."""
         self._version += 1
         return self._version
+
+    @contextlib.contextmanager
+    def mutate(self):
+        """In-place mutation scope: yields the raw array, bumps on exit.
+
+        Use for element writes that would otherwise silently bypass the
+        version counter::
+
+            with param.mutate() as data:
+                data[:k] = pruned
+
+        The version is bumped even if the body raises — a partial write
+        still invalidates compiled plans.
+        """
+        try:
+            yield _TENSOR_DATA.__get__(self, Parameter)
+        finally:
+            self.bump_version()
 
 
 class Module:
@@ -155,8 +175,8 @@ class Module:
                     f"shape mismatch for {name!r}: "
                     f"{value.shape} vs {param.data.shape}"
                 )
-            param.data[...] = value
-            param.bump_version()
+            with param.mutate() as data:
+                data[...] = value
         for name, module in self._named_stateful():
             extra = module.extra_state()
             for key in extra:

@@ -24,6 +24,15 @@ from .telemetry import RequestTrace
 _EPS = 1e-9
 
 
+def _leq(a, b) -> bool:
+    """``a <= b`` for rates or profiles, with the float tolerance.
+
+    Profiles coerce to their mean rate, so a cap set by a non-uniform
+    profile bounds later batches by overall width.
+    """
+    return float(a) <= float(b) + _EPS
+
+
 @dataclass
 class Batch:
     """A closed batch: the requests, the chosen slice rate, and when."""
@@ -115,9 +124,9 @@ class DynamicBatcher:
         if not caps:
             return rate
         cap = min(caps)
-        if rate <= cap + _EPS:
+        if _leq(rate, cap):
             return rate
         candidates = getattr(self.controller, "rates", None) \
             or [getattr(self.controller, "rate")]
-        feasible = [r for r in candidates if r <= cap + _EPS]
+        feasible = [r for r in candidates if _leq(r, cap)]
         return max(feasible) if feasible else min(candidates)

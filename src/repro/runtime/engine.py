@@ -47,6 +47,7 @@ from .telemetry import (
     OUTCOME_SHED,
     RequestTrace,
     RuntimeReport,
+    rate_value,
 )
 
 _EPS = 1e-9
@@ -271,11 +272,19 @@ class InferenceRuntime:
             else:
                 self._finalize(request, OUTCOME_FAILED, now)
 
-    def _downgrade(self, rate: float) -> float:
-        """The next narrower candidate rate (or ``rate`` if none exists)."""
+    def _downgrade(self, rate):
+        """The next narrower candidate rate (or ``rate`` if none exists).
+
+        Controllers whose candidates aren't totally ordered scalars
+        (e.g. :class:`~repro.serving.ProfileTableController`) supply
+        their own ``downgrade`` hook; it wins when present.
+        """
+        hook = getattr(self.controller, "downgrade", None)
+        if hook is not None:
+            return hook(rate)
         candidates = getattr(self.controller, "rates", None) \
             or [getattr(self.controller, "rate")]
-        lower = [r for r in candidates if r < rate - _EPS]
+        lower = [r for r in candidates if float(r) < float(rate) - _EPS]
         return max(lower) if lower else rate
 
     # -- bookkeeping ----------------------------------------------------
@@ -303,7 +312,7 @@ class InferenceRuntime:
         span_id = obs.span_at(
             "runtime.request", trace.arrival, end,
             request_id=trace.request_id, outcome=trace.outcome,
-            rate=trace.rate, replica=trace.replica,
+            rate=rate_value(trace.rate), replica=trace.replica,
             attempts=trace.attempts, deadline_met=trace.deadline_met)
         # ``batched`` can be stale (from a pre-retry attempt) when a
         # re-admitted request dies in the queue; only a coherent wait is
@@ -315,7 +324,7 @@ class InferenceRuntime:
         if trace.started is not None and trace.completed is not None:
             obs.span_at("runtime.request.service", trace.started,
                         trace.completed, parent=span_id,
-                        replica=trace.replica, rate=trace.rate)
+                        replica=trace.replica, rate=rate_value(trace.rate))
 
     def _push(self, time: float, kind: str, payload) -> None:
         heapq.heappush(self._heap, (time, next(self._seq), kind, payload))

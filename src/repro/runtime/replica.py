@@ -21,8 +21,9 @@ from typing import Mapping
 import numpy as np
 
 from ..errors import ServingError
-from ..slicing.context import slice_rate, validate_rate
+from ..slicing.context import slice_profile, validate_rate
 from ..slicing.plans import PlanCache, shared_cache
+from ..slicing.profile import SliceProfile, as_profile
 from ..tensor import Tensor, no_grad
 
 STATE_HEALTHY = "healthy"
@@ -38,28 +39,43 @@ class LatencyProfile:
     """
 
     def __init__(self, full_per_sample: float | None = None,
-                 per_rate: Mapping[float, float] | None = None):
+                 per_rate: Mapping | None = None):
         if full_per_sample is None and not per_rate:
             raise ServingError(
                 "LatencyProfile needs full_per_sample and/or per_rate")
         if full_per_sample is not None and full_per_sample <= 0:
             raise ServingError("full_per_sample must be positive")
         self.full_per_sample = full_per_sample
-        self.per_rate = {validate_rate(r): float(v)
-                         for r, v in (per_rate or {}).items()}
-        for rate, value in self.per_rate.items():
+        # Uniform rates (floats or uniform profiles) calibrate the
+        # scalar curve; non-uniform profiles get exact-match entries
+        # keyed by fingerprint.
+        self.per_rate: dict[float, float] = {}
+        self.per_profile: dict[str, float] = {}
+        for key, value in (per_rate or {}).items():
+            value = float(value)
             if value <= 0:
                 raise ServingError(
-                    f"per-sample latency at rate {rate} must be positive")
+                    f"per-sample latency at rate {key} must be positive")
+            if isinstance(key, SliceProfile) and not key.uniform:
+                self.per_profile[key.fingerprint()] = value
+            else:
+                self.per_rate[validate_rate(float(key))] = value
 
-    def per_sample(self, rate: float) -> float:
-        """Calibrated per-sample seconds at ``rate``.
+    def per_sample(self, rate) -> float:
+        """Calibrated per-sample seconds at ``rate`` (rate or profile).
 
         Exact per-rate measurements win; otherwise the nearest measured
         rate is scaled quadratically; with no measurements at all the
-        analytic ``t * r**2`` model applies.
+        analytic ``t * r**2`` model applies.  Non-uniform profiles match
+        their own calibration entry exactly, falling back to the scalar
+        curve at their mean rate.
         """
-        rate = validate_rate(rate)
+        if isinstance(rate, SliceProfile) and not rate.uniform:
+            exact = self.per_profile.get(rate.fingerprint())
+            if exact is not None:
+                return exact
+            rate = float(rate)
+        rate = validate_rate(float(rate))
         if rate in self.per_rate:
             return self.per_rate[rate]
         if self.per_rate:
@@ -162,33 +178,34 @@ class Replica:
             return 0
         warmed = 0
         for rate in rates:
-            rate = validate_rate(rate)
-            if rate in self.artifacts:
+            profile = as_profile(rate)
+            if profile in self.artifacts:
                 continue
-            self._cache().get(self.model, rate, fold_rescale=fold_rescale)
+            self._cache().get(self.model, profile, fold_rescale=fold_rescale)
             warmed += 1
         return warmed
 
-    def predict(self, inputs: np.ndarray, rate: float) -> np.ndarray | None:
+    def predict(self, inputs: np.ndarray, rate) -> np.ndarray | None:
         """Class predictions for ``inputs`` at ``rate`` (None if no model).
 
-        Prefers a materialized per-rate artifact (a deployed standalone
-        subnet); otherwise serves through the compiled inference plan for
+        ``rate`` may be a scalar or a slice profile.  Prefers a
+        materialized per-rate artifact (a deployed standalone subnet);
+        otherwise serves through the compiled inference plan for
         ``(model, rate)`` (see :mod:`repro.slicing.plans`), falling back
         to the uncompiled sliced forward when ``use_plans=False``.
         """
-        rate = validate_rate(rate)
-        if rate in self.artifacts:
+        profile = as_profile(rate)
+        if profile in self.artifacts:
             batch = Tensor(np.asarray(inputs, dtype=np.float32))
             with no_grad():
-                logits = self.artifacts[rate](batch).data
+                logits = self.artifacts[profile](batch).data
         elif self.model is None:
             return None
         elif self.use_plans:
-            plan = self._cache().get(self.model, rate)
+            plan = self._cache().get(self.model, profile)
             logits = plan.run(np.asarray(inputs))
         else:
             batch = Tensor(np.asarray(inputs, dtype=np.float32))
-            with no_grad(), slice_rate(rate):
+            with no_grad(), slice_profile(profile):
                 logits = self.model(batch).data
         return np.argmax(logits, axis=-1)

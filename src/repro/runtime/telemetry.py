@@ -35,6 +35,17 @@ OUTCOMES = (OUTCOME_COMPLETED, OUTCOME_REJECTED, OUTCOME_SHED,
 _EPS = 1e-9
 
 
+def rate_value(rate):
+    """JSON-safe view of a slice rate or profile (None passes through).
+
+    Scalars stay numeric; profile objects become their short label
+    (``prof:<digest>``) via :meth:`~repro.slicing.profile.SliceProfile.label`.
+    """
+    if rate is None or isinstance(rate, (int, float)):
+        return rate
+    return format(rate)
+
+
 def percentiles(values: Iterable[float],
                 ps: Sequence[int] = (50, 95, 99)) -> dict[str, float]:
     """``{"p50": ..., "p95": ..., "p99": ...}`` of ``values`` (0.0 if empty)."""
@@ -97,7 +108,7 @@ class RequestTrace:
             "started": self.started,
             "completed": self.completed,
             "latency": self.latency,
-            "rate": self.rate,
+            "rate": rate_value(self.rate),
             "replica": self.replica,
             "outcome": self.outcome,
             "attempts": self.attempts,
@@ -170,7 +181,8 @@ class RuntimeReport:
 
     @property
     def mean_rate(self) -> float:
-        rates = [t.rate for t in self.completed if t.rate is not None]
+        rates = [float(t.rate) for t in self.completed
+                 if t.rate is not None]
         return float(np.mean(rates)) if rates else 0.0
 
     @property

@@ -10,6 +10,7 @@ from .workload import (
 from .controller import (
     AdaptiveSliceRateController,
     FixedRateController,
+    ProfileTableController,
     SliceRateController,
 )
 from .simulator import (
@@ -29,6 +30,7 @@ __all__ = [
     "SliceRateController",
     "AdaptiveSliceRateController",
     "FixedRateController",
+    "ProfileTableController",
     "ServingReport",
     "WindowStats",
     "accuracy_for_rate",

@@ -16,20 +16,25 @@ from typing import Mapping, Sequence
 from .. import obs
 from ..errors import BudgetError, ServingError
 from ..slicing.budget import rate_for_latency
+from ..slicing.profile import as_profile
 
 
-def _record_decision(policy: str, batch_size: int, rate: float | None,
+def _record_decision(policy: str, batch_size: int, rate,
                      window: float, cost: float | None) -> None:
     """Count and trace one slice-rate decision (only while obs is on).
 
     The event carries the run-time budget (``window``, the paper's
     ``T/2``) and the planned spend at the chosen rate, so a trace shows
-    *why* the controller degraded: the budget that forced the rate.
+    *why* the controller degraded: the budget that forced the rate.  The
+    ``profile`` field is the canonical fingerprint of the decision, so
+    non-uniform choices are identifiable beyond their mean rate.
     """
     label = "none" if rate is None else f"{rate:g}"
     obs.count("controller_decisions_total", rate=label)
     obs.event("controller.decision", policy=policy, batch_size=batch_size,
-              rate=rate, window=window, cost=cost)
+              rate=None if rate is None else float(rate),
+              profile=None if rate is None else as_profile(rate).fingerprint(),
+              window=window, cost=cost)
 
 
 class SliceRateController:
@@ -149,6 +154,85 @@ class AdaptiveSliceRateController(SliceRateController):
         if obs.enabled():
             obs.gauge("controller_latency_estimate", self.full_latency)
         return self.full_latency
+
+
+class ProfileTableController:
+    """The elastic policy generalized to explicit slice profiles.
+
+    Candidates are :class:`~repro.slicing.profile.SliceProfile` objects
+    (scalar rates coerce to uniform profiles) with *measured* per-sample
+    costs — e.g. the budget-search winners from
+    :func:`repro.slicing.budget.search_profile_for_budget` calibrated via
+    :func:`repro.metrics.latency_table`.  ``choose`` picks the most
+    expensive candidate whose batch fits the ``T/2`` window, mirroring
+    the paper's rule with cost standing in for ``r**2``; ``downgrade``
+    steps to the next cheaper candidate for retry caps.
+    """
+
+    def __init__(self, cost_of_profile: Mapping, latency_slo: float):
+        if latency_slo <= 0:
+            raise ServingError("latency_slo must be positive")
+        entries = [(as_profile(p), float(c))
+                   for p, c in cost_of_profile.items()]
+        if not entries:
+            raise ServingError(
+                "ProfileTableController needs at least one candidate")
+        if any(c <= 0 for _, c in entries):
+            raise ServingError("per-profile costs must be positive")
+        # Cheapest first; mean rate breaks cost ties deterministically.
+        self._entries = sorted(
+            entries, key=lambda e: (e[1], float(e[0]), e[0].fingerprint()))
+        self._costs = {p.fingerprint(): c for p, c in self._entries}
+        self.latency_slo = latency_slo
+
+    @property
+    def rates(self) -> list:
+        """Candidate profiles, cheapest first."""
+        return [profile for profile, _ in self._entries]
+
+    def per_sample_cost(self, rate) -> float:
+        profile = as_profile(rate)
+        cost = self._costs.get(profile.fingerprint())
+        if cost is None:
+            raise ServingError(f"unknown candidate profile {profile!r}")
+        return cost
+
+    def choose(self, batch_size: int):
+        rate = self._decide(batch_size)
+        if obs.enabled():
+            cost = None if rate is None \
+                else batch_size * self.per_sample_cost(rate)
+            _record_decision("profile-table", batch_size, rate,
+                             self.latency_slo / 2.0, cost)
+        return rate
+
+    def _decide(self, batch_size: int):
+        if batch_size == 0:
+            return None
+        window = self.latency_slo / 2.0
+        chosen = None
+        for profile, cost in self._entries:
+            if batch_size * cost <= window:
+                chosen = profile
+        return chosen
+
+    def downgrade(self, rate):
+        """The next cheaper candidate (or ``rate`` if already cheapest)."""
+        fingerprint = as_profile(rate).fingerprint()
+        previous = None
+        for profile, _ in self._entries:
+            if profile.fingerprint() == fingerprint:
+                return previous if previous is not None else rate
+            previous = profile
+        # Unknown rate: the most expensive candidate narrower by mean.
+        lower = [profile for profile, _ in self._entries
+                 if float(profile) < float(rate) - 1e-9]
+        return lower[-1] if lower else rate
+
+    def max_batch(self, rate) -> int:
+        """Largest batch the SLO admits at candidate ``rate``."""
+        window = self.latency_slo / 2.0
+        return int(window / self.per_sample_cost(rate))
 
 
 class FixedRateController:

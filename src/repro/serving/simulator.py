@@ -33,7 +33,11 @@ class WindowStats:
     expected_accuracy: float
 
     def to_dict(self) -> dict:
-        return asdict(self)
+        data = asdict(self)
+        if data["rate"] is not None \
+                and not isinstance(data["rate"], (int, float)):
+            data["rate"] = format(data["rate"])  # profile -> short label
+        return data
 
 
 @dataclass
@@ -70,7 +74,7 @@ class ServingReport:
 
     @property
     def mean_rate(self) -> float:
-        rates = [w.rate for w in self.windows if w.rate is not None]
+        rates = [float(w.rate) for w in self.windows if w.rate is not None]
         return float(np.mean(rates)) if rates else 0.0
 
     def utilization(self, window_length: float) -> float:
@@ -159,7 +163,7 @@ def simulate_serving(arrivals: np.ndarray, controller,
             admitted = 0
             dropped = n
         else:
-            processing = admitted * rate * rate * full_latency_per_sample
+            processing = admitted * float(rate) ** 2 * full_latency_per_sample
             accuracy = accuracy_for_rate(accuracy_of_rate, rate)
         report.windows.append(WindowStats(
             start=float(edges[k]), arrivals=n, admitted=admitted,
@@ -170,31 +174,45 @@ def simulate_serving(arrivals: np.ndarray, controller,
     return report
 
 
-def accuracy_for_rate(table: Mapping[float, float], rate: float) -> float:
-    """Accuracy of the nearest measured rate (shared with the runtime)."""
+def accuracy_for_rate(table: Mapping, rate) -> float:
+    """Accuracy of the nearest measured rate (shared with the runtime).
+
+    ``rate`` and the table keys may be scalars or slice profiles: an
+    exact match (by value for scalars and uniform profiles, by
+    fingerprint for non-uniform ones) wins, otherwise the nearest key by
+    mean rate.
+    """
     if rate in table:
         return table[rate]
-    best = min(table, key=lambda r: abs(r - rate))
+    best = min(table, key=lambda r: abs(float(r) - float(rate)))
     return table[best]
 
 
 def measured_accuracy_table(model, inputs, labels, rates,
-                            plan_cache=None) -> dict[float, float]:
+                            plan_cache=None) -> dict:
     """Accuracy-of-rate table from real evaluation through cached plans.
 
     Evaluates ``model`` on ``(inputs, labels)`` at every rate via
     :mod:`repro.slicing.plans` (compiled once per rate, reused across
     calls through ``plan_cache`` — the shared cache by default), giving
     the controllers a measured table instead of an assumed one.
+
+    ``rates`` may mix scalars and slice profiles; duplicates (by
+    canonical fingerprint) collapse.  Uniform entries keep plain float
+    keys so existing scalar-keyed consumers are unaffected; non-uniform
+    profiles key by the profile object itself.
     """
-    from ..slicing.context import validate_rate
     from ..slicing.plans import shared_cache
+    from ..slicing.profile import as_profile
 
     cache = plan_cache if plan_cache is not None else shared_cache()
     labels = np.asarray(labels)
-    table: dict[float, float] = {}
-    for rate in sorted(set(float(r) for r in rates)):
-        rate = validate_rate(rate)
-        predictions = np.argmax(cache.get(model, rate).run(inputs), axis=-1)
-        table[rate] = float((predictions == labels).mean())
+    unique = {as_profile(r).fingerprint(): as_profile(r) for r in rates}
+    table: dict = {}
+    for profile in sorted(unique.values(),
+                          key=lambda p: (float(p), p.fingerprint())):
+        predictions = np.argmax(cache.get(model, profile).run(inputs),
+                                axis=-1)
+        key = float(profile) if profile.uniform else profile
+        table[key] = float((predictions == labels).mean())
     return table

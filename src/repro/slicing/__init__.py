@@ -1,7 +1,9 @@
 """Model slicing: the paper's core contribution.
 
-* :mod:`~repro.slicing.context` — the shared slice-rate context
-  (``with slice_rate(r): ...``).
+* :mod:`~repro.slicing.context` — the ambient slice context
+  (``with slice_rate(r): ...`` / ``with slice_profile(p): ...``).
+* :mod:`~repro.slicing.profile` — per-layer :class:`SliceProfile`
+  objects generalizing the scalar rate.
 * :mod:`~repro.slicing.partition` — rate → active-prefix-width mapping at
   group granularity.
 * :mod:`~repro.slicing.layers` — sliceable dense/conv/normalization layers.
@@ -14,7 +16,23 @@
   (Sec. 3.5).
 """
 
-from .context import SliceContext, current_rate, slice_rate, validate_rate
+from .context import (
+    SliceContext,
+    current_profile,
+    current_rate,
+    resolve_rate,
+    slice_profile,
+    slice_rate,
+    validate_rate,
+)
+from .profile import (
+    LayerProfile,
+    SliceProfile,
+    UniformProfile,
+    as_profile,
+    assign_slice_points,
+    named_slice_points,
+)
 from .partition import GroupPartition
 from .layers import (
     DEFAULT_GROUPS,
@@ -32,6 +50,7 @@ from .recurrent import (
 )
 from .schemes import (
     FixedScheme,
+    ProfileScheme,
     RandomScheme,
     RandomStaticScheme,
     Scheme,
@@ -44,7 +63,15 @@ from .distributions import (
     normal_cdf,
     uniform_cdf,
 )
-from .budget import max_rate_for_budget, rate_for_budget, rate_for_latency
+from .budget import (
+    ProfileSearchResult,
+    max_rate_for_budget,
+    rate_for_budget,
+    rate_for_latency,
+    search_profile_for_budget,
+    uniform_rate_for_budget,
+    width_slice_points,
+)
 from .trainer import EpochRecord, SliceTrainer
 from .upgrade import upgrade_model
 from .deploy import materialize_subnet
@@ -62,8 +89,17 @@ from . import analysis, incremental
 __all__ = [
     "SliceContext",
     "slice_rate",
+    "slice_profile",
     "current_rate",
+    "current_profile",
+    "resolve_rate",
     "validate_rate",
+    "SliceProfile",
+    "UniformProfile",
+    "LayerProfile",
+    "as_profile",
+    "assign_slice_points",
+    "named_slice_points",
     "GroupPartition",
     "DEFAULT_GROUPS",
     "SlicedLinear",
@@ -80,6 +116,7 @@ __all__ = [
     "StaticScheme",
     "RandomScheme",
     "RandomStaticScheme",
+    "ProfileScheme",
     "ContinuousScheme",
     "categorical_from_cdf",
     "uniform_cdf",
@@ -88,6 +125,10 @@ __all__ = [
     "max_rate_for_budget",
     "rate_for_budget",
     "rate_for_latency",
+    "search_profile_for_budget",
+    "uniform_rate_for_budget",
+    "width_slice_points",
+    "ProfileSearchResult",
     "SliceTrainer",
     "EpochRecord",
     "upgrade_model",

@@ -1,61 +1,106 @@
-"""The global slice-rate context.
+"""The global slice context.
 
-The paper shares a single slice rate ``r`` across every sliced layer of the
-network (Sec. 3.1).  We model that with a process-wide stack: entering
-``with slice_rate(r):`` makes every sliced layer inside the block use the
-corresponding sub-layer.  The default rate is 1.0 (the full network), so
-untouched code paths always see the full model.
+The paper shares a single slice rate ``r`` across every sliced layer of
+the network (Sec. 3.1).  We generalize that to an ambient
+:class:`~repro.slicing.profile.SliceProfile` stack: entering
+``with slice_rate(r):`` pushes the degenerate ``UniformProfile(r)``
+(bitwise-identical to the old scalar path), while
+``with slice_profile(p):`` activates a per-layer profile.  Each sliced
+module resolves its own rate from the top of the stack via
+:func:`resolve_rate` using its registered slice-point name.  The default
+profile is ``UniformProfile(1.0)`` (the full network), so untouched code
+paths always see the full model.
 """
 
 from __future__ import annotations
 
 import contextlib
 
-from ..errors import SliceRateError
+from .profile import SliceProfile, UniformProfile, as_profile, validate_rate
 
-_RATE_STACK: list[float] = [1.0]
+__all__ = [
+    "validate_rate",
+    "current_rate",
+    "current_profile",
+    "resolve_rate",
+    "slice_rate",
+    "slice_profile",
+    "SliceContext",
+]
+
+_PROFILE_STACK: list[SliceProfile] = [UniformProfile(1.0)]
 
 
-def validate_rate(rate: float) -> float:
-    """Check ``rate`` is a valid slice rate and return it as a float."""
-    rate = float(rate)
-    if not 0.0 < rate <= 1.0:
-        raise SliceRateError(f"slice rate must be in (0, 1], got {rate}")
-    return rate
+def current_profile() -> SliceProfile:
+    """The slice profile active for the current forward pass."""
+    return _PROFILE_STACK[-1]
 
 
 def current_rate() -> float:
-    """The slice rate active for the current forward pass."""
-    return _RATE_STACK[-1]
+    """The scalar slice rate active for the current forward pass.
+
+    For a uniform profile this is the shared rate; for a per-layer
+    profile it is the profile's default rate (what an *unnamed* slice
+    point would resolve to).  Sliced modules use :func:`resolve_rate`
+    instead so per-layer overrides apply.
+    """
+    return _PROFILE_STACK[-1].rate_for(None)
+
+
+def resolve_rate(module=None) -> float:
+    """The slice rate the active profile assigns to ``module``.
+
+    Resolution uses the module's ``slice_point`` name (registered at
+    construction; see :func:`repro.slicing.profile.assign_slice_points`).
+    Modules without a slice point — and ``module=None`` — resolve to the
+    profile's default rate.
+    """
+    slice_point = getattr(module, "slice_point", None)
+    return _PROFILE_STACK[-1].rate_for(slice_point)
 
 
 @contextlib.contextmanager
+def slice_profile(profile):
+    """Run the enclosed block under the given slice profile.
+
+    Accepts a :class:`SliceProfile`, a float rate, or a
+    ``{slice_point: rate}`` mapping (coerced via
+    :func:`repro.slicing.profile.as_profile`).
+
+    Example
+    -------
+    >>> with slice_profile(LayerProfile({"fc0": 1.0}, default=0.5)):
+    ...     logits = model(images)   # wide first layer, narrow rest
+    """
+    _PROFILE_STACK.append(as_profile(profile))
+    try:
+        yield
+    finally:
+        _PROFILE_STACK.pop()
+
+
 def slice_rate(rate: float):
-    """Run the enclosed block with the given slice rate.
+    """Run the enclosed block with the given uniform slice rate.
+
+    Sugar for ``slice_profile(UniformProfile(rate))`` — the paper's
+    shared-scalar semantics, preserved bitwise.
 
     Example
     -------
     >>> with slice_rate(0.5):
     ...     logits = model(images)   # half-width subnet, ~25% FLOPs
     """
-    _RATE_STACK.append(validate_rate(rate))
-    try:
-        yield
-    finally:
-        _RATE_STACK.pop()
+    return slice_profile(UniformProfile(rate))
 
 
 class SliceContext:
-    """Object-style access to the slice-rate context.
+    """Object-style access to the slice context.
 
-    Functionally equivalent to :func:`slice_rate` / :func:`current_rate`;
-    provided for callers that prefer passing a handle around explicitly.
+    Thin aliases of the module-level API (one source of truth); provided
+    for callers that prefer passing a handle around explicitly.
     """
 
-    @staticmethod
-    def get() -> float:
-        return current_rate()
-
-    @staticmethod
-    def at(rate: float):
-        return slice_rate(rate)
+    get = staticmethod(current_rate)
+    get_profile = staticmethod(current_profile)
+    at = staticmethod(slice_rate)
+    at_profile = staticmethod(slice_profile)

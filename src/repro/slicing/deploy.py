@@ -25,8 +25,9 @@ from ..nn.linear import Linear
 from ..nn.module import Module
 from ..nn.norm import GroupNorm
 from ..nn.norm import BatchNorm2d
+from ..nn.module import Parameter
 from ..nn.recurrent import GRUCell, LSTMCell, RNNCell
-from .context import validate_rate
+from .profile import as_profile, named_slice_points
 from .layers import (
     MultiBatchNorm2d,
     SlicedBatchNorm2d,
@@ -37,61 +38,72 @@ from .layers import (
 from .recurrent import SlicedGRUCell, SlicedLSTMCell, SlicedRNNCell
 
 
-def _linear_from(layer: SlicedLinear, rate: float) -> Linear:
+def _set(param: Parameter, value, key=...) -> None:
+    """Write into a parameter through :meth:`Parameter.mutate`."""
+    with param.mutate() as data:
+        data[key] = value
+
+
+def _linear_from(layer: SlicedLinear, rate: float, in_rate: float) -> Linear:
     out_w = layer.out_partition.width_for(rate) if layer.slice_output \
         else layer.out_features
-    in_w = layer.in_partition.width_for(rate) if layer.slice_input \
+    in_w = layer.in_partition.width_for(in_rate) if layer.slice_input \
         else layer.in_features
     plain = Linear(in_w, out_w, bias=layer.bias is not None,
                    rng=np.random.default_rng(0))
     scale = (layer.in_features / in_w) if (layer.rescale and
                                            layer.slice_input) else 1.0
-    plain.weight.data[...] = layer.weight.data[:out_w, :in_w] * scale
+    _set(plain.weight, layer.weight.data[:out_w, :in_w] * scale)
     if layer.bias is not None:
         # The sliced layer rescales (Wx + b); bake the same factor in.
-        plain.bias.data[...] = layer.bias.data[:out_w] * scale
+        _set(plain.bias, layer.bias.data[:out_w] * scale)
     return plain
 
 
-def _conv_from(layer: SlicedConv2d, rate: float) -> Conv2d:
+def _conv_from(layer: SlicedConv2d, rate: float, in_rate: float) -> Conv2d:
     out_w = layer.active_out_channels(rate)
-    in_w = layer.in_partition.width_for(rate) if layer.slice_input \
+    in_w = layer.in_partition.width_for(in_rate) if layer.slice_input \
         else layer.in_channels
     plain = Conv2d(in_w, out_w, layer.kernel_size, stride=layer.stride,
                    padding=layer.padding, bias=layer.bias is not None,
                    rng=np.random.default_rng(0))
-    plain.weight.data[...] = layer.weight.data[:out_w, :in_w]
+    _set(plain.weight, layer.weight.data[:out_w, :in_w])
     if layer.bias is not None:
-        plain.bias.data[...] = layer.bias.data[:out_w]
+        _set(plain.bias, layer.bias.data[:out_w])
     return plain
 
 
-def _groupnorm_from(layer: SlicedGroupNorm, rate: float) -> GroupNorm:
-    groups = max(1, min(round(rate * layer.num_groups), layer.num_groups))
+def _groupnorm_from(layer: SlicedGroupNorm, rate: float,
+                    in_rate: float) -> GroupNorm:
+    # Norm width follows the arriving activation (the feeding layer's
+    # rate), exactly as the live input-width-driven forward does.
+    groups = max(1, min(round(in_rate * layer.num_groups), layer.num_groups))
     channels = groups * layer.group_size
     plain = GroupNorm(groups, channels, eps=layer.eps)
-    plain.weight.data[...] = layer.weight.data[:channels]
-    plain.bias.data[...] = layer.bias.data[:channels]
+    _set(plain.weight, layer.weight.data[:channels])
+    _set(plain.bias, layer.bias.data[:channels])
     return plain
 
 
-def _rnn_cell_from(cell: SlicedRNNCell, rate: float) -> RNNCell:
+def _rnn_cell_from(cell: SlicedRNNCell, rate: float,
+                   in_rate: float) -> RNNCell:
     hidden = cell.partition.width_for(rate)
-    in_w = cell.in_partition.width_for(rate) if cell.slice_input \
+    in_w = cell.in_partition.width_for(in_rate) if cell.slice_input \
         else cell.input_size
     plain = RNNCell(in_w, hidden, rng=np.random.default_rng(0))
     scale = 1.0
     if cell.rescale:
         scale = (cell.input_size / in_w + cell.hidden_size / hidden) / 2.0
-    plain.weight_ih.data[...] = cell.weight_ih.data[:hidden, :in_w] * scale
-    plain.weight_hh.data[...] = cell.weight_hh.data[:hidden, :hidden] * scale
-    plain.bias.data[...] = cell.bias.data[:hidden] * scale
+    _set(plain.weight_ih, cell.weight_ih.data[:hidden, :in_w] * scale)
+    _set(plain.weight_hh, cell.weight_hh.data[:hidden, :hidden] * scale)
+    _set(plain.bias, cell.bias.data[:hidden] * scale)
     return plain
 
 
-def _lstm_cell_from(cell: SlicedLSTMCell, rate: float) -> LSTMCell:
+def _lstm_cell_from(cell: SlicedLSTMCell, rate: float,
+                    in_rate: float) -> LSTMCell:
     hidden = cell.partition.width_for(rate)
-    in_w = cell.in_partition.width_for(rate) if cell.slice_input \
+    in_w = cell.in_partition.width_for(in_rate) if cell.slice_input \
         else cell.input_size
     plain = LSTMCell(in_w, hidden, rng=np.random.default_rng(0))
     scale = 1.0
@@ -101,15 +113,17 @@ def _lstm_cell_from(cell: SlicedLSTMCell, rate: float) -> LSTMCell:
         w_ih = getattr(cell, f"w_ih_{gate}").data[:hidden, :in_w]
         w_hh = getattr(cell, f"w_hh_{gate}").data[:hidden, :hidden]
         bias = getattr(cell, f"bias_{gate}").data[:hidden]
-        plain.weight_ih.data[k * hidden:(k + 1) * hidden] = w_ih * scale
-        plain.weight_hh.data[k * hidden:(k + 1) * hidden] = w_hh * scale
-        plain.bias.data[k * hidden:(k + 1) * hidden] = bias * scale
+        rows = slice(k * hidden, (k + 1) * hidden)
+        _set(plain.weight_ih, w_ih * scale, rows)
+        _set(plain.weight_hh, w_hh * scale, rows)
+        _set(plain.bias, bias * scale, rows)
     return plain
 
 
-def _gru_cell_from(cell: SlicedGRUCell, rate: float) -> GRUCell:
+def _gru_cell_from(cell: SlicedGRUCell, rate: float,
+                   in_rate: float) -> GRUCell:
     hidden = cell.partition.width_for(rate)
-    in_w = cell.in_partition.width_for(rate) if cell.slice_input \
+    in_w = cell.in_partition.width_for(in_rate) if cell.slice_input \
         else cell.input_size
     plain = GRUCell(in_w, hidden, rng=np.random.default_rng(0))
     scale = 1.0
@@ -119,19 +133,23 @@ def _gru_cell_from(cell: SlicedGRUCell, rate: float) -> GRUCell:
         w_ih = getattr(cell, f"w_ih_{gate}").data[:hidden, :in_w]
         w_hh = getattr(cell, f"w_hh_{gate}").data[:hidden, :hidden]
         bias = getattr(cell, f"bias_{gate}").data[:hidden]
-        plain.weight_ih.data[k * hidden:(k + 1) * hidden] = w_ih * scale
-        plain.weight_hh.data[k * hidden:(k + 1) * hidden] = w_hh * scale
-        plain.bias_ih.data[k * hidden:(k + 1) * hidden] = bias * scale
+        rows = slice(k * hidden, (k + 1) * hidden)
+        _set(plain.weight_ih, w_ih * scale, rows)
+        _set(plain.weight_hh, w_hh * scale, rows)
+        _set(plain.bias_ih, bias * scale, rows)
     return plain
 
 
-def _multi_bn_from(layer: MultiBatchNorm2d, rate: float) -> BatchNorm2d:
-    best = min(layer._rate_keys, key=lambda r: abs(r - rate))
+def _multi_bn_from(layer: MultiBatchNorm2d, rate: float,
+                   in_rate: float) -> BatchNorm2d:
+    # The arriving width (feeding conv's rate) picks the statistics
+    # branch, matching the width the live forward would normalize.
+    best = min(layer._rate_keys, key=lambda r: abs(r - in_rate))
     source: BatchNorm2d = getattr(layer, f"bn_{layer._key(best)}")
     plain = BatchNorm2d(source.num_features, eps=source.eps,
                         momentum=source.momentum)
-    plain.weight.data[...] = source.weight.data
-    plain.bias.data[...] = source.bias.data
+    _set(plain.weight, source.weight.data)
+    _set(plain.bias, source.bias.data)
     plain.running_mean = source.running_mean.copy()
     plain.running_var = source.running_var.copy()
     return plain
@@ -148,8 +166,17 @@ _CONVERTERS = [
 ]
 
 
-def materialize_subnet(model: Module, rate: float) -> Module:
+def materialize_subnet(model: Module, rate) -> Module:
     """Return a standalone plain copy of ``Subnet-rate``.
+
+    ``rate`` may be a scalar or a
+    :class:`~repro.slicing.profile.SliceProfile`; each sliced layer is
+    materialized at the rate the profile resolves for its slice-point
+    name.  Input widths are *threaded*: each input-sliced layer consumes
+    the width produced by the previous width-controlling slice point (in
+    slice-point traversal order, which matches dataflow order for the
+    sequential bundled models), so non-uniform profiles deploy with the
+    exact widths the live forward produces.
 
     The original model is untouched.  Sliced layers become plain layers
     holding only the active prefix weights (with any rescaling baked in);
@@ -164,9 +191,23 @@ def materialize_subnet(model: Module, rate: float) -> Module:
         (e.g. :class:`SlicedBatchNorm2d`, whose running statistics are
         not meaningful for a single deployed width).
     """
-    validate_rate(rate)
+    profile = as_profile(rate)
     clone = copy.deepcopy(model)
     replaced = 0
+
+    # The rate of the activation *arriving* at each sliced module: the
+    # most recent width-controlling slice point before it in traversal
+    # order (dataflow order for the sequential bundled models).
+    in_rates: dict[int, float] = {}
+    feeder = profile.rate_for(None)
+    for point, module in named_slice_points(clone):
+        in_rates[id(module)] = feeder
+        if isinstance(module, (SlicedLinear, SlicedConv2d)):
+            if module.slice_output:
+                feeder = profile.rate_for(point)
+        elif isinstance(module, (SlicedRNNCell, SlicedLSTMCell,
+                                 SlicedGRUCell)):
+            feeder = profile.rate_for(point)
 
     def visit(module: Module) -> None:
         nonlocal replaced
@@ -174,7 +215,10 @@ def materialize_subnet(model: Module, rate: float) -> Module:
             converted = None
             for kind, converter in _CONVERTERS:
                 if type(child) is kind:
-                    converted = converter(child, rate)
+                    layer_rate = profile.rate_for(
+                        getattr(child, "slice_point", None))
+                    in_rate = in_rates.get(id(child), layer_rate)
+                    converted = converter(child, layer_rate, in_rate)
                     break
             if converted is not None:
                 module.register_module(name, converted)

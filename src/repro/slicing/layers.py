@@ -23,8 +23,9 @@ from ..nn.norm import BatchNorm2d
 from ..tensor import Tensor, conv2d
 from ..tensor.fused import fused_group_norm
 from ..tensor.workspace import active_workspace
-from .context import current_rate
+from .context import resolve_rate
 from .partition import GroupPartition
+from .profile import auto_slice_point
 
 DEFAULT_GROUPS = 8
 
@@ -67,6 +68,7 @@ class SlicedLinear(Module):
         ) if slice_input else None
         self.weight = Parameter(kaiming_normal(rng, (out_features, in_features)))
         self.bias = Parameter(zeros((out_features,))) if bias else None
+        self.slice_point = auto_slice_point(self)
 
     def active_param_count(self, rate: float) -> int:
         """Parameters resident in memory when deployed at ``rate``."""
@@ -84,7 +86,7 @@ class SlicedLinear(Module):
                 f"got {in_width}"
             )
         out_width = (
-            self.out_partition.width_for(current_rate())
+            self.out_partition.width_for(resolve_rate(self))
             if self.slice_output else self.out_features
         )
         weight = self.weight[:out_width, :in_width]
@@ -135,6 +137,7 @@ class SlicedConv2d(Module):
             kaiming_normal(rng, (out_channels, in_channels, kh, kw))
         )
         self.bias = Parameter(zeros((out_channels,))) if bias else None
+        self.slice_point = auto_slice_point(self)
 
     def active_param_count(self, rate: float) -> int:
         """Parameters resident in memory when deployed at ``rate``."""
@@ -148,7 +151,7 @@ class SlicedConv2d(Module):
         """Output channels active at ``rate`` (current rate if omitted)."""
         if not self.slice_output:
             return self.out_channels
-        rate = current_rate() if rate is None else rate
+        rate = resolve_rate(self) if rate is None else rate
         return self.out_partition.width_for(rate)
 
     def forward(self, x: Tensor) -> Tensor:
@@ -194,6 +197,9 @@ class SlicedGroupNorm(Module):
         self.eps = eps
         self.weight = Parameter(ones((num_channels,)))
         self.bias = Parameter(zeros((num_channels,)))
+        # The forward is input-width-driven, but deploy / param
+        # accounting resolve this norm's own rate by name.
+        self.slice_point = auto_slice_point(self)
 
     def forward(self, x: Tensor) -> Tensor:
         channels = x.shape[1]
@@ -320,13 +326,18 @@ class MultiBatchNorm2d(Module):
                 width, eps=eps, momentum=momentum,
             ))
             self._rate_keys.append(rate)
+        self.slice_point = auto_slice_point(self)
 
     @staticmethod
     def _key(rate: float) -> str:
         return format(rate, ".4f").replace(".", "_")
 
     def forward(self, x: Tensor) -> Tensor:
-        rate = current_rate()
+        # Dispatches on this layer's resolved rate, which must match one
+        # of the configured BN widths: non-uniform profiles must assign
+        # the feeding conv and this norm the same rate (or leave both at
+        # the default) — each BN instance only knows one width.
+        rate = resolve_rate(self)
         best = min(self._rate_keys, key=lambda r: abs(r - rate))
         if abs(best - rate) > 1e-6:
             raise ShapeError(

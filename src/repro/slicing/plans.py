@@ -56,7 +56,8 @@ from ..nn.embedding import Embedding
 from ..nn.norm import BatchNorm2d
 from ..nn.pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
 from ..tensor import Tensor, no_grad
-from .context import slice_rate, validate_rate
+from .context import slice_profile
+from .profile import SliceProfile, as_profile, validate_rate
 from .layers import (
     MultiBatchNorm2d,
     SlicedBatchNorm2d,
@@ -576,16 +577,28 @@ def _linear_scale(layer: SlicedLinear, in_width: int) -> float:
     return 1.0
 
 
-def compile_layer(layer, rate: float, fold_rescale: bool = True,
+def compile_layer(layer, rate, fold_rescale: bool = True,
                   in_width: int | None = None, relu: bool = False) -> PlanStep:
     """Compile one sliced layer into a :class:`PlanStep` at ``rate``.
 
+    ``rate`` may be a scalar or a :class:`SliceProfile`; a profile is
+    resolved to this layer's own rate via its ``slice_point`` name
+    (containers like :class:`SlicedLSTM` resolve per child cell).
     ``in_width`` overrides the input width the step is specialized for
     (model compilers thread the actual upstream activation width through;
     standalone compilation derives it from the layer's own partition).
     ``relu`` fuses a trailing ReLU into steps that support it.
     """
-    rate = validate_rate(rate)
+    profile = as_profile(rate)
+    if isinstance(layer, SlicedLSTM):
+        cell_steps: list[PlanStep] = []
+        width = in_width
+        for cell in layer.cells:
+            cell_steps.append(_compile_cell(
+                cell, profile.rate_for(cell.slice_point), width))
+            width = cell_steps[-1].hidden
+        return LSTMStackStep(cell_steps)
+    rate = validate_rate(profile.rate_for(getattr(layer, "slice_point", None)))
     if isinstance(layer, SlicedLinear):
         in_w = in_width if in_width is not None else _linear_in_width(layer, rate)
         out_w = layer.out_partition.width_for(rate) if layer.slice_output \
@@ -640,9 +653,6 @@ def compile_layer(layer, rate: float, fold_rescale: bool = True,
         return BatchNormStep(layer.weight.data, layer.bias.data,
                              layer.running_mean, layer.running_var,
                              layer.eps, relu=relu)
-    if isinstance(layer, SlicedLSTM):
-        return LSTMStackStep([
-            _compile_cell(cell, rate) for cell in layer.cells])
     if isinstance(layer, (SlicedLSTMCell, SlicedGRUCell, SlicedRNNCell)):
         return _compile_cell(layer, rate, in_width)
     if isinstance(layer, Embedding):
@@ -674,33 +684,41 @@ def _compile_cell(cell, rate: float, in_width: int | None = None) -> PlanStep:
 # ----------------------------------------------------------------------
 # Model compilation
 # ----------------------------------------------------------------------
-def _compile_mlp(model, rate: float, fold_rescale: bool) -> list[PlanStep]:
+def _compile_mlp(model, profile: SliceProfile,
+                 fold_rescale: bool) -> list[PlanStep]:
     steps: list[PlanStep] = []
     width = model.in_features
     for layer in model.layers:
+        rate = profile.rate_for(layer.slice_point)
         steps.append(compile_layer(layer, rate, fold_rescale,
                                    in_width=width, relu=True))
         width = layer.out_partition.width_for(rate) if layer.slice_output \
             else layer.out_features
-    steps.append(compile_layer(model.head, rate, fold_rescale,
+    steps.append(compile_layer(model.head, profile, fold_rescale,
                                in_width=width))
     return steps
 
 
-def _compile_vgg(model, rate: float, fold_rescale: bool) -> list[PlanStep]:
+def _compile_vgg(model, profile: SliceProfile,
+                 fold_rescale: bool) -> list[PlanStep]:
     steps: list[PlanStep] = []
     width = model._ops[0][1].in_channels
+    rate = profile.rate_for(None)
     for kind, op in model._ops:
         if kind == "conv":
+            rate = profile.rate_for(op.slice_point)
             steps.append(compile_layer(op, rate, fold_rescale, in_width=width))
             width = op.active_out_channels(rate)
         elif kind == "norm":
+            # Norms normalize whatever width arrives, so they compile at
+            # the feeding conv's rate — naming them is unnecessary.
             steps.append(compile_layer(op, rate, fold_rescale,
                                        in_width=width, relu=True))
         else:
-            steps.append(compile_layer(op, rate, fold_rescale))
+            steps.append(compile_layer(op, profile, fold_rescale))
     steps.append(GlobalAvgPoolStep())
-    steps.append(compile_layer(model.head, rate, fold_rescale, in_width=width))
+    steps.append(compile_layer(model.head, profile, fold_rescale,
+                               in_width=width))
     return steps
 
 
@@ -720,12 +738,13 @@ class _NNLMRunner:
         return _log_softmax(logits).reshape(steps, batch, -1)
 
 
-def _compile_nnlm(model, rate: float, fold_rescale: bool):
-    hidden_w = model.lstm.cells[-1].partition.width_for(rate)
+def _compile_nnlm(model, profile: SliceProfile, fold_rescale: bool):
+    last = model.lstm.cells[-1]
+    hidden_w = last.partition.width_for(profile.rate_for(last.slice_point))
     runner = _NNLMRunner(
-        compile_layer(model.embedding, rate, fold_rescale),
-        compile_layer(model.lstm, rate, fold_rescale),
-        compile_layer(model.decoder, rate, fold_rescale, in_width=hidden_w),
+        compile_layer(model.embedding, profile, fold_rescale),
+        compile_layer(model.lstm, profile, fold_rescale),
+        compile_layer(model.decoder, profile, fold_rescale, in_width=hidden_w),
     )
     return runner.steps, runner
 
@@ -749,16 +768,22 @@ def _find_compiler(model):
 # Plans
 # ----------------------------------------------------------------------
 class InferencePlan:
-    """The compiled forward pass of one model at one slice rate."""
+    """The compiled forward pass of one model at one slice profile.
+
+    :attr:`profile` is the full per-layer identity; :attr:`rate` keeps
+    the scalar view for uniform profiles (``None`` for genuinely
+    non-uniform ones, where no single scalar describes the plan).
+    """
 
     compiled = True
     fallback = False
 
-    def __init__(self, model, rate: float, steps: list[PlanStep],
+    def __init__(self, model, rate, steps: list[PlanStep],
                  run_fn: Callable[[np.ndarray], np.ndarray] | None = None,
                  fold_rescale: bool = True):
         self.model = model
-        self.rate = validate_rate(rate)
+        self.profile = as_profile(rate)
+        self.rate = float(self.profile) if self.profile.uniform else None
         self.steps = list(steps)
         self.fold_rescale = bool(fold_rescale)
         self._run = run_fn
@@ -807,7 +832,7 @@ class InferencePlan:
 
     def __repr__(self) -> str:
         return (f"{type(self).__name__}({type(self.model).__name__}, "
-                f"rate={self.rate}, steps={len(self.steps)})")
+                f"profile={self.profile.label()}, steps={len(self.steps)})")
 
 
 class FallbackPlan(InferencePlan):
@@ -820,7 +845,7 @@ class FallbackPlan(InferencePlan):
     compiled = False
     fallback = True
 
-    def __init__(self, model, rate: float):
+    def __init__(self, model, rate):
         super().__init__(model, rate, steps=[])
 
     def is_valid(self) -> bool:
@@ -830,31 +855,32 @@ class FallbackPlan(InferencePlan):
         x = np.asarray(inputs)
         arg = x if x.dtype.kind in "iu" \
             else Tensor(np.ascontiguousarray(x, dtype=np.float32))
-        with no_grad(), slice_rate(self.rate):
+        with no_grad(), slice_profile(self.profile):
             out = self.model(arg)
         return out.data if isinstance(out, Tensor) else np.asarray(out)
 
 
-def compile_plan(model, rate: float, fold_rescale: bool = True
+def compile_plan(model, rate, fold_rescale: bool = True
                  ) -> InferencePlan:
     """Compile ``model`` at ``rate`` (a :class:`FallbackPlan` if unknown).
 
+    ``rate`` may be a scalar rate or a :class:`SliceProfile`.
     ``fold_rescale=False`` keeps the ``full_in / active_in`` rescale as a
     separate post-bias multiply instead of baking it into the weights —
     bit-compatible with the incremental (anytime) forward.
     """
-    rate = validate_rate(rate)
+    profile = as_profile(rate)
     compiler = _find_compiler(model)
     if compiler is None:
         if obs.enabled():
             obs.count("plan_fallbacks_total", kind=type(model).__name__)
-        return FallbackPlan(model, rate)
-    result = compiler(model, rate, fold_rescale)
+        return FallbackPlan(model, profile)
+    result = compiler(model, profile, fold_rescale)
     if isinstance(result, tuple):
         steps, run_fn = result
     else:
         steps, run_fn = result, None
-    return InferencePlan(model, rate, steps, run_fn=run_fn,
+    return InferencePlan(model, profile, steps, run_fn=run_fn,
                          fold_rescale=fold_rescale)
 
 
@@ -862,12 +888,14 @@ def compile_plan(model, rate: float, fold_rescale: bool = True
 # The cache
 # ----------------------------------------------------------------------
 class PlanCache:
-    """LRU cache of compiled plans keyed by ``(model, rate)``.
+    """LRU cache of compiled plans keyed by ``(model, profile)``.
 
-    A hit requires the cached plan to still be valid: any parameter
-    version bump, parameter-identity change or rebound running-stats
-    buffer invalidates the entry and recompiles (counted separately from
-    cold misses).  Eviction is least-recently-used.
+    The profile key is the canonical fingerprint, so ``0.5``,
+    ``UniformProfile(0.5)`` and an all-``0.5`` :class:`LayerProfile` all
+    share one entry.  A hit requires the cached plan to still be valid:
+    any parameter version bump, parameter-identity change or rebound
+    running-stats buffer invalidates the entry and recompiles (counted
+    separately from cold misses).  Eviction is least-recently-used.
     """
 
     def __init__(self, capacity: int = 32):
@@ -883,11 +911,15 @@ class PlanCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, model, rate: float, fold_rescale: bool = True
+    def get(self, model, rate, fold_rescale: bool = True
             ) -> InferencePlan:
-        """The cached plan for ``(model, rate)``, compiling on miss."""
-        rate = validate_rate(rate)
-        key = (id(model), rate, bool(fold_rescale))
+        """The cached plan for ``(model, rate)``, compiling on miss.
+
+        ``rate`` may be a scalar or a :class:`SliceProfile`; the cache
+        key is the canonical profile fingerprint.
+        """
+        profile = as_profile(rate)
+        key = (id(model), profile.fingerprint(), bool(fold_rescale))
         plan = self._entries.get(key)
         if plan is not None and plan.model is model and plan.is_valid():
             self._entries.move_to_end(key)
@@ -903,7 +935,7 @@ class PlanCache:
         self.misses += 1
         if obs.enabled():
             obs.count("plan_cache_misses_total")
-        plan = compile_plan(model, rate, fold_rescale)
+        plan = compile_plan(model, profile, fold_rescale)
         if obs.enabled():
             obs.count("plan_compiles_total", kind=type(model).__name__)
         self._entries[key] = plan
@@ -913,8 +945,16 @@ class PlanCache:
             if obs.enabled():
                 obs.count("plan_cache_evictions_total")
         if obs.enabled():
-            obs.gauge("plan_cache_size", len(self._entries))
+            self._observe_size()
         return plan
+
+    def profile_keys(self) -> int:
+        """Number of distinct profile fingerprints currently cached."""
+        return len({key[1] for key in self._entries})
+
+    def _observe_size(self) -> None:
+        obs.gauge("plan_cache_size", len(self._entries))
+        obs.gauge("plan_cache_profile_keys", self.profile_keys())
 
     def invalidate(self, model=None) -> int:
         """Drop entries for ``model`` (all entries if None); returns count."""
@@ -931,7 +971,7 @@ class PlanCache:
         if obs.enabled():
             if dropped:
                 obs.count("plan_cache_invalidations_total", amount=dropped)
-            obs.gauge("plan_cache_size", len(self._entries))
+            self._observe_size()
         return dropped
 
     def clear(self) -> None:
@@ -961,7 +1001,7 @@ def shared_cache() -> PlanCache:
     return _SHARED_CACHE
 
 
-def get_plan(model, rate: float, cache: PlanCache | None = None
+def get_plan(model, rate, cache: PlanCache | None = None
              ) -> InferencePlan:
     """Convenience: fetch/compile a plan through ``cache`` (shared default)."""
     return (cache if cache is not None else _SHARED_CACHE).get(model, rate)

@@ -13,9 +13,10 @@ from ..errors import ShapeError
 from ..nn.init import xavier_uniform, zeros
 from ..nn.module import Module, Parameter
 from ..tensor import Tensor, stack
-from .context import current_rate
+from .context import resolve_rate
 from .partition import GroupPartition
 from .layers import DEFAULT_GROUPS
+from .profile import auto_slice_point
 
 
 def _zero_state(batch: int, width: int) -> Tensor:
@@ -40,6 +41,7 @@ class _SlicedRecurrentBase(Module):
         self.in_partition = GroupPartition(
             input_size, min(num_groups, input_size)
         ) if slice_input else None
+        self.slice_point = auto_slice_point(self)
 
     def active_param_count(self, rate: float) -> int:
         """Parameters resident in memory when deployed at ``rate``."""
@@ -51,7 +53,7 @@ class _SlicedRecurrentBase(Module):
 
     def active_hidden(self, rate: float | None = None) -> int:
         """Hidden width active at ``rate`` (current rate if omitted)."""
-        rate = current_rate() if rate is None else rate
+        rate = resolve_rate(self) if rate is None else rate
         return self.partition.width_for(rate)
 
     def _check_input(self, x: Tensor) -> int:

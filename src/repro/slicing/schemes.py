@@ -22,6 +22,7 @@ import numpy as np
 
 from ..errors import SchedulingError
 from .context import validate_rate
+from .profile import SliceProfile, as_profile
 
 
 def _normalize_rates(rates: Sequence[float]) -> list[float]:
@@ -178,3 +179,42 @@ class RandomStaticScheme(Scheme):
             picks = rng.choice(len(pool), size=k, replace=False)
             chosen.update(pool[i] for i in np.atleast_1d(picks))
         return sorted(chosen, reverse=True)
+
+
+class ProfileScheme(Scheme):
+    """Schedule explicit slice profiles — per-layer Algorithm 1.
+
+    Entries may be floats (coerced to
+    :class:`~repro.slicing.profile.UniformProfile`), mappings, or
+    :class:`~repro.slicing.profile.SliceProfile` objects; duplicates
+    (by canonical fingerprint) collapse.  Like
+    :class:`StaticScheme`, every profile trains on every batch, widest
+    (by mean rate) first — unless ``num_random`` limits each batch to
+    the widest and narrowest profiles plus that many randomly drawn
+    middles (the random-static pattern generalized to profiles).
+    """
+
+    def __init__(self, profiles: Sequence, num_random: int | None = None):
+        entries = [as_profile(p) for p in profiles]
+        if not entries:
+            raise SchedulingError(
+                "a scheduling scheme needs at least one profile")
+        unique: dict[str, SliceProfile] = {
+            p.fingerprint(): p for p in entries}
+        self.rates: list[SliceProfile] = sorted(unique.values())
+        if num_random is not None and num_random < 0:
+            raise SchedulingError("num_random must be >= 0")
+        self.num_random = num_random
+
+    def sample(self, rng: np.random.Generator) -> list[SliceProfile]:
+        if self.num_random is None or len(self.rates) <= 2:
+            return list(reversed(self.rates))
+        chosen = [self.rates[-1]]
+        middles = self.rates[1:-1]
+        if middles and self.num_random:
+            k = min(self.num_random, len(middles))
+            picks = rng.choice(len(middles), size=k, replace=False)
+            for i in sorted(np.atleast_1d(picks), reverse=True):
+                chosen.append(middles[i])
+        chosen.append(self.rates[0])
+        return chosen

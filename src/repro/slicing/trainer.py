@@ -4,6 +4,12 @@ For each batch the trainer asks the scheduling scheme for a list of slice
 rates, runs a forward/backward pass for each corresponding subnet,
 *accumulates* the gradients, and applies one optimizer update — exactly the
 structure of Algorithm 1 in the paper.
+
+Schemes may schedule scalar rates or per-layer
+:class:`~repro.slicing.profile.SliceProfile` objects
+(:class:`~repro.slicing.schemes.ProfileScheme`); each scheduled item runs
+as one forward/backward under the corresponding ambient profile, so
+heterogeneous-width subnets train through the same Algorithm-1 loop.
 """
 
 from __future__ import annotations
@@ -19,8 +25,23 @@ from ..nn.module import Module
 from ..optim import SGD
 from ..tensor import Tensor, cross_entropy, no_grad
 from ..tensor.workspace import WorkspaceArena, use_workspace
-from .context import slice_rate
+from .context import slice_profile
 from .schemes import Scheme
+
+
+def _rate_key(key):
+    """JSON-safe (string) dict key for a scheduled rate or profile.
+
+    Scalar rates (and uniform profiles, which collapse back to their
+    float rate) use the float repr — the same string ``json.dumps``
+    would coerce a float key to — so mixed rate/profile tables sort and
+    serialize cleanly.  Non-uniform profiles use their fingerprint.
+    """
+    if isinstance(key, (int, float)):
+        return repr(float(key))
+    if getattr(key, "uniform", False):
+        return repr(float(key))
+    return key.fingerprint()
 
 
 class EpochRecord:
@@ -37,23 +58,34 @@ class EpochRecord:
         return f"EpochRecord(epoch={self.epoch}, eval_error={self.eval_error})"
 
     def to_dict(self) -> dict:
-        """JSON-serializable view (slice-rate keys stay floats here;
-        ``json.dumps`` coerces them to strings on the wire)."""
+        """JSON-serializable view: scalar slice-rate keys become their
+        float-repr strings, non-uniform profile keys become fingerprint
+        strings (see :func:`_rate_key`)."""
         return {
             "epoch": self.epoch,
-            "train_loss": dict(self.train_loss),
-            "eval_error": dict(self.eval_error),
-            "eval_loss": dict(self.eval_loss),
+            "train_loss": {_rate_key(k): v for k, v in self.train_loss.items()},
+            "eval_error": {_rate_key(k): v for k, v in self.eval_error.items()},
+            "eval_loss": {_rate_key(k): v for k, v in self.eval_loss.items()},
             "extra": dict(self.extra),
         }
 
     @classmethod
     def from_dict(cls, data: dict) -> "EpochRecord":
-        """Inverse of :meth:`to_dict`; accepts string rate keys (JSON)."""
+        """Inverse of :meth:`to_dict`; accepts string rate keys (JSON).
+
+        Keys that don't parse as floats (non-uniform profile
+        fingerprints) are kept as strings.
+        """
+        def parse(key):
+            try:
+                return float(key)
+            except ValueError:
+                return key
+
         record = cls(int(data["epoch"]))
         for field in ("train_loss", "eval_error", "eval_loss"):
             record.__dict__[field] = {
-                float(rate): float(value)
+                parse(rate): float(value)
                 for rate, value in data.get(field, {}).items()}
         record.extra = dict(data.get("extra", {}))
         return record
@@ -137,7 +169,7 @@ class SliceTrainer:
             self.arena.begin_step(pinned_input=pinned)
             with use_workspace(self.arena):
                 for rate in rates:
-                    with slice_rate(rate):
+                    with slice_profile(rate):
                         logits = self.model(model_input)
                         loss = self.loss_fn(logits, targets)
                     loss.backward()
@@ -148,7 +180,7 @@ class SliceTrainer:
                 obs.count("train_fast_steps_total")
         else:
             for rate in rates:
-                with slice_rate(rate):
+                with slice_profile(rate):
                     logits = self.model(model_input)
                     loss = self.loss_fn(logits, targets)
                 loss.backward()
@@ -204,7 +236,7 @@ class SliceTrainer:
             loss_sum = 0.0
             batches = 0
             with no_grad():
-                with slice_rate(rate):
+                with slice_profile(rate):
                     for inputs, targets in loader:
                         logits = self.model(Tensor(inputs))
                         loss_sum += self.loss_fn(logits, targets).item()

@@ -92,9 +92,11 @@ def upgrade_model(model: Module, rates: Sequence[float] | None = None,
                 num_groups=num_groups,
                 rng=np.random.default_rng(0),
             )
-            replacement.weight.data[...] = child.weight.data
+            with replacement.weight.mutate() as data:
+                data[...] = child.weight.data
             if child.bias is not None:
-                replacement.bias.data[...] = child.bias.data
+                with replacement.bias.mutate() as data:
+                    data[...] = child.bias.data
         elif isinstance(child, Conv2d):
             replacement = SlicedConv2d(
                 child.in_channels, child.out_channels, child.kernel_size,
@@ -104,16 +106,20 @@ def upgrade_model(model: Module, rates: Sequence[float] | None = None,
                 num_groups=num_groups,
                 rng=np.random.default_rng(0),
             )
-            replacement.weight.data[...] = child.weight.data
+            with replacement.weight.mutate() as data:
+                data[...] = child.weight.data
             if child.bias is not None:
-                replacement.bias.data[...] = child.bias.data
+                with replacement.bias.mutate() as data:
+                    data[...] = child.bias.data
         elif isinstance(child, BatchNorm2d):
             if norm == "group":
                 replacement = SlicedGroupNorm(
                     child.num_features, num_groups=num_groups, eps=child.eps
                 )
-                replacement.weight.data[...] = child.weight.data
-                replacement.bias.data[...] = child.bias.data
+                with replacement.weight.mutate() as data:
+                    data[...] = child.weight.data
+                with replacement.bias.mutate() as data:
+                    data[...] = child.bias.data
             else:
                 replacement = MultiBatchNorm2d(
                     child.num_features, list(rates), num_groups=num_groups,
