@@ -195,8 +195,9 @@ def main() -> None:
     summary = json.loads(elastic_report.to_json(include_traces=False))
     print(f"telemetry report ({len(elastic_report.traces)} per-request "
           f"traces, p50/p95/p99 latency) written to {REPORT_PATH}")
-    print("latency percentiles:", {k: f"{v * 1e3:.1f}ms"
-                                   for k, v in summary["latency"].items()})
+    print("latency percentiles:",
+          {k: "-" if v is None else f"{v * 1e3:.1f}ms"
+           for k, v in summary["latency"].items()})
 
     obs.shutdown()   # appends the metrics snapshot, closes the sink
     print(f"\nobservability trace (training epochs + request spans + "

@@ -166,6 +166,7 @@ def _cmd_runtime(args) -> int:
         Replica,
         ReplicaPool,
         RuntimeConfig,
+        format_seconds,
     )
     from .serving import (
         FixedRateController,
@@ -222,8 +223,8 @@ def _cmd_runtime(args) -> int:
             elastic_report = report
         tails = report.latency_percentiles()
         print(f"{name:<14} {report.drop_fraction:>8.2%} "
-              f"{report.goodput:>9.1f} {tails['p50'] * 1e3:>6.1f}ms "
-              f"{tails['p99'] * 1e3:>6.1f}ms {report.retries:>8} "
+              f"{report.goodput:>9.1f} {format_seconds(tails['p50']):>8} "
+              f"{format_seconds(tails['p99']):>8} {report.retries:>8} "
               f"{report.goodput_weighted_accuracy:>9.3f}")
     if args.json and elastic_report is not None:
         with open(args.json, "w") as handle:
@@ -297,11 +298,96 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_sizing(args) -> int:
+    import numpy as np
+
+    from .cluster import (
+        AutoscalerConfig,
+        CapacityReport,
+        CostTable,
+        GiB,
+        NodeSpec,
+        SimulationConfig,
+        SizingRequest,
+        parse_forecast,
+        plan_capacity,
+        simulate_autoscaling,
+    )
+    from .errors import ServingError
+    from .models import MLP, SlicedVGG
+    from .runtime.replica import LatencyProfile
+
+    # The demo accuracy/rate trade-off (anchored at the Sec 4.1 demo
+    # table); arbitrary --rates interpolate along it.
+    anchors = ([0.0, 0.25, 0.5, 0.75, 1.0],
+               [0.30, 0.62, 0.85, 0.91, 0.94])
+
+    if args.model == "mlp":
+        model = MLP(32, [64, 64], 8, seed=args.seed)
+        input_shape = (1, 32)
+    else:
+        model = SlicedVGG.cifar_mini(width=16, seed=args.seed)
+        input_shape = (1, 3, 8, 8)
+    model.eval()
+    rates = sorted(set(args.rates)) if args.rates else [0.25, 0.5, 0.75, 1.0]
+    accuracy = {r: float(np.interp(r, *anchors)) for r in rates}
+
+    try:
+        spec = parse_forecast(args.forecast)
+        table = CostTable.from_model(
+            model, input_shape, accuracy,
+            LatencyProfile(args.full_latency))
+        node_spec = NodeSpec(memory_bytes=args.node_memory_gb * GiB,
+                             flops_per_sec=args.node_flops,
+                             max_replicas=args.max_replicas)
+        request = SizingRequest(
+            spec=spec, window_seconds=args.window,
+            latency_slo=args.slo_p95 / 1e3,
+            accuracy_floor=args.accuracy_floor,
+            headroom=args.headroom, ha_spares=args.ha_spares)
+        plan = plan_capacity(request, table, node_spec)
+
+        simulations = []
+        if not args.no_simulate:
+            sim_config = SimulationConfig(
+                window_seconds=args.window,
+                latency_slo=request.latency_slo, seed=args.seed)
+            scaler_config = AutoscalerConfig(boot_windows=args.boot_windows)
+            simulations.append(simulate_autoscaling(
+                spec, table, node_spec, sim_config, scaler_config,
+                plan.replicas_per_node, schedule=plan.schedule,
+                label="elastic"))
+            best = plan.best_fixed
+            if best is not None:
+                fixed_table = CostTable([best.cost])
+                simulations.append(simulate_autoscaling(
+                    spec, fixed_table, node_spec, sim_config,
+                    scaler_config, best.replicas_per_node,
+                    schedule=best.schedule,
+                    label=f"fixed-{best.cost.label()}"))
+                simulations.append(simulate_autoscaling(
+                    spec, fixed_table, node_spec, sim_config,
+                    scaler_config, best.replicas_per_node, static=True,
+                    initial_nodes=best.nodes_static,
+                    label=f"fixed-{best.cost.label()}-static"))
+    except ServingError as exc:
+        print(f"sizing failed: {exc}", file=sys.stderr)
+        return 2
+
+    report = CapacityReport(plan, simulations)
+    print(report.render())
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json())
+        print(f"\ncapacity report written to {args.json}")
+    return 0
+
+
 def _cmd_profile(args) -> int:
     import json
 
     from .errors import BudgetError
-    from .metrics.flops import measured_flops
+    from .metrics.flops import measured_flops, memory_of_profile
     from .models import MLP, SlicedVGG
     from .slicing.budget import (
         search_profile_for_budget,
@@ -329,13 +415,19 @@ def _cmd_profile(args) -> int:
         print(f"profile search failed: {exc}", file=sys.stderr)
         return 2
 
+    searched_mem = memory_of_profile(model, input_shape,
+                                     rate=searched.profile)
+    uniform_mem = memory_of_profile(model, input_shape,
+                                    rate=uniform.profile)
     if args.json:
         print(json.dumps({
             "model": args.model,
             "full_cost": full_cost,
             "budget": budget,
             "searched": searched.to_dict(),
+            "searched_memory": searched_mem,
             "uniform": uniform.to_dict(),
+            "uniform_memory": uniform_mem,
         }, indent=1, sort_keys=True))
         return 0
     print(f"profile search — {args.model}, budget {budget:.4g} FLOPs "
@@ -345,8 +437,14 @@ def _cmd_profile(args) -> int:
         print(f"  {name:<20} {rate:g}")
     print(f"  cost {searched.cost:.4g} ({searched.cost / full_cost:.1%} "
           f"of full) after {searched.evals} cost evaluations")
+    print(f"  memory: {searched_mem['param_bytes']:.0f}B params + "
+          f"{searched_mem['peak_activation_bytes']:.0f}B peak activations "
+          f"(batch {searched_mem['batch']})")
     print(f"best uniform rate {float(uniform.profile):g}: "
           f"cost {uniform.cost:.4g} ({uniform.cost / full_cost:.1%} of full)")
+    print(f"  memory: {uniform_mem['param_bytes']:.0f}B params + "
+          f"{uniform_mem['peak_activation_bytes']:.0f}B peak activations "
+          f"(batch {uniform_mem['batch']})")
     return 0
 
 
@@ -430,6 +528,41 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--json", action="store_true",
                         help="emit the search result as JSON")
 
+    sizing = sub.add_parser(
+        "sizing",
+        help="analytic cluster capacity plan plus autoscaling simulation")
+    sizing.add_argument("--forecast", default="diurnal:base=20000,peak=8",
+                        help="traffic forecast spec, name:key=value,... "
+                             "(diurnal, flash, ramp, regional)")
+    sizing.add_argument("--slo-p95", type=float, default=100.0,
+                        help="end-to-end latency SLO in milliseconds")
+    sizing.add_argument("--window", type=float, default=300.0,
+                        help="planning/simulation window in seconds")
+    sizing.add_argument("--accuracy-floor", type=float, default=0.9,
+                        help="minimum demand-weighted mean accuracy")
+    sizing.add_argument("--headroom", type=float, default=0.15,
+                        help="capacity margin over the forecast")
+    sizing.add_argument("--ha-spares", type=int, default=1,
+                        help="always-on spare nodes")
+    sizing.add_argument("--node-memory-gb", type=float, default=16.0)
+    sizing.add_argument("--node-flops", type=float, default=5e9,
+                        help="per-node FLOPs/second budget")
+    sizing.add_argument("--max-replicas", type=int, default=8,
+                        help="replica slots per node")
+    sizing.add_argument("--full-latency", type=float, default=0.002,
+                        help="calibrated full-width per-sample seconds")
+    sizing.add_argument("--boot-windows", type=int, default=2,
+                        help="windows a provisioned node takes to boot")
+    sizing.add_argument("--model", default="mlp", choices=["mlp", "cnn"])
+    sizing.add_argument("--rates", type=float, nargs="*", default=None,
+                        help="slice rates in the profile table "
+                             "(default: 0.25 0.5 0.75 1.0)")
+    sizing.add_argument("--seed", type=int, default=0)
+    sizing.add_argument("--json", default=None, metavar="PATH",
+                        help="write the full capacity report as JSON")
+    sizing.add_argument("--no-simulate", action="store_true",
+                        help="skip the autoscaling simulation")
+
     obs_parser = sub.add_parser("obs", help="observability utilities")
     obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
     summ = obs_sub.add_parser(
@@ -451,6 +584,7 @@ def main(argv: list[str] | None = None) -> int:
         "runtime": _cmd_runtime,
         "plan": _cmd_plan,
         "profile": _cmd_profile,
+        "sizing": _cmd_sizing,
         "obs": _cmd_obs,
     }
     return handlers[args.command](args)

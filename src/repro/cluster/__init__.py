@@ -1,0 +1,76 @@
+"""Cluster-scale capacity planning and autoscaling simulation.
+
+The fleet layer above :mod:`repro.runtime`: :class:`Node` machines with
+memory and FLOPs budgets host replica pools, a :class:`Fleet` routes
+windows of millions-of-users traffic over them through the cost-ordered
+profile table, an :class:`Autoscaler` adds/drains nodes (degrading
+before scaling), and :func:`plan_capacity` sizes the whole thing
+analytically from a forecast, a latency SLO and an accuracy floor.
+Entry point: ``repro sizing``.
+"""
+
+from .autoscaler import Autoscaler, AutoscalerConfig, ScaleEvent
+from .fleet import Fleet, WindowRecord
+from .node import (
+    GiB,
+    NODE_ACTIVE,
+    NODE_BOOTING,
+    NODE_DRAINING,
+    NODE_RETIRED,
+    CostTable,
+    Node,
+    NodeSpec,
+    ProfileCost,
+)
+from .report import CapacityReport
+from .simulate import (
+    SimulationConfig,
+    SimulationResult,
+    simulate_autoscaling,
+    summary_table,
+)
+from .solver import CapacityPlan, FixedPlan, SizingRequest, plan_capacity
+from .traffic import (
+    DAY,
+    TrafficSpec,
+    diurnal_spec,
+    flash_spec,
+    parse_forecast,
+    ramp_spec,
+    regional_spec,
+    scenarios,
+)
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "ScaleEvent",
+    "Fleet",
+    "WindowRecord",
+    "GiB",
+    "NODE_ACTIVE",
+    "NODE_BOOTING",
+    "NODE_DRAINING",
+    "NODE_RETIRED",
+    "CostTable",
+    "Node",
+    "NodeSpec",
+    "ProfileCost",
+    "CapacityReport",
+    "SimulationConfig",
+    "SimulationResult",
+    "simulate_autoscaling",
+    "summary_table",
+    "CapacityPlan",
+    "FixedPlan",
+    "SizingRequest",
+    "plan_capacity",
+    "DAY",
+    "TrafficSpec",
+    "diurnal_spec",
+    "flash_spec",
+    "parse_forecast",
+    "ramp_spec",
+    "regional_spec",
+    "scenarios",
+]

@@ -1,0 +1,169 @@
+"""The autoscaler: add nodes, drain nodes, or degrade through profiles.
+
+Scaling follows a *planning profile* — the cheapest table entry whose
+accuracy clears the floor: the autoscaler provisions enough capacity to
+serve forecastable demand at that profile, and lets the fleet's
+cost-ordered degradation (the
+:class:`~repro.serving.ProfileTableController` rule) absorb everything
+faster than a node boot: sampling noise, forecast error, flash crowds.
+That substitution — degradation headroom instead of capacity headroom —
+is the paper's elasticity argument at fleet granularity.
+
+Two sources feed the desired node count:
+
+* a **schedule** (from :func:`repro.cluster.solver.plan_capacity`),
+  followed with ``boot_windows`` of lead time so capacity lands when
+  the forecast needs it;
+* the **reactive** rule ``ceil(demand / (node_capacity *
+  target_utilization))`` when no schedule is given, plus an emergency
+  scale-up whenever a window violated the SLO (which bypasses the
+  up-cooldown).
+
+Scale-down drains the youngest nodes only after ``scale_down_patience``
+consecutive low windows; a draining node takes no new traffic and is
+retired only once its in-flight requests complete — never evicted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from .. import obs
+from ..errors import ServingError
+from .fleet import Fleet
+from .node import NodeSpec, ProfileCost
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Tunables of the scaling policy."""
+
+    target_utilization: float = 0.7
+    boot_windows: int = 2            # provision-to-serving delay
+    up_cooldown: int = 1             # windows between ordinary scale-ups
+    scale_down_patience: int = 2     # consecutive low windows before drain
+    min_nodes: int = 1
+    max_nodes: int = 4096
+
+    def __post_init__(self):
+        if not 0.0 < self.target_utilization <= 1.0:
+            raise ServingError("target_utilization must be in (0, 1]")
+        if self.boot_windows < 0 or self.up_cooldown < 0:
+            raise ServingError("delays must be >= 0")
+        if self.scale_down_patience < 1:
+            raise ServingError("scale_down_patience must be >= 1")
+        if not 1 <= self.min_nodes <= self.max_nodes:
+            raise ServingError("need 1 <= min_nodes <= max_nodes")
+
+
+@dataclass
+class ScaleEvent:
+    """One autoscaling decision, for the report and the trace."""
+
+    window: int
+    action: str        # "scale-up" | "drain"
+    count: int
+    reason: str        # "schedule" | "demand" | "slo-violation"
+    nodes_after: int   # alive nodes once the action lands
+
+    def to_dict(self) -> dict:
+        return {"window": self.window, "action": self.action,
+                "count": self.count, "reason": self.reason,
+                "nodes_after": self.nodes_after}
+
+
+class Autoscaler:
+    """Scale a :class:`~repro.cluster.fleet.Fleet` window by window."""
+
+    def __init__(self, config: AutoscalerConfig, node_spec: NodeSpec,
+                 planning_cost: ProfileCost, replicas_per_node: int,
+                 schedule: Sequence[int] | None = None):
+        self.config = config
+        self.node_spec = node_spec
+        self.planning_cost = planning_cost
+        self.replicas_per_node = replicas_per_node
+        self.schedule = None if schedule is None \
+            else [int(n) for n in schedule]
+        self.events: list[ScaleEvent] = []
+        self._last_up = -10**9
+        self._low_streak = 0
+
+    # -- targets --------------------------------------------------------
+    def node_capacity(self) -> float:
+        """One node's throughput at the planning profile."""
+        return self.node_spec.capacity_qps(self.planning_cost,
+                                           self.replicas_per_node)
+
+    def reactive_desired(self, demand_qps: float) -> int:
+        """Nodes to hold ``demand_qps`` at the target utilization."""
+        capacity = self.node_capacity() * self.config.target_utilization
+        desired = math.ceil(demand_qps / capacity) if demand_qps > 0 else 0
+        return min(max(desired, self.config.min_nodes),
+                   self.config.max_nodes)
+
+    def desired(self, window: int, demand_qps: float) -> tuple[int, str]:
+        """``(nodes, reason)`` for this window's target."""
+        if self.schedule is not None:
+            # Look ahead one boot delay so scheduled capacity is serving
+            # by the window the plan needs it.
+            ahead = min(window + self.config.boot_windows,
+                        len(self.schedule) - 1)
+            target = min(max(self.schedule[ahead], self.config.min_nodes),
+                         self.config.max_nodes)
+            return target, "schedule"
+        return self.reactive_desired(demand_qps), "demand"
+
+    # -- the per-window decision ----------------------------------------
+    def step(self, window: int, demand_qps: float, violated: bool,
+             fleet: Fleet) -> list[ScaleEvent]:
+        """Observe one served window and adjust the fleet."""
+        target, reason = self.desired(window, demand_qps)
+        alive = fleet.count("active") + fleet.count("booting")
+        events: list[ScaleEvent] = []
+
+        if violated:
+            # Degradation was not enough: force capacity out now, past
+            # any cooldown.  (It still takes boot_windows to arrive;
+            # degradation carries the fleet meanwhile.)
+            target = max(target, alive + 1)
+            reason = "slo-violation"
+
+        if target > alive:
+            off_cooldown = (window - self._last_up
+                            >= self.config.up_cooldown)
+            if violated or off_cooldown:
+                count = min(target, self.config.max_nodes) - alive
+                fleet.provision(count,
+                                ready_at=window + self.config.boot_windows)
+                self._last_up = window
+                events.append(ScaleEvent(
+                    window=window, action="scale-up", count=count,
+                    reason=reason,
+                    nodes_after=alive + count))
+            self._low_streak = 0
+        elif target < fleet.count("active"):
+            self._low_streak += 1
+            if self._low_streak >= self.config.scale_down_patience:
+                excess = fleet.count("active") - target
+                drained = fleet.drain_nodes(excess)
+                self._low_streak = 0
+                if drained:
+                    events.append(ScaleEvent(
+                        window=window, action="drain", count=len(drained),
+                        reason=reason,
+                        nodes_after=alive - len(drained)))
+        else:
+            self._low_streak = 0
+
+        if obs.enabled():
+            for event in events:
+                obs.count("cluster_autoscale_events_total",
+                          action=event.action)
+                obs.event("cluster.autoscale", at=float(window),
+                          action=event.action, count=event.count,
+                          reason=event.reason,
+                          nodes_after=event.nodes_after)
+        self.events.extend(events)
+        return events

@@ -1,0 +1,108 @@
+"""Deterministic capacity reports: aligned tables plus stable JSON.
+
+A :class:`CapacityReport` bundles the solver's :class:`CapacityPlan`
+with any autoscaling :class:`SimulationResult` runs and renders both as
+the ``repro sizing`` CLI output — a human-readable set of tables and a
+machine-readable JSON document with sorted keys, byte-identical for a
+fixed seed and forecast.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..utils.tables import format_table
+from .simulate import SimulationResult, summary_table
+from .solver import CapacityPlan
+
+
+@dataclass
+class CapacityReport:
+    """Everything ``repro sizing`` prints or writes."""
+
+    plan: CapacityPlan
+    simulations: list[SimulationResult] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "plan": self.plan.to_dict(),
+            "simulations": [s.to_dict() for s in self.simulations],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=1)
+
+    # -- rendering -------------------------------------------------------
+    def profile_table(self) -> str:
+        return format_table(
+            ["profile", "accuracy", "ms/sample", "flops",
+             "param bytes", "act bytes/sample"],
+            self.plan.table.to_rows(),
+            title="Profile costs (SLO-feasible, cheapest first)")
+
+    def elastic_table(self) -> str:
+        plan = self.plan
+        request = plan.request
+        mix = ", ".join(f"{label}x{count}"
+                        for label, count in plan.profile_mix().items())
+        rows = [
+            ["floor profile", plan.floor.label()],
+            ["replicas / node", plan.replicas_per_node],
+            ["peak nodes", plan.peak_nodes],
+            ["node-hours", round(plan.node_hours, 1)],
+            ["mean accuracy (planned)", round(plan.mean_accuracy, 4)],
+            ["accuracy floor", request.accuracy_floor],
+            ["profile mix (windows)", mix],
+        ]
+        return format_table(["knob", "value"], rows,
+                            title="Elastic fleet plan")
+
+    def fixed_table(self) -> str:
+        best = self.plan.best_fixed
+        rows = []
+        for f in self.plan.fixed:
+            marker = " <- best fixed" if best is f else ""
+            rows.append([
+                f.cost.label(), f.cost.accuracy, f.replicas_per_node,
+                f.nodes_static, round(f.node_hours, 1),
+                ("ok" + marker) if f.feasible else f.reason,
+            ])
+        return format_table(
+            ["profile", "accuracy", "replicas/node", "static nodes",
+             "node-hours", "admissible"],
+            rows, title="Fixed-rate fleets (same forecast, same knobs)")
+
+    def simulation_table(self) -> str | None:
+        if not self.simulations:
+            return None
+        return summary_table(self.simulations)
+
+    def render(self) -> str:
+        plan = self.plan
+        request = plan.request
+        best = plan.best_fixed
+        lines = [
+            f"Capacity plan: {request.spec.name} forecast, "
+            f"slo p95 {request.latency_slo * 1e3:g}ms, "
+            f"floor {request.accuracy_floor:g}, "
+            f"headroom {request.headroom:g}, "
+            f"spares {request.ha_spares}",
+            "",
+            self.profile_table(), "",
+            self.elastic_table(), "",
+            self.fixed_table(),
+        ]
+        if best is not None:
+            saved = best.node_hours - plan.node_hours
+            pct = 100.0 * saved / best.node_hours if best.node_hours else 0.0
+            lines += ["", f"Elastic saves {saved:.1f} node-hours "
+                          f"({pct:.1f}%) vs best fixed fleet "
+                          f"(rate {best.cost.label()})."]
+        else:
+            lines += ["", "No fixed-rate fleet is admissible at this "
+                          "SLO and accuracy floor."]
+        sims = self.simulation_table()
+        if sims is not None:
+            lines += ["", "Autoscaling simulation", sims]
+        return "\n".join(lines)

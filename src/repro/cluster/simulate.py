@@ -1,0 +1,208 @@
+"""Window-level autoscaling simulation over a traffic scenario.
+
+The simulator advances a :class:`~repro.cluster.fleet.Fleet` one window
+at a time: lifecycles tick (boots land, drained nodes retire), the
+window's sampled demand is served through the cost-ordered profile
+table, then the :class:`~repro.cluster.autoscaler.Autoscaler` reacts.
+Demand is a seeded Poisson draw per window around the scenario's
+*realized* intensity, so a run is a pure function of its inputs — the
+same seed yields a byte-identical :meth:`SimulationResult.to_json`.
+
+Node-hours are billed for every *alive* window (booting and draining
+nodes included): that is what a cloud bill charges, and it is the
+quantity the elastic-vs-fixed benchmark compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+import json
+
+from ..errors import ServingError
+from ..utils.tables import format_table
+from .autoscaler import Autoscaler, AutoscalerConfig, ScaleEvent
+from .fleet import Fleet, WindowRecord
+from .node import NODE_ACTIVE, CostTable, Node, NodeSpec
+from .traffic import TrafficSpec
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """How a scenario is run."""
+
+    window_seconds: float = 300.0
+    latency_slo: float = 0.1      # seconds, end-to-end (batches every T/2)
+    seed: int = 0
+    sample: bool = True           # Poisson-sample demand (False: use means)
+
+    def __post_init__(self):
+        if self.window_seconds <= 0 or self.latency_slo <= 0:
+            raise ServingError(
+                "window_seconds and latency_slo must be positive")
+
+    def to_dict(self) -> dict:
+        return {"window_seconds": self.window_seconds,
+                "latency_slo": self.latency_slo,
+                "seed": self.seed, "sample": self.sample}
+
+
+@dataclass
+class SimulationResult:
+    """One fleet's run over one scenario, with the billing summary."""
+
+    label: str
+    scenario: str
+    config: SimulationConfig
+    records: list[WindowRecord]
+    events: list[ScaleEvent]
+    node_hours: float
+    peak_nodes: int
+    total_requests: int
+    served_requests: int
+    dropped_requests: int
+    violated_windows: int
+    mean_accuracy: float          # request-weighted over served traffic
+    profile_windows: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of requests served inside the SLO."""
+        if self.total_requests == 0:
+            return 1.0
+        return self.served_requests / self.total_requests
+
+    @property
+    def meets_slo(self) -> bool:
+        """True when every request of the run was served in time."""
+        return self.dropped_requests == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "scenario": self.scenario,
+            "config": self.config.to_dict(),
+            "node_hours": round(self.node_hours, 6),
+            "peak_nodes": self.peak_nodes,
+            "total_requests": self.total_requests,
+            "served_requests": self.served_requests,
+            "dropped_requests": self.dropped_requests,
+            "violated_windows": self.violated_windows,
+            "slo_attainment": round(self.slo_attainment, 6),
+            "meets_slo": self.meets_slo,
+            "mean_accuracy": round(self.mean_accuracy, 6),
+            "profile_windows": dict(sorted(self.profile_windows.items())),
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=1)
+
+    def summary_row(self) -> list:
+        return [self.label, round(self.node_hours, 1), self.peak_nodes,
+                self.violated_windows, round(self.slo_attainment, 4),
+                round(self.mean_accuracy, 4)]
+
+
+def summary_table(results: list[SimulationResult]) -> str:
+    """Compare several runs of one scenario side by side."""
+    return format_table(
+        ["fleet", "node-hours", "peak nodes", "violated windows",
+         "slo attainment", "mean accuracy"],
+        [r.summary_row() for r in results])
+
+
+def simulate_autoscaling(spec: TrafficSpec, table: CostTable,
+                         node_spec: NodeSpec, config: SimulationConfig,
+                         autoscaler_config: AutoscalerConfig,
+                         replicas_per_node: int,
+                         schedule=None, initial_nodes: int | None = None,
+                         label: str = "elastic", static: bool = False,
+                         planning_cost=None) -> SimulationResult:
+    """Run one fleet policy over one scenario.
+
+    ``table`` defines what the fleet can degrade through — a
+    single-entry table is a fixed-rate fleet.  ``schedule`` (nodes per
+    window, from the solver) makes scaling predictive; without it the
+    autoscaler is purely reactive.  ``static=True`` disables scaling
+    entirely: the fleet holds ``initial_nodes`` for the whole run (the
+    peak-provisioned baseline).
+    """
+    serving = table.feasible(config.latency_slo)
+    windows = spec.window_count(config.window_seconds)
+    rng = np.random.default_rng(config.seed)
+    demand = spec.sample_windows(config.window_seconds, rng) \
+        if config.sample else spec.realized_windows(config.window_seconds)
+
+    planning = planning_cost if planning_cost is not None \
+        else serving.widest
+    scaler = Autoscaler(autoscaler_config, node_spec,
+                        planning_cost=planning,
+                        replicas_per_node=replicas_per_node,
+                        schedule=schedule)
+    if initial_nodes is None:
+        if schedule is not None:
+            initial_nodes = int(schedule[0])
+        else:
+            initial_nodes = scaler.reactive_desired(float(spec.forecast(
+                0.5 * config.window_seconds)))
+    initial_nodes = max(int(initial_nodes), autoscaler_config.min_nodes)
+
+    latency_profile = _latency_profile_of(table)
+    nodes = [Node(f"n{i}", node_spec, latency_profile, replicas_per_node,
+                  state=NODE_ACTIVE, seed=config.seed)
+             for i in range(initial_nodes)]
+    fleet = Fleet(nodes, serving, spec=node_spec,
+                  latency_profile=latency_profile,
+                  replicas_per_node=replicas_per_node, seed=config.seed)
+
+    records: list[WindowRecord] = []
+    node_hours = 0.0
+    peak_nodes = 0
+    served_requests = 0
+    total_requests = 0
+    accuracy_weight = 0.0
+    profile_windows: dict[str, int] = {}
+    for w in range(windows):
+        fleet.tick(w)
+        alive = len(fleet.alive_nodes())
+        peak_nodes = max(peak_nodes, alive)
+        node_hours += alive * config.window_seconds / 3600.0
+        record = fleet.serve_window(w, w * config.window_seconds,
+                                    config.window_seconds, float(demand[w]))
+        records.append(record)
+        requests = round(record.demand_qps * config.window_seconds)
+        served = round(record.served_qps * config.window_seconds)
+        total_requests += requests
+        served_requests += served
+        accuracy_weight += served * record.accuracy
+        if record.profile is not None:
+            profile_windows[record.profile] = \
+                profile_windows.get(record.profile, 0) + 1
+        if not static:
+            scaler.step(w, float(demand[w]), record.violated, fleet)
+    fleet.tick(windows)  # final completions so drained nodes retire
+
+    return SimulationResult(
+        label=label, scenario=spec.name, config=config,
+        records=records, events=list(scaler.events),
+        node_hours=node_hours, peak_nodes=peak_nodes,
+        total_requests=total_requests, served_requests=served_requests,
+        dropped_requests=total_requests - served_requests,
+        violated_windows=sum(1 for r in records if r.violated),
+        mean_accuracy=accuracy_weight / served_requests
+        if served_requests else serving.widest.accuracy,
+        profile_windows=profile_windows)
+
+
+def _latency_profile_of(table: CostTable):
+    """Reconstruct a LatencyProfile consistent with the table's costs."""
+    from ..runtime.replica import LatencyProfile
+    from ..slicing.profile import as_profile
+
+    widest = table.widest
+    per_rate = {as_profile(e.profile): e.per_sample_s for e in table}
+    return LatencyProfile(full_per_sample=widest.per_sample_s,
+                          per_rate=per_rate)

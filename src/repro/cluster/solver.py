@@ -1,0 +1,253 @@
+"""Analytic capacity solver: forecast + SLO + knobs -> a fleet plan.
+
+Given a traffic forecast, a latency SLO, an accuracy floor and the
+operational knobs (headroom, HA spares), the solver sizes an *elastic*
+fleet — every node hosts the full sliceable model and degrades through
+the cost-ordered table — against one *fixed-rate* fleet per profile:
+
+* **Fixed fleets** deploy a single materialized subnet per replica, so
+  a node fits more replicas of a narrow model but can never trade
+  accuracy for throughput.  A fixed fleet is admissible only when its
+  profile both meets the SLO (``per_sample <= T/2``) and clears the
+  accuracy floor outright.
+* The **elastic schedule** starts by provisioning every window at the
+  *floor profile* (cheapest entry whose accuracy clears the floor) and
+  then greedily shaves the tallest windows: remove one node from the
+  currently most expensive window as long as (a) the cheapest profile
+  still covers that window's demand — nothing is dropped, only
+  degraded — and (b) the forecast-weighted mean accuracy stays at or
+  above the floor.  Off-peak windows serve *above* the floor (spare
+  capacity widens the profile), which is exactly the accuracy budget
+  the shave spends at peak.  This is the paper's accuracy/cost dial
+  applied to the cloud bill.
+
+All arithmetic is deterministic; the plan's :meth:`CapacityPlan.to_dict`
+is stable under a fixed forecast.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ServingError
+from .node import CostTable, NodeSpec, ProfileCost
+from .traffic import TrafficSpec
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class SizingRequest:
+    """What the operator asks the solver for."""
+
+    spec: TrafficSpec
+    window_seconds: float = 300.0
+    latency_slo: float = 0.1        # seconds, end-to-end p95 target
+    accuracy_floor: float = 0.9     # demand-weighted mean must clear this
+    headroom: float = 0.15          # capacity margin over the forecast
+    ha_spares: int = 1              # always-on spare nodes
+
+    def __post_init__(self):
+        if self.latency_slo <= 0:
+            raise ServingError("latency_slo must be positive")
+        if self.headroom < 0 or self.ha_spares < 0:
+            raise ServingError("headroom and ha_spares must be >= 0")
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.spec.to_dict(),
+            "window_seconds": self.window_seconds,
+            "latency_slo": self.latency_slo,
+            "accuracy_floor": self.accuracy_floor,
+            "headroom": self.headroom,
+            "ha_spares": self.ha_spares,
+        }
+
+
+@dataclass
+class FixedPlan:
+    """A single-profile fleet sized for the same forecast."""
+
+    cost: ProfileCost
+    feasible: bool
+    reason: str                    # "" when feasible
+    replicas_per_node: int
+    node_capacity_qps: float
+    nodes_static: int              # peak-provisioned, incl. spares
+    node_hours: float              # predictive schedule, incl. spares
+    schedule: np.ndarray = field(repr=False)
+
+    def to_dict(self) -> dict:
+        return {
+            "profile": self.cost.label(),
+            "accuracy": self.cost.accuracy,
+            "feasible": self.feasible,
+            "reason": self.reason,
+            "replicas_per_node": self.replicas_per_node,
+            "node_capacity_qps": round(self.node_capacity_qps, 3),
+            "nodes_static": self.nodes_static,
+            "node_hours": round(self.node_hours, 6),
+        }
+
+
+@dataclass
+class CapacityPlan:
+    """The solver's answer: elastic schedule plus fixed-fleet baselines."""
+
+    request: SizingRequest
+    node_spec: NodeSpec
+    table: CostTable               # SLO-feasible entries only
+    floor: ProfileCost
+    replicas_per_node: int         # elastic replica mix per node
+    schedule: np.ndarray           # nodes per window, incl. spares
+    profile_per_window: list[str]
+    mean_accuracy: float           # forecast-weighted, planned
+    peak_nodes: int
+    node_hours: float
+    fixed: list[FixedPlan]
+
+    @property
+    def best_fixed(self) -> FixedPlan | None:
+        """The admissible fixed fleet with the fewest node-hours."""
+        feasible = [f for f in self.fixed if f.feasible]
+        if not feasible:
+            return None
+        return min(feasible, key=lambda f: (f.node_hours, f.nodes_static))
+
+    def profile_mix(self) -> dict[str, int]:
+        mix: dict[str, int] = {}
+        for label in self.profile_per_window:
+            mix[label] = mix.get(label, 0) + 1
+        return dict(sorted(mix.items()))
+
+    def to_dict(self) -> dict:
+        best = self.best_fixed
+        return {
+            "request": self.request.to_dict(),
+            "node_spec": self.node_spec.to_dict(),
+            "table": self.table.to_dict(),
+            "elastic": {
+                "floor_profile": self.floor.label(),
+                "replicas_per_node": self.replicas_per_node,
+                "peak_nodes": self.peak_nodes,
+                "node_hours": round(self.node_hours, 6),
+                "mean_accuracy": round(self.mean_accuracy, 6),
+                "profile_mix": self.profile_mix(),
+                "schedule": [int(n) for n in self.schedule],
+            },
+            "fixed": [f.to_dict() for f in self.fixed],
+            "best_fixed": best.cost.label() if best else None,
+            "savings_node_hours": round(best.node_hours - self.node_hours, 6)
+            if best else None,
+            "savings_nodes_peak": best.nodes_static - self.peak_nodes
+            if best else None,
+        }
+
+
+def plan_capacity(request: SizingRequest, table: CostTable,
+                  node_spec: NodeSpec) -> CapacityPlan:
+    """Solve the sizing problem for an elastic and all fixed fleets."""
+    serving = table.feasible(request.latency_slo)
+    floor = serving.floor_entry(request.accuracy_floor)
+    demand = request.spec.forecast_windows(request.window_seconds) \
+        * (1.0 + request.headroom)
+
+    # Elastic replicas: every replica keeps the widest weights resident.
+    replicas = node_spec.replicas_for(serving.widest,
+                                     resident=serving.widest)
+    capacity = {e.fingerprint(): node_spec.capacity_qps(e, replicas)
+                for e in serving}
+
+    def best_entry(qps: float, nodes: int) -> ProfileCost:
+        """Most accurate profile ``nodes`` nodes can serve ``qps`` at."""
+        chosen = serving.cheapest
+        for entry in serving:
+            if qps <= nodes * capacity[entry.fingerprint()] + _EPS:
+                chosen = entry
+        return chosen
+
+    floor_cap = capacity[floor.fingerprint()]
+    cheap_cap = capacity[serving.cheapest.fingerprint()]
+    n = np.array([max(math.ceil(d / floor_cap), 1) for d in demand])
+    n_min = np.array([max(math.ceil(d / cheap_cap), 1) for d in demand])
+
+    weights = np.maximum(demand, 0.0)
+    total = float(weights.sum())
+
+    def window_accuracy(idx: int, nodes: int) -> float:
+        if weights[idx] <= 0:
+            return serving.widest.accuracy
+        return best_entry(float(demand[idx]), nodes).accuracy
+
+    accuracy = np.array([window_accuracy(i, int(n[i]))
+                         for i in range(len(n))])
+    if total > 0:
+        mean = float((accuracy * weights).sum() / total)
+        frozen = np.zeros(len(n), dtype=bool)
+        # Greedy peak shave: drop a node from the tallest unfrozen
+        # window while the accuracy budget and the cheapest profile's
+        # capacity both still hold.
+        while True:
+            candidates = np.flatnonzero(~frozen & (n > n_min))
+            if candidates.size == 0:
+                break
+            idx = int(candidates[np.argmax(n[candidates])])
+            trial = window_accuracy(idx, int(n[idx]) - 1)
+            new_mean = mean + (trial - accuracy[idx]) \
+                * float(weights[idx]) / total
+            if new_mean + _EPS >= request.accuracy_floor:
+                n[idx] -= 1
+                mean = new_mean
+                accuracy[idx] = trial
+            else:
+                frozen[idx] = True
+        mean_accuracy = mean
+    else:
+        mean_accuracy = serving.widest.accuracy
+
+    schedule = n + request.ha_spares
+    profiles = [best_entry(float(demand[i]), int(n[i])).label()
+                for i in range(len(n))]
+    hours = float(schedule.sum()) * request.window_seconds / 3600.0
+
+    fixed = [_fixed_plan(entry, request, table, node_spec, demand)
+             for entry in table]
+
+    return CapacityPlan(
+        request=request, node_spec=node_spec, table=serving, floor=floor,
+        replicas_per_node=replicas, schedule=schedule,
+        profile_per_window=profiles, mean_accuracy=mean_accuracy,
+        peak_nodes=int(schedule.max()), node_hours=hours, fixed=fixed)
+
+
+def _fixed_plan(entry: ProfileCost, request: SizingRequest,
+                table: CostTable, node_spec: NodeSpec,
+                demand: np.ndarray) -> FixedPlan:
+    """Size a single-profile fleet for the same forecast and knobs."""
+    reasons = []
+    if entry.per_sample_s > request.latency_slo / 2.0:
+        reasons.append(
+            f"per-sample {entry.per_sample_s * 1e3:.2f}ms exceeds "
+            f"slo/2 = {request.latency_slo * 500:.2f}ms")
+    if entry.accuracy + _EPS < request.accuracy_floor:
+        reasons.append(
+            f"accuracy {entry.accuracy:g} below floor "
+            f"{request.accuracy_floor:g}")
+    # A fixed replica deploys only its own (materialized) subnet.
+    replicas = node_spec.replicas_for(entry, resident=entry)
+    cap = node_spec.capacity_qps(entry, replicas)
+    schedule = np.array([max(math.ceil(d / cap), 1) for d in demand]) \
+        + request.ha_spares
+    peak = float(demand.max()) if len(demand) else 0.0
+    return FixedPlan(
+        cost=entry,
+        feasible=not reasons,
+        reason="; ".join(reasons),
+        replicas_per_node=replicas,
+        node_capacity_qps=cap,
+        nodes_static=max(math.ceil(peak / cap), 1) + request.ha_spares,
+        node_hours=float(schedule.sum()) * request.window_seconds / 3600.0,
+        schedule=schedule)

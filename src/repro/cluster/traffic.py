@@ -1,0 +1,232 @@
+"""Cluster-scale traffic forecasts and seeded window samplers.
+
+The serving generators in :mod:`repro.serving.workload` model one pool's
+arrival process request-by-request; a fleet simulation at
+millions-of-users scale works on *windows* instead: the mean intensity
+(queries/second) per fixed-length window, sampled once per window from a
+seeded Poisson process.  A :class:`TrafficSpec` carries two intensity
+functions:
+
+* ``forecast(t)`` — what the capacity planner is told ahead of time
+  (diurnal curves, planned ramps, regional skew);
+* ``realized(t)`` — what the fleet actually receives, which is the
+  forecast plus any *unforecast* components.  A flash crowd is exactly
+  the part of traffic nobody planned for, so the ``flash`` scenario
+  keeps its spike out of the forecast: the planner sizes for the
+  diurnal base and the autoscaler/profile table must absorb the burst.
+
+Specs parse from compact CLI strings (``diurnal:base=2000,peak=8``) and
+the bundled :func:`scenarios` are the fleet benchmark's fixtures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..errors import ServingError
+from ..serving.workload import diurnal_rate, spike_rate
+
+DAY = 86400.0
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """A named traffic scenario over a fixed duration."""
+
+    name: str
+    duration: float
+    forecast_fn: Callable[[float], float] = field(repr=False)
+    realized_fn: Callable[[float], float] | None = field(
+        default=None, repr=False)
+    params: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.duration <= 0:
+            raise ServingError("traffic duration must be positive")
+
+    def forecast(self, t: float) -> float:
+        """Planned intensity (queries/second) at time ``t``."""
+        return max(float(self.forecast_fn(t)), 0.0)
+
+    def realized(self, t: float) -> float:
+        """Actual intensity at ``t`` (forecast plus unforecast bursts)."""
+        fn = self.realized_fn if self.realized_fn is not None \
+            else self.forecast_fn
+        return max(float(fn(t)), 0.0)
+
+    # -- window views ---------------------------------------------------
+    def window_count(self, window_seconds: float) -> int:
+        if window_seconds <= 0:
+            raise ServingError("window_seconds must be positive")
+        return max(int(round(self.duration / window_seconds)), 1)
+
+    def forecast_windows(self, window_seconds: float) -> np.ndarray:
+        """Midpoint forecast intensity per window (queries/second)."""
+        count = self.window_count(window_seconds)
+        mids = (np.arange(count) + 0.5) * window_seconds
+        return np.array([self.forecast(float(t)) for t in mids])
+
+    def realized_windows(self, window_seconds: float) -> np.ndarray:
+        """Midpoint realized intensity per window (queries/second)."""
+        count = self.window_count(window_seconds)
+        mids = (np.arange(count) + 0.5) * window_seconds
+        return np.array([self.realized(float(t)) for t in mids])
+
+    def sample_windows(self, window_seconds: float,
+                       rng: np.random.Generator) -> np.ndarray:
+        """Seeded per-window demand (queries/second), Poisson-sampled.
+
+        Each window's request count is one Poisson draw around the
+        realized intensity, so two samplers built from the same seed
+        produce identical demand series — the basis of the simulator's
+        byte-identical determinism.
+        """
+        intensity = self.realized_windows(window_seconds)
+        counts = rng.poisson(intensity * window_seconds)
+        return counts.astype(float) / window_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "duration": self.duration,
+            "params": dict(self.params),
+        }
+
+
+# ----------------------------------------------------------------------
+# Constructors
+# ----------------------------------------------------------------------
+def diurnal_spec(base: float = 2000.0, peak: float = 8.0,
+                 period: float = DAY, duration: float = DAY) -> TrafficSpec:
+    """A forecastable day/night cycle with ``peak``x peak-to-trough."""
+    fn = diurnal_rate(base, peak, period)
+    return TrafficSpec("diurnal", duration, fn,
+                       params={"base": base, "peak": peak, "period": period})
+
+
+def flash_spec(base: float = 2000.0, peak: float = 4.0,
+               at: float = 0.3, mins: float = 30.0, factor: float = 6.0,
+               period: float = DAY, duration: float = DAY) -> TrafficSpec:
+    """A diurnal forecast with an *unforecast* flash crowd on top.
+
+    ``at`` places the spike as a fraction of the duration; the spike
+    multiplies realized traffic by ``factor`` for ``mins`` minutes but
+    is invisible to the forecast — the defining property of a flash
+    crowd (Singles'-Day checkout, a viral link).
+    """
+    if factor < 1:
+        raise ServingError("flash factor must be >= 1")
+    fn = diurnal_rate(base, peak, period)
+    realized = spike_rate(fn, [(at * duration, mins * 60.0, factor)])
+    return TrafficSpec("flash", duration, fn, realized,
+                       params={"base": base, "peak": peak, "at": at,
+                               "mins": mins, "factor": factor})
+
+
+def ramp_spec(start: float = 500.0, end: float = 8000.0,
+              duration: float = DAY) -> TrafficSpec:
+    """A planned linear growth ramp (a launch, a rollout)."""
+    if start <= 0 or end <= 0:
+        raise ServingError("ramp endpoints must be positive")
+
+    def fn(t: float) -> float:
+        return start + (end - start) * min(max(t / duration, 0.0), 1.0)
+
+    return TrafficSpec("ramp", duration, fn,
+                       params={"start": start, "end": end})
+
+
+def regional_spec(base: float = 2000.0, peak: float = 8.0,
+                  regions: int = 3, skew: float = 0.6,
+                  period: float = DAY, duration: float = DAY) -> TrafficSpec:
+    """Phase-shifted regional diurnals with a skewed traffic split.
+
+    Region ``i`` carries a geometrically decaying share (``skew`` in
+    (0, 1]; 1 = even split) of the base intensity and peaks ``1/regions``
+    of a period later than region ``i-1`` — the classic
+    follow-the-sun shape whose fleet-level sum is flatter than any one
+    region, which is exactly why a global fleet needs fewer nodes than
+    per-region peak provisioning.
+    """
+    if regions < 1:
+        raise ServingError("regions must be >= 1")
+    if not 0.0 < skew <= 1.0:
+        raise ServingError("skew must be in (0, 1]")
+    weights = np.array([skew ** i for i in range(regions)])
+    weights = weights / weights.sum()
+    curves = [diurnal_rate(base * float(w), peak, period)
+              for w in weights]
+    shift = period / regions
+
+    def fn(t: float) -> float:
+        return sum(curve(t - i * shift)
+                   for i, curve in enumerate(curves))
+
+    return TrafficSpec("regional", duration, fn,
+                       params={"base": base, "peak": peak,
+                               "regions": regions, "skew": skew})
+
+
+_BUILDERS: dict[str, Callable[..., TrafficSpec]] = {
+    "diurnal": diurnal_spec,
+    "flash": flash_spec,
+    "ramp": ramp_spec,
+    "regional": regional_spec,
+}
+
+_INT_PARAMS = {"regions"}
+
+
+def parse_forecast(spec: str) -> TrafficSpec:
+    """Build a :class:`TrafficSpec` from ``name:key=value,...``.
+
+    Examples: ``diurnal:base=20000,peak=8``,
+    ``flash:base=2000,factor=10,mins=15``, ``ramp:start=500,end=8000``,
+    ``regional:regions=4,skew=0.5``.  Unknown names and keys raise
+    :class:`~repro.errors.ServingError` listing the valid choices.
+    """
+    name, _, rest = spec.partition(":")
+    name = name.strip()
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise ServingError(
+            f"unknown forecast {name!r}; choose from {sorted(_BUILDERS)}")
+    kwargs: dict[str, float] = {}
+    if rest.strip():
+        for item in rest.split(","):
+            key, sep, value = item.partition("=")
+            key = key.strip()
+            if not sep or not key:
+                raise ServingError(
+                    f"malformed forecast parameter {item!r} "
+                    "(expected key=value)")
+            try:
+                kwargs[key] = int(value) if key in _INT_PARAMS \
+                    else float(value)
+            except ValueError:
+                raise ServingError(
+                    f"forecast parameter {key!r} needs a number, "
+                    f"got {value!r}") from None
+    try:
+        return builder(**kwargs)
+    except TypeError:
+        import inspect
+
+        valid = sorted(inspect.signature(builder).parameters)
+        raise ServingError(
+            f"invalid parameters for forecast {name!r}: {sorted(kwargs)}; "
+            f"valid keys: {valid}") from None
+
+
+def scenarios(base: float = 2000.0, duration: float = DAY
+              ) -> dict[str, TrafficSpec]:
+    """The benchmark's standard scenario set at a common base intensity."""
+    return {
+        "diurnal": diurnal_spec(base=base, duration=duration),
+        "flash": flash_spec(base=base, duration=duration),
+        "ramp": ramp_spec(start=base / 4, end=base * 4, duration=duration),
+        "regional": regional_spec(base=base, duration=duration),
+    }

@@ -3,7 +3,15 @@
 from .classification import accuracy, error_rate, top_k_accuracy
 from .lm import perplexity
 from .consistency import inclusion_coefficient, inclusion_matrix
-from .flops import active_params, cost_table, measured_flops
+from .flops import (
+    active_params,
+    cost_table,
+    measured_flops,
+    memory_of_profile,
+    memory_table,
+    param_bytes,
+    peak_activation_bytes,
+)
 from .latency import (
     calibrate_full_latency,
     latency_table,
@@ -21,6 +29,10 @@ __all__ = [
     "active_params",
     "cost_table",
     "measured_flops",
+    "memory_of_profile",
+    "memory_table",
+    "param_bytes",
+    "peak_activation_bytes",
     "measure_latency",
     "measure_latency_stats",
     "latency_table",

@@ -1,12 +1,22 @@
-"""Model-level cost accounting: FLOPs and active parameter counts.
+"""Model-level cost accounting: FLOPs, parameters, and memory footprints.
 
 ``measured_flops`` runs an instrumented forward pass, so it reports the
 *actual* multiply-adds of the sliced computation — the quantity behind the
 ``Ct`` rows of Tables 2 and 4.  ``active_params`` sums each sliced layer's
 resident parameters under a rate (the ``Mt`` rows).
+
+The memory helpers extend the same accounting to bytes, per
+:class:`~repro.slicing.profile.SliceProfile`: :func:`param_bytes` is the
+weight storage a deployed subnet needs resident, and
+:func:`peak_activation_bytes` measures the largest input+output
+activation footprint any layer holds live during a forward pass.
+Together (:func:`memory_of_profile`) they feed node memory budgets in
+:mod:`repro.cluster` and the ``repro profile search`` report.
 """
 
 from __future__ import annotations
+
+import contextlib
 
 import numpy as np
 
@@ -63,6 +73,121 @@ def active_params(model: Module, rate=1.0) -> int:
         else:
             total += sum(p.size for p in module._parameters.values())
     return total
+
+
+# Activations are float32 throughout the library; token-id inputs are
+# the one integer exception and report their true itemsize.
+_DEFAULT_ITEMSIZE = 4
+
+
+def param_bytes(model: Module, rate=1.0) -> int:
+    """Weight bytes resident when the model is deployed at ``rate``.
+
+    The byte counterpart of :func:`active_params`: sliced layers count
+    their active prefix only (what a
+    :func:`~repro.slicing.deploy.materialize_subnet` artifact ships),
+    plain layers their full storage.  An elastic replica that serves
+    *every* rate from one model hosts ``param_bytes(model, 1.0)``.
+    """
+    profile = as_profile(rate)
+    total = 0
+    for module in model.modules():
+        if hasattr(module, "active_param_count"):
+            layer_rate = profile.rate_for(getattr(module, "slice_point", None))
+            itemsize = max((p.data.itemsize
+                            for p in module._parameters.values()),
+                           default=_DEFAULT_ITEMSIZE)
+            total += module.active_param_count(layer_rate) * itemsize
+        else:
+            total += sum(p.data.nbytes
+                         for p in module._parameters.values())
+    return total
+
+
+def _io_bytes(value) -> int:
+    """Bytes of the tensors in a module input/output structure."""
+    if isinstance(value, Tensor):
+        return value.data.nbytes
+    if isinstance(value, np.ndarray):
+        return value.nbytes
+    if isinstance(value, (tuple, list)):
+        return sum(_io_bytes(v) for v in value)
+    return 0
+
+
+@contextlib.contextmanager
+def _record_leaf_io(sizes: list[int]):
+    """Record each leaf module's live input+output bytes during forwards.
+
+    A leaf layer's input and output activations are simultaneously live
+    while it executes, so ``max`` over leaves is the peak activation
+    working set of the network (weights and kernel scratch excluded).
+    """
+    original = Module.__call__
+
+    def recording(self, *args, **kwargs):
+        out = original(self, *args, **kwargs)
+        if not self._modules:
+            sizes.append(_io_bytes(args) + _io_bytes(out))
+        return out
+
+    Module.__call__ = recording
+    try:
+        yield
+    finally:
+        Module.__call__ = original
+
+
+def peak_activation_bytes(model: Module, input_shape: tuple[int, ...],
+                          rate=1.0, input_builder=None) -> int:
+    """Peak live activation bytes of one forward pass at ``rate``.
+
+    Measured, not modeled: the forward runs under the ambient profile
+    and every leaf layer reports its live input+output footprint, so
+    non-uniform per-layer profiles are accounted exactly.  Scales
+    linearly with the batch dimension of ``input_shape``.
+    """
+    if input_builder is None:
+        dummy = Tensor(np.zeros(input_shape, dtype=np.float32))
+    else:
+        dummy = input_builder(input_shape)
+    was_training = model.training
+    model.eval()
+    sizes: list[int] = []
+    try:
+        with no_grad():
+            with slice_profile(rate):
+                with _record_leaf_io(sizes):
+                    model(dummy)
+    finally:
+        model.train(was_training)
+    return max(sizes, default=_io_bytes(dummy))
+
+
+def memory_of_profile(model: Module, input_shape: tuple[int, ...],
+                      rate=1.0, input_builder=None) -> dict[str, int]:
+    """Per-profile memory footprint: weights + peak activations.
+
+    Returns ``{"param_bytes", "peak_activation_bytes", "total_bytes",
+    "batch"}`` where ``batch`` is the leading dimension the activations
+    were measured at (activation bytes scale linearly with it).
+    """
+    params = param_bytes(model, rate)
+    activations = peak_activation_bytes(model, input_shape, rate=rate,
+                                        input_builder=input_builder)
+    return {
+        "param_bytes": params,
+        "peak_activation_bytes": activations,
+        "total_bytes": params + activations,
+        "batch": int(input_shape[0]),
+    }
+
+
+def memory_table(model: Module, input_shape: tuple[int, ...],
+                 rates: list) -> dict:
+    """Per-rate (or per-profile) :func:`memory_of_profile` summary."""
+    return {rate: memory_of_profile(model, input_shape, rate=rate)
+            for rate in rates}
 
 
 def cost_table(model: Module, input_shape: tuple[int, ...],

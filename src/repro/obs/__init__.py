@@ -129,6 +129,17 @@ _CATALOG = {
     "plan_compiles_total": "Plan compilations per model class.",
     "plan_fallbacks_total":
         "Plans that fell back to the uncompiled sliced forward.",
+    # -- cluster fleet (repro.cluster) --
+    "cluster_nodes": "Fleet nodes per lifecycle state.",
+    "cluster_node_utilization":
+        "Per-node utilization at the window's chosen profile.",
+    "cluster_windows_total": "Simulated windows per chosen slice profile.",
+    "cluster_requests_total":
+        "Windowed requests per result (served within SLO vs dropped).",
+    "cluster_slo_violations_total":
+        "Windows where demand exceeded the cheapest profile's capacity.",
+    "cluster_autoscale_events_total":
+        "Autoscaler actions per kind (scale-up vs drain).",
 }
 
 # Non-default histogram buckets per metric name.

@@ -18,6 +18,7 @@ from .telemetry import (
     OUTCOMES,
     RequestTrace,
     RuntimeReport,
+    format_seconds,
     percentiles,
 )
 from .queue import AdmissionQueue
@@ -36,6 +37,7 @@ __all__ = [
     "OUTCOME_FAILED",
     "RequestTrace",
     "RuntimeReport",
+    "format_seconds",
     "percentiles",
     "AdmissionQueue",
     "Batch",

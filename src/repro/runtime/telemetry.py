@@ -47,12 +47,26 @@ def rate_value(rate):
 
 
 def percentiles(values: Iterable[float],
-                ps: Sequence[int] = (50, 95, 99)) -> dict[str, float]:
-    """``{"p50": ..., "p95": ..., "p99": ...}`` of ``values`` (0.0 if empty)."""
+                ps: Sequence[int] = (50, 95, 99)) -> dict[str, float | None]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` of ``values``.
+
+    An empty series yields ``None`` for every percentile (a zero-traffic
+    window has *no* latency, which is not the same as a zero-second
+    latency); table renderers print ``None`` as ``-`` and JSON carries
+    ``null``.  Use :func:`format_seconds` to render a single value.
+    """
     data = np.asarray(list(values), dtype=float)
     if data.size == 0:
-        return {f"p{p}": 0.0 for p in ps}
+        return {f"p{p}": None for p in ps}
     return {f"p{p}": float(np.percentile(data, p)) for p in ps}
+
+
+def format_seconds(value: float | None, scale: float = 1e3,
+                   unit: str = "ms", digits: int = 1) -> str:
+    """Render a latency statistic, or ``-`` when the series was empty."""
+    if value is None:
+        return "-"
+    return f"{value * scale:.{digits}f}{unit}"
 
 
 @dataclass

@@ -28,6 +28,8 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
 
 
 def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
     if isinstance(value, float):
         return f"{value:.4g}"
     return str(value)

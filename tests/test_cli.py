@@ -125,3 +125,51 @@ class TestCommands:
             module = importlib.import_module(
                 f"repro.experiments.{module_name}")
             assert hasattr(module, func_name), artifact
+
+
+class TestSizingCommand:
+    FAST = ["sizing", "--forecast", "diurnal:base=8000,duration=21600",
+            "--window", "600"]
+
+    def test_sizing_defaults_parse(self):
+        args = build_parser().parse_args(["sizing"])
+        assert args.forecast.startswith("diurnal")
+        assert args.slo_p95 == 100.0
+        assert args.accuracy_floor == 0.9
+        assert args.ha_spares == 1
+        assert not args.no_simulate
+
+    def test_sizing_emits_plan_and_simulation(self, capsys):
+        assert main(self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "Elastic fleet plan" in out
+        assert "Fixed-rate fleets" in out
+        assert "Autoscaling simulation" in out
+        assert "elastic" in out
+
+    def test_sizing_report_is_deterministic(self, capsys, tmp_path):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert main(self.FAST + ["--json", str(path)]) == 0
+        capsys.readouterr()
+        assert paths[0].read_text() == paths[1].read_text()
+        payload = json.loads(paths[0].read_text())
+        assert payload["plan"]["best_fixed"] is not None
+        assert payload["simulations"][0]["meets_slo"] is True
+
+    def test_sizing_no_simulate_skips_sim(self, capsys):
+        assert main(self.FAST + ["--no-simulate"]) == 0
+        assert "Autoscaling simulation" not in capsys.readouterr().out
+
+    def test_sizing_rejects_bad_forecast(self, capsys):
+        assert main(["sizing", "--forecast", "nope:x=1"]) == 2
+        assert "unknown forecast" in capsys.readouterr().err
+
+    def test_sizing_rejects_unreachable_floor(self, capsys):
+        assert main(self.FAST + ["--accuracy-floor", "0.999"]) == 2
+        assert "accuracy floor" in capsys.readouterr().err
+
+    def test_profile_search_reports_memory(self, capsys):
+        assert main(["profile", "search", "--model", "mlp"]) == 0
+        out = capsys.readouterr().out
+        assert "peak activations" in out

@@ -1,0 +1,396 @@
+"""Tests for the cluster capacity planner and autoscaling simulator."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cluster import (
+    Autoscaler,
+    AutoscalerConfig,
+    CapacityReport,
+    CostTable,
+    Fleet,
+    Node,
+    NodeSpec,
+    ProfileCost,
+    SimulationConfig,
+    SizingRequest,
+    diurnal_spec,
+    flash_spec,
+    parse_forecast,
+    plan_capacity,
+    ramp_spec,
+    regional_spec,
+    scenarios,
+    simulate_autoscaling,
+)
+from repro.errors import ServingError
+from repro.models import MLP
+from repro.runtime import InferenceRuntime, RuntimeConfig
+from repro.runtime.replica import LatencyProfile
+from repro.serving import SliceRateController, generate_arrivals
+
+ACCURACY = {0.25: 0.62, 0.5: 0.85, 0.75: 0.91, 1.0: 0.94}
+FULL_LATENCY = 0.002
+SLO = 0.1
+
+
+def _cost(rate, per_sample=None, accuracy=None, flops=None,
+          params=None, activations=64.0):
+    return ProfileCost(
+        profile=rate,
+        per_sample_s=per_sample if per_sample is not None
+        else FULL_LATENCY * rate ** 2,
+        accuracy=accuracy if accuracy is not None else ACCURACY[rate],
+        flops=flops if flops is not None else 1e4 * rate ** 2,
+        param_bytes=params if params is not None else 1e4 * rate ** 2,
+        activation_bytes=activations * rate)
+
+
+@pytest.fixture()
+def table():
+    return CostTable([_cost(r) for r in ACCURACY])
+
+
+@pytest.fixture()
+def model_table():
+    model = MLP(16, [32, 32], 4, seed=0)
+    model.eval()
+    return CostTable.from_model(model, (1, 16), ACCURACY,
+                                LatencyProfile(FULL_LATENCY))
+
+
+# ----------------------------------------------------------------------
+# Traffic
+# ----------------------------------------------------------------------
+class TestTraffic:
+    def test_parse_forecast_round_trip(self):
+        spec = parse_forecast("diurnal:base=1000,peak=4")
+        assert spec.name == "diurnal"
+        assert spec.params["base"] == 1000
+        assert spec.forecast(0.0) > 0
+
+    def test_parse_forecast_rejects_unknown_name_and_keys(self):
+        with pytest.raises(ServingError, match="unknown forecast"):
+            parse_forecast("sawtooth:base=1")
+        with pytest.raises(ServingError, match="valid keys"):
+            parse_forecast("diurnal:bogus=1")
+        with pytest.raises(ServingError, match="needs a number"):
+            parse_forecast("diurnal:base=lots")
+
+    def test_flash_spike_is_unforecast(self):
+        spec = flash_spec(base=1000.0, at=0.3, mins=30.0, factor=6.0)
+        t = 0.3 * spec.duration + 60.0
+        assert spec.realized(t) == pytest.approx(6.0 * spec.forecast(t))
+        # Away from the spike the two curves agree.
+        assert spec.realized(0.0) == pytest.approx(spec.forecast(0.0))
+
+    def test_sampling_is_seeded_and_deterministic(self):
+        spec = diurnal_spec(base=1000.0)
+        a = spec.sample_windows(300.0, np.random.default_rng(42))
+        b = spec.sample_windows(300.0, np.random.default_rng(42))
+        c = spec.sample_windows(300.0, np.random.default_rng(43))
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_regional_sum_is_flatter_than_single_region(self):
+        regional = regional_spec(base=1000.0, regions=3, skew=0.6)
+        single = diurnal_spec(base=1000.0)
+        flat = regional.forecast_windows(600.0)
+        spiky = single.forecast_windows(600.0)
+        assert flat.max() / flat.min() < spiky.max() / spiky.min()
+
+    def test_ramp_and_scenarios(self):
+        ramp = ramp_spec(start=100.0, end=800.0)
+        assert ramp.forecast(0.0) < ramp.forecast(ramp.duration)
+        assert set(scenarios()) == {"diurnal", "flash", "ramp", "regional"}
+
+
+# ----------------------------------------------------------------------
+# Cost tables and nodes
+# ----------------------------------------------------------------------
+class TestCostTable:
+    def test_orders_cheapest_first(self, table):
+        rates = [float(e.profile.rates["default"])
+                 if hasattr(e.profile, "rates") else float(e.profile)
+                 for e in table]
+        assert table.cheapest.per_sample_s == min(e.per_sample_s
+                                                  for e in table)
+        assert table.widest.per_sample_s == max(e.per_sample_s
+                                                for e in table)
+
+    def test_feasible_filters_on_half_slo(self, table):
+        slim = table.feasible(2 * FULL_LATENCY * 0.7 ** 2)
+        assert all(e.per_sample_s <= FULL_LATENCY * 0.49 for e in slim)
+        with pytest.raises(ServingError, match="no profile serves"):
+            table.feasible(1e-9)
+
+    def test_floor_entry_is_cheapest_above_floor(self, table):
+        assert table.floor_entry(0.9).accuracy == 0.91
+        with pytest.raises(ServingError, match="accuracy floor"):
+            table.floor_entry(0.99)
+
+    def test_from_model_measures_memory(self, model_table):
+        widest, cheapest = model_table.widest, model_table.cheapest
+        assert widest.param_bytes > cheapest.param_bytes
+        assert widest.flops > cheapest.flops
+        assert widest.activation_bytes > 0
+
+    def test_controller_bridge(self, table):
+        controller = table.controller(SLO)
+        assert float(controller.choose(1)) == 1.0
+
+
+class TestNode:
+    def test_memory_bounds_replicas(self, table):
+        cost = table.widest
+        footprint = cost.param_bytes + cost.activation_bytes * 32
+        spec = NodeSpec(memory_bytes=3.5 * footprint, max_replicas=8)
+        assert spec.replicas_for(cost) == 3
+        tiny = NodeSpec(memory_bytes=footprint / 2)
+        with pytest.raises(ServingError, match="cannot hold"):
+            tiny.replicas_for(cost)
+
+    def test_elastic_resident_weights_cost_more(self, table):
+        spec = NodeSpec()
+        fixed = spec.replica_footprint(table.cheapest)
+        elastic = spec.replica_footprint(table.cheapest,
+                                         resident=table.widest)
+        assert elastic > fixed
+
+    def test_capacity_is_replica_or_flops_bound(self, table):
+        cost = table.widest
+        fast = NodeSpec(flops_per_sec=1e12)
+        assert fast.capacity_qps(cost, 4) == pytest.approx(
+            4 / cost.per_sample_s)
+        slow = NodeSpec(flops_per_sec=cost.flops)  # 1 request/sec
+        assert slow.capacity_qps(cost, 4) == pytest.approx(1.0)
+
+    def test_lifecycle_and_drain_never_evicts(self):
+        node = Node("n0", NodeSpec(), LatencyProfile(FULL_LATENCY), 2)
+        node.assign(10)
+        node.drain()
+        with pytest.raises(ServingError, match="never evict"):
+            node.retire()
+        with pytest.raises(ServingError, match="cannot assign"):
+            node.assign(1)
+        node.complete()
+        node.retire()
+        assert not node.alive
+
+    def test_boot_only_from_booting(self):
+        node = Node("n0", NodeSpec(), LatencyProfile(FULL_LATENCY), 1)
+        with pytest.raises(ServingError, match="not booting"):
+            node.boot()
+
+
+# ----------------------------------------------------------------------
+# Fleet
+# ----------------------------------------------------------------------
+def _fleet(table, nodes=2, replicas=2, **kwargs):
+    profile = LatencyProfile(FULL_LATENCY)
+    pool = [Node(f"n{i}", NodeSpec(), profile, replicas)
+            for i in range(nodes)]
+    return Fleet(pool, table, spec=NodeSpec(), latency_profile=profile,
+                 replicas_per_node=replicas, **kwargs)
+
+
+class TestFleet:
+    def test_choose_profile_degrades_with_demand(self, table):
+        fleet = _fleet(table)
+        full_cap = fleet.capacity_qps(table.widest)
+        assert fleet.choose_profile(full_cap * 0.9) is table.widest
+        assert fleet.choose_profile(full_cap * 2).accuracy < 0.94
+        # Nothing fits: falls back to the cheapest rather than refusing.
+        assert fleet.choose_profile(1e12) is table.cheapest
+        assert fleet.choose_profile(0.0) is None
+
+    def test_serve_window_drops_only_past_cheapest_capacity(self, table):
+        fleet = _fleet(table)
+        cheap_cap = fleet.capacity_qps(table.cheapest)
+        record = fleet.serve_window(0, 0.0, 60.0, cheap_cap * 1.5)
+        assert record.violated
+        assert record.dropped_qps == pytest.approx(cheap_cap * 0.5)
+        assert record.served_qps == pytest.approx(cheap_cap)
+
+    def test_provision_boot_drain_retire_cycle(self, table):
+        fleet = _fleet(table, nodes=1)
+        fleet.provision(2, ready_at=2)
+        assert fleet.count("booting") == 2
+        fleet.tick(1)
+        assert fleet.count("active") == 1
+        fleet.tick(2)
+        assert fleet.count("active") == 3
+        fleet.serve_window(2, 0.0, 60.0, 100.0)
+        fleet.drain_nodes(2)
+        assert fleet.count("draining") == 2
+        fleet.tick(3)  # in-flight completes, then drained nodes retire
+        assert fleet.count("retired") == 2
+        assert fleet.count("active") == 1
+
+    def test_drain_is_lifo_youngest_first(self, table):
+        fleet = _fleet(table, nodes=3)
+        drained = fleet.drain_nodes(1)
+        assert [n.node_id for n in drained] == ["n2"]
+
+    def test_runtime_pool_bridges_to_inference_runtime(self, model_table):
+        fleet = _fleet(model_table, nodes=2, replicas=2)
+        pool = fleet.runtime_pool()
+        assert len(pool) == 4
+        controller = SliceRateController(
+            sorted(ACCURACY), FULL_LATENCY, SLO)
+        runtime = InferenceRuntime(
+            pool, controller,
+            RuntimeConfig(latency_slo=SLO, seed=0), ACCURACY)
+        arrivals = generate_arrivals(lambda t: 200.0, 2.0,
+                                     np.random.default_rng(0))
+        report = runtime.run(arrivals, 2.0)
+        assert len(report.completed) > 0
+        assert report.drop_fraction < 0.05
+
+
+# ----------------------------------------------------------------------
+# Autoscaler
+# ----------------------------------------------------------------------
+class TestAutoscaler:
+    def _scaler(self, table, schedule=None, **overrides):
+        config = AutoscalerConfig(**overrides)
+        return Autoscaler(config, NodeSpec(), table.floor_entry(0.9),
+                          replicas_per_node=2, schedule=schedule)
+
+    def test_slo_violation_triggers_scale_up(self, table):
+        fleet = _fleet(table, nodes=1)
+        scaler = self._scaler(table, up_cooldown=10)
+        scaler.step(0, 10.0, violated=False, fleet=fleet)
+        baseline = len(fleet.nodes)
+        events = scaler.step(1, 10.0, violated=True, fleet=fleet)
+        assert [e.action for e in events] == ["scale-up"]
+        assert events[0].reason == "slo-violation"
+        assert len(fleet.nodes) > baseline
+
+    def test_reactive_tracks_demand_with_target_utilization(self, table):
+        scaler = self._scaler(table)
+        capacity = scaler.node_capacity()
+        assert scaler.reactive_desired(capacity * 2) == 3  # 2 / 0.7 -> 3
+        assert scaler.reactive_desired(0.0) == 1           # min_nodes
+
+    def test_scale_down_waits_for_patience(self, table):
+        fleet = _fleet(table, nodes=4)
+        scaler = self._scaler(table, scale_down_patience=2)
+        assert scaler.step(0, 1.0, violated=False, fleet=fleet) == []
+        events = scaler.step(1, 1.0, violated=False, fleet=fleet)
+        assert [e.action for e in events] == ["drain"]
+        assert fleet.count("draining") > 0
+
+    def test_schedule_following_looks_ahead(self, table):
+        fleet = _fleet(table, nodes=1)
+        scaler = self._scaler(table, schedule=[1, 1, 1, 5, 1, 1],
+                              boot_windows=2)
+        events = scaler.step(1, 1.0, violated=False, fleet=fleet)
+        assert events and events[0].count == 4  # 5 due at w=3, seen at w=1
+        assert events[0].reason == "schedule"
+
+    def test_autoscale_events_reach_obs(self, table):
+        fleet = _fleet(table, nodes=1)
+        scaler = self._scaler(table, up_cooldown=10)
+        registry, _ = obs.configure(clock=obs.TickClock())
+        try:
+            scaler.step(0, 10.0, violated=True, fleet=fleet)
+        finally:
+            obs.disable()
+        counter = registry.counter("cluster_autoscale_events_total")
+        assert counter.total() >= 1
+        assert counter.value(action="scale-up") >= 1
+
+
+# ----------------------------------------------------------------------
+# Solver + simulation
+# ----------------------------------------------------------------------
+class TestSolverAndSimulation:
+    def _plan(self, spec, table):
+        request = SizingRequest(spec=spec, window_seconds=600.0,
+                                latency_slo=SLO, accuracy_floor=0.9)
+        return request, plan_capacity(request, table, NodeSpec())
+
+    def test_plan_meets_accuracy_floor_and_demand(self, model_table):
+        request, plan = self._plan(diurnal_spec(base=8000.0), model_table)
+        assert plan.mean_accuracy >= 0.9 - 1e-9
+        demand = request.spec.forecast_windows(600.0) * 1.15
+        cheap = plan.table.cheapest
+        for i, nodes in enumerate(plan.schedule):
+            spares = request.ha_spares
+            capacity = (nodes - spares) * NodeSpec().capacity_qps(
+                cheap, plan.replicas_per_node)
+            assert capacity + 1e-6 >= demand[i]
+
+    def test_fixed_fleets_below_floor_are_inadmissible(self, model_table):
+        _, plan = self._plan(diurnal_spec(base=8000.0), model_table)
+        verdicts = {f.cost.label(): f.feasible for f in plan.fixed}
+        assert verdicts["0.25"] is False
+        assert verdicts["0.75"] is True
+        assert plan.best_fixed is not None
+
+    def test_elastic_plans_fewer_node_hours_than_best_fixed(
+            self, model_table):
+        _, plan = self._plan(diurnal_spec(base=8000.0), model_table)
+        assert plan.node_hours < plan.best_fixed.node_hours
+
+    def test_simulation_is_byte_identical_under_a_seed(self, model_table):
+        spec = diurnal_spec(base=8000.0, duration=6 * 3600.0)
+        _, plan = self._plan(spec, model_table)
+        config = SimulationConfig(window_seconds=600.0, latency_slo=SLO,
+                                  seed=11)
+        runs = [simulate_autoscaling(
+            spec, model_table, NodeSpec(), config, AutoscalerConfig(),
+            plan.replicas_per_node, schedule=plan.schedule)
+            for _ in range(2)]
+        assert runs[0].to_json() == runs[1].to_json()
+        other = simulate_autoscaling(
+            spec, model_table, NodeSpec(),
+            SimulationConfig(window_seconds=600.0, latency_slo=SLO,
+                             seed=12),
+            AutoscalerConfig(), plan.replicas_per_node,
+            schedule=plan.schedule)
+        assert runs[0].to_json() != other.to_json()
+
+    def test_elastic_sim_beats_fixed_on_short_diurnal(self, model_table):
+        # The tier-1 version of the benchmark claim, on 6 simulated hours.
+        spec = diurnal_spec(base=8000.0, duration=6 * 3600.0)
+        request, plan = self._plan(spec, model_table)
+        config = SimulationConfig(window_seconds=600.0, latency_slo=SLO,
+                                  seed=0)
+        elastic = simulate_autoscaling(
+            spec, model_table, NodeSpec(), config, AutoscalerConfig(),
+            plan.replicas_per_node, schedule=plan.schedule,
+            label="elastic")
+        best = plan.best_fixed
+        fixed = simulate_autoscaling(
+            spec, CostTable([best.cost]), NodeSpec(), config,
+            AutoscalerConfig(), best.replicas_per_node,
+            schedule=best.schedule, label="fixed")
+        assert elastic.meets_slo
+        assert not fixed.meets_slo or \
+            elastic.node_hours < fixed.node_hours
+
+    def test_unforecast_flash_is_absorbed_by_degradation(self, model_table):
+        spec = flash_spec(base=8000.0, factor=6.0, at=0.5,
+                          duration=6 * 3600.0)
+        _, plan = self._plan(spec, model_table)
+        config = SimulationConfig(window_seconds=600.0, latency_slo=SLO,
+                                  seed=0)
+        elastic = simulate_autoscaling(
+            spec, model_table, NodeSpec(), config, AutoscalerConfig(),
+            plan.replicas_per_node, schedule=plan.schedule)
+        assert elastic.meets_slo
+        degraded = set(elastic.profile_windows) - {"0.75", "1"}
+        assert degraded, "flash crowd should force degraded windows"
+
+    def test_report_renders_and_serializes(self, model_table):
+        spec = diurnal_spec(base=8000.0, duration=6 * 3600.0)
+        _, plan = self._plan(spec, model_table)
+        report = CapacityReport(plan)
+        text = report.render()
+        assert "Elastic fleet plan" in text
+        assert "best fixed" in text
+        payload = report.to_json()
+        assert payload == CapacityReport(plan).to_json()

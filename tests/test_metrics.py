@@ -120,3 +120,57 @@ class TestCostAccounting:
             input_builder=lambda shape: np.zeros(shape, dtype=np.int64),
         )
         assert flops > 0
+
+
+class TestMemoryAccounting:
+    def _model(self):
+        from repro.models import MLP
+        model = MLP(16, [32, 32], 4, seed=0)
+        model.eval()
+        return model
+
+    def test_param_bytes_tracks_active_params(self):
+        from repro.metrics.flops import active_params, param_bytes
+        model = self._model()
+        for rate in (0.25, 0.5, 1.0):
+            assert param_bytes(model, rate) == \
+                4 * active_params(model, rate)
+
+    def test_peak_activations_shrink_with_rate(self):
+        from repro.metrics.flops import peak_activation_bytes
+        model = self._model()
+        full = peak_activation_bytes(model, (8, 16), rate=1.0)
+        half = peak_activation_bytes(model, (8, 16), rate=0.5)
+        assert 0 < half < full
+
+    def test_memory_of_profile_and_table(self):
+        from repro.metrics.flops import memory_of_profile, memory_table
+        model = self._model()
+        entry = memory_of_profile(model, (2, 16), rate=0.5)
+        assert entry["total_bytes"] == \
+            entry["param_bytes"] + entry["peak_activation_bytes"]
+        assert entry["batch"] == 2
+        table = memory_table(model, (2, 16), [0.25, 1.0])
+        assert table[0.25]["param_bytes"] < table[1.0]["param_bytes"]
+
+    def test_recorder_leaves_model_functional(self):
+        from repro.metrics.flops import peak_activation_bytes
+        from repro.nn import Module
+        model = self._model()
+        before = Module.__call__
+        peak_activation_bytes(model, (1, 16), rate=0.5)
+        # The temporary __call__ instrumentation must be fully undone.
+        assert Module.__call__ is before
+        from repro.tensor import Tensor
+        out = model(Tensor(np.zeros((1, 16), dtype=np.float32)))
+        assert out.data.shape == (1, 4)
+
+    def test_token_models_need_input_builder(self):
+        from repro.metrics.flops import peak_activation_bytes
+        from repro.models import NNLM
+        model = NNLM(vocab_size=20, embed_dim=8, hidden_size=8)
+        model.eval()
+        peak = peak_activation_bytes(
+            model, (2, 4), rate=1.0,
+            input_builder=lambda shape: np.zeros(shape, dtype=np.int64))
+        assert peak > 0

@@ -72,7 +72,9 @@ class TestCostTableHelpers:
     def test_format_table_handles_mixed_types(self):
         from repro.utils import format_table
         text = format_table(["a", "b"], [[1, None], [0.5, "x"]])
-        assert "None" in text and "0.5" in text
+        # None renders as "-" (absent measurement), not "None".
+        assert "None" not in text
+        assert "-" in text and "0.5" in text
 
     def test_flop_counter_by_kind_totals(self):
         from repro.tensor import Tensor, count_flops

@@ -344,3 +344,26 @@ class TestFaultPlan:
         with pytest.raises(ServingError):
             FaultEvent(time=1.0, kind="slowdown", replica_id="a",
                        duration=1.0, factor=0.5)
+
+
+class TestEmptyPercentiles:
+    def test_empty_series_yields_none_per_percentile(self):
+        from repro.runtime.telemetry import percentiles
+        tails = percentiles([], (50, 95, 99))
+        assert tails == {"p50": None, "p95": None, "p99": None}
+
+    def test_nonempty_series_unaffected(self):
+        from repro.runtime.telemetry import percentiles
+        tails = percentiles([0.1, 0.2, 0.3])
+        assert tails["p50"] == pytest.approx(0.2)
+
+    def test_format_seconds_renders_none_as_dash(self):
+        from repro.runtime import format_seconds
+        assert format_seconds(None) == "-"
+        assert format_seconds(0.0123) == "12.3ms"
+        assert format_seconds(2.0, scale=1.0, unit="s", digits=0) == "2s"
+
+    def test_table_formatter_renders_none_as_dash(self):
+        from repro.utils.tables import format_table
+        text = format_table(["a", "b"], [[None, 1.0]])
+        assert "-" in text.splitlines()[-1]
