@@ -16,7 +16,9 @@ package provides:
 * ``repro.serving`` / ``repro.ranking`` — the two example applications
   (dynamic-workload degradation, cascade ranking);
 * ``repro.metrics`` — accuracy, perplexity, FLOPs accounting, prediction
-  consistency.
+  consistency;
+* ``repro.diagnose`` — slice-quality diagnostics: error-slice discovery,
+  per-layer degradation attribution, and diagnosis-weighted scheduling.
 
 Quickstart::
 
@@ -50,8 +52,12 @@ from .slicing import (
     ProfileScheme,
 )
 from .models import MLP, NNLM, SlicedResNet, SlicedVGG
+from .diagnose import DiagnosisReport, DiagnosisWeightedScheme, diagnose
 
 __all__ = [
+    "DiagnosisReport",
+    "DiagnosisWeightedScheme",
+    "diagnose",
     "__version__",
     "errors",
     "obs",

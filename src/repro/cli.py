@@ -23,9 +23,17 @@ Commands
     rate, the plan's resident weight size, compile time, and the
     compiled-vs-uncompiled forward latency (see
     :mod:`repro.slicing.plans`).
-``obs summarize TRACE``
-    Summarize a JSONL observability trace: top spans by total time,
-    event counts, and the metrics snapshot as aligned tables.
+``obs summarize TRACE [TRACE ...]``
+    Summarize one or more JSONL observability traces (globs accepted;
+    multiple traces merge): top spans by total time, event counts, and
+    the metrics snapshot — histograms include estimated p50/p95/p99 —
+    as aligned tables.
+``diagnose``
+    Train a small sliced demo model and print the slice-quality
+    diagnosis: embedding-space error slices with per-profile
+    degradation curves, per-layer activation-divergence attribution,
+    and the diagnosis-weighted scheduling distribution (byte-identical
+    JSON via ``--json``, per-example eval trace via ``--trace``).
 """
 
 from __future__ import annotations
@@ -238,14 +246,48 @@ def _cmd_runtime(args) -> int:
 
 
 def _cmd_obs(args) -> int:
+    import glob as globlib
+
     from .errors import DataError
     from .obs.summary import summarize
 
+    paths: list[str] = []
+    for pattern in args.trace:
+        matched = sorted(globlib.glob(pattern))
+        paths.extend(matched if matched else [pattern])
     try:
-        print(summarize(args.trace, top=args.top))
+        print(summarize(paths, top=args.top))
     except (OSError, DataError) as exc:
-        print(f"cannot summarize {args.trace}: {exc}", file=sys.stderr)
+        print(f"cannot summarize {', '.join(paths)}: {exc}",
+              file=sys.stderr)
         return 2
+    return 0
+
+
+def _cmd_diagnose(args) -> int:
+    from . import obs
+    from .diagnose import diagnose, train_demo_model
+
+    rates = sorted(set(args.rates)) if args.rates else [0.25, 0.5, 1.0]
+    if args.trace:
+        # TickClock: byte-identical JSONL across runs under one seed.
+        obs.configure(trace_path=args.trace, clock=obs.TickClock())
+    print(f"training a sliced demo MLP for {args.epochs} epochs "
+          f"(seed {args.seed}) ...", file=sys.stderr)
+    model, data = train_demo_model(seed=args.seed, epochs=args.epochs,
+                                   rates=rates)
+    report = diagnose(model, data["eval_x"], data["eval_y"], rates,
+                      k=args.slices, seed=args.seed)
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"diagnosis report written to {args.json}", file=sys.stderr)
+    print(report.render())
+    if args.trace:
+        obs.shutdown()
+        print(f"per-example eval trace written to {args.trace} "
+              f"(inspect with: repro obs summarize {args.trace})",
+              file=sys.stderr)
     return 0
 
 
@@ -567,9 +609,28 @@ def build_parser() -> argparse.ArgumentParser:
     obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
     summ = obs_sub.add_parser(
         "summarize", help="summarize a JSONL trace written by repro.obs")
-    summ.add_argument("trace", help="path to the JSONL trace file")
+    summ.add_argument("trace", nargs="+",
+                      help="JSONL trace files or globs; multiple traces "
+                           "merge into one summary")
     summ.add_argument("--top", type=int, default=15,
                       help="rows to show in the span/event tables")
+
+    diag = sub.add_parser(
+        "diagnose",
+        help="train a demo sliced model and report slice-quality "
+             "diagnostics: error slices, degradation curves, layer "
+             "attribution, scheduling weights")
+    diag.add_argument("--epochs", type=int, default=6)
+    diag.add_argument("--seed", type=int, default=0)
+    diag.add_argument("--rates", type=float, nargs="*", default=None,
+                      help="profiles to diagnose (default: 0.25 0.5 1.0)")
+    diag.add_argument("--slices", type=int, default=4,
+                      help="max error slices to discover")
+    diag.add_argument("--json", default=None, metavar="PATH",
+                      help="write the canonical sorted-key JSON report")
+    diag.add_argument("--trace", default=None, metavar="PATH",
+                      help="record the per-example JSONL eval trace "
+                           "(deterministic under --seed)")
 
     return parser
 
@@ -586,6 +647,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": _cmd_profile,
         "sizing": _cmd_sizing,
         "obs": _cmd_obs,
+        "diagnose": _cmd_diagnose,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,57 @@
+"""Slice-quality diagnostics: who pays for the FLOPs a profile saves.
+
+Three views over per-example evaluation traces, built on the
+:mod:`repro.obs` layer:
+
+* **error-slice discovery** (:mod:`repro.diagnose.slices`) — seeded
+  pure-numpy clustering of the narrowest profile's errors in full-width
+  embedding space, with per-slice degradation curves across profiles;
+* **layer attribution** (:mod:`repro.diagnose.attribution`) —
+  activation divergence between full-rate and narrow forwards at every
+  named slice point, feeding the budget search an importance prior;
+* **scheduling feedback** (:mod:`repro.diagnose.scheme`) — a
+  :class:`DiagnosisWeightedScheme` reweighting Algorithm 1's sampling
+  toward the profiles with the worst data slices.
+
+:func:`repro.diagnose.report.diagnose` runs all three and the
+``repro diagnose`` CLI renders the result.
+"""
+
+from .attribution import (PointDivergence, capture_activations,
+                          importance_from_attribution, layer_divergence,
+                          rank_attribution)
+from .demo import DEMO_RATES, make_demo_data, train_demo_model
+from .records import (EvalRecord, accuracy_by_profile,
+                      collect_eval_records, correctness_by_profile,
+                      mean_margin_by_profile, penultimate_embedding,
+                      profile_key, records_from_trace)
+from .report import DiagnosisReport, diagnose
+from .scheme import DiagnosisWeightedScheme
+from .slices import (ErrorSlice, deterministic_kmeans,
+                     discover_error_slices, worst_slice_accuracy)
+
+__all__ = [
+    "DEMO_RATES",
+    "DiagnosisReport",
+    "DiagnosisWeightedScheme",
+    "ErrorSlice",
+    "EvalRecord",
+    "PointDivergence",
+    "accuracy_by_profile",
+    "capture_activations",
+    "collect_eval_records",
+    "correctness_by_profile",
+    "deterministic_kmeans",
+    "diagnose",
+    "discover_error_slices",
+    "importance_from_attribution",
+    "layer_divergence",
+    "make_demo_data",
+    "mean_margin_by_profile",
+    "penultimate_embedding",
+    "profile_key",
+    "rank_attribution",
+    "records_from_trace",
+    "train_demo_model",
+    "worst_slice_accuracy",
+]

@@ -1,0 +1,207 @@
+"""Layer attribution: where a narrow profile diverges from the full net.
+
+Eq. 2's prefix nesting means a profile's forward shares the *leading*
+channels of every layer with the full-rate forward; the channels it
+drops are exactly the trailing groups.  So the honest per-layer question
+is: how far does the narrow activation drift from the **matching
+channel prefix** of the full activation?  A slice point whose prefix no
+longer carries the layer's signal (low cosine, high relative L2) is
+where the profile's accuracy loss concentrates — the same per-layer
+contribution view "Dynamic Slicing for Deep Neural Networks" uses to
+localise behaviour inside a network.
+
+Two consumers:
+
+* the ``repro diagnose`` report ranks slice points by divergence, and
+* :func:`importance_from_attribution` converts divergences into the
+  ``importance`` prior of
+  :func:`repro.slicing.budget.search_profile_for_budget`, steering the
+  greedy budget search toward widening the layers that actually lose
+  signal when narrowed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import DataError
+from ..slicing.context import slice_profile
+from ..slicing.profile import as_profile, named_slice_points
+from ..tensor import Tensor, no_grad
+
+_EPS = 1e-12
+
+
+@contextmanager
+def capture_activations(model, names=None):
+    """Capture slice-point outputs for the forwards run inside the block.
+
+    Yields a dict filled in as the model runs: ``{slice_point_name:
+    ndarray}`` holding a float64 copy of each named module's most recent
+    output.  Works by shadowing each module's ``forward`` with an
+    instance attribute (the module system has no hook registry); the
+    shadow is removed on exit even if the block raises.  Tuple outputs
+    (recurrent cells) record their first element.
+    """
+    points = dict(named_slice_points(model))
+    if names is None:
+        names = list(points)
+    missing = [name for name in names if name not in points]
+    if missing:
+        raise DataError(f"unknown slice points: {missing}; "
+                        f"model has {sorted(points)}")
+    captured: dict[str, np.ndarray] = {}
+    wrapped = []
+
+    def make_wrapper(name, module, original):
+        def wrapper(*args, **kwargs):
+            out = original(*args, **kwargs)
+            first = out[0] if isinstance(out, tuple) else out
+            data = first.data if isinstance(first, Tensor) else first
+            captured[name] = np.array(data, dtype=np.float64)
+            return out
+        return wrapper
+
+    try:
+        for name in names:
+            module = points[name]
+            original = module.forward
+            module.forward = make_wrapper(name, module, original)
+            wrapped.append(module)
+        yield captured
+    finally:
+        for module in wrapped:
+            module.__dict__.pop("forward", None)
+
+
+@dataclass
+class PointDivergence:
+    """Divergence of one slice point's narrow output from its prefix."""
+
+    point: str
+    rate: float
+    full_width: int
+    narrow_width: int
+    cosine: float
+    rel_l2: float
+    divergence: float          # 1 - cosine; the ranking key
+    rank: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "point": self.point,
+            "rate": self.rate,
+            "full_width": self.full_width,
+            "narrow_width": self.narrow_width,
+            "cosine": self.cosine,
+            "rel_l2": self.rel_l2,
+            "divergence": self.divergence,
+            "rank": self.rank,
+        }
+
+
+def _channel_prefix(full: np.ndarray, width: int) -> np.ndarray:
+    """The leading ``width`` channels of ``full`` along axis 1."""
+    if full.ndim == 1:
+        return full[:width]
+    return full[:, :width]
+
+
+def layer_divergence(model, inputs: np.ndarray, profile, *,
+                     batch_size: int = 256) -> list[PointDivergence]:
+    """Per-slice-point divergence between full-rate and profile forwards.
+
+    Runs the same batches twice — once at the full profile, once under
+    ``profile`` — capturing every slice point's output, then compares
+    each narrow activation against the channel prefix of its full
+    counterpart.  Accumulates sufficient statistics across batches, so
+    the result is exact over the whole input set:
+
+    * ``cosine``   = <narrow, prefix> / (|narrow| * |prefix|)
+    * ``rel_l2``   = |narrow - prefix| / |prefix|
+    * ``divergence`` = 1 - cosine  (the ranking key)
+
+    Slice points running at rate 1.0 under ``profile`` trivially report
+    zero divergence and are still listed (their prefix *is* the full
+    activation), keeping the output schema stable across profiles.
+    """
+    profile = as_profile(profile)
+    inputs = np.asarray(inputs)
+    if len(inputs) == 0:
+        raise DataError("layer_divergence needs at least one example")
+    points = named_slice_points(model)
+    names = [name for name, _ in points]
+    # accumulators per point: [dot, narrow_sq, prefix_sq, diff_sq]
+    acc = {name: np.zeros(4) for name in names}
+    widths: dict[str, tuple[int, int]] = {}
+    rates: dict[str, float] = {}
+    model.eval()
+    with no_grad():
+        for start in range(0, len(inputs), batch_size):
+            batch = inputs[start:start + batch_size]
+            x = batch if batch.dtype.kind in "iu" else Tensor(batch)
+            with slice_profile(1.0):
+                with capture_activations(model, names) as full_acts:
+                    model(x)
+            with slice_profile(profile):
+                with capture_activations(model, names) as narrow_acts:
+                    model(x)
+            for name in names:
+                full = full_acts[name]
+                narrow = narrow_acts[name]
+                axis1 = narrow.shape[1] if narrow.ndim > 1 else narrow.shape[0]
+                full1 = full.shape[1] if full.ndim > 1 else full.shape[0]
+                widths[name] = (full1, axis1)
+                prefix = _channel_prefix(full, axis1)
+                acc[name] += (
+                    float((narrow * prefix).sum()),
+                    float((narrow * narrow).sum()),
+                    float((prefix * prefix).sum()),
+                    float(((narrow - prefix) ** 2).sum()),
+                )
+    for name, module in points:
+        rates[name] = profile.rate_for(getattr(module, "slice_point", name))
+    results = []
+    for name in names:
+        dot, nn, pp, dd = acc[name]
+        cosine = dot / max(np.sqrt(nn * pp), _EPS) if nn > 0 or pp > 0 else 1.0
+        rel_l2 = float(np.sqrt(dd) / (np.sqrt(pp) + _EPS))
+        full_width, narrow_width = widths[name]
+        results.append(PointDivergence(
+            point=name, rate=float(rates[name]),
+            full_width=full_width, narrow_width=narrow_width,
+            cosine=float(min(cosine, 1.0)), rel_l2=rel_l2,
+            divergence=float(max(1.0 - cosine, 0.0))))
+    return results
+
+
+def rank_attribution(divergences: list[PointDivergence]
+                     ) -> list[PointDivergence]:
+    """Sort worst-first (highest divergence) and assign 1-based ranks.
+
+    Ties break on the point name so the ranking is deterministic.
+    """
+    ordered = sorted(divergences, key=lambda d: (-d.divergence, d.point))
+    for rank, div in enumerate(ordered, start=1):
+        div.rank = rank
+    return ordered
+
+
+def importance_from_attribution(divergences: list[PointDivergence], *,
+                                floor: float = 0.1) -> dict[str, float]:
+    """Importance prior for ``search_profile_for_budget`` from divergence.
+
+    Normalizes divergences to mean 1.0 (so an uninformative attribution
+    reduces to the default uniform prior) with ``floor`` as the minimum
+    weight: a zero-divergence layer still gets a small score, keeping it
+    reachable when widening it is nearly free.
+    """
+    if not divergences:
+        return {}
+    mean = sum(d.divergence for d in divergences) / len(divergences)
+    if mean <= 0.0:
+        return {d.point: 1.0 for d in divergences}
+    return {d.point: max(d.divergence / mean, floor) for d in divergences}

@@ -1,0 +1,91 @@
+"""Deterministic demo workload for diagnosis smoke runs and the CLI.
+
+The synthetic dataset is built so slice diagnosis has something real to
+find: each class owns an *easy* blob (far from every other class, tight)
+plus a *hard* blob whose examples crowd into one shared region of input
+space.  A full-width network separates both; narrow subnets keep the
+easy blobs but collapse on the shared region — a coherent
+embedding-space error slice with a steep degradation curve, exactly the
+structure :func:`repro.diagnose.discover_error_slices` mines for.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..data.datasets import ArrayDataset, DataLoader
+from ..models.mlp import MLP
+from ..optim.sgd import SGD
+from ..slicing.schemes import RandomStaticScheme, Scheme
+from ..slicing.trainer import SliceTrainer
+
+DEMO_RATES = (0.25, 0.5, 1.0)
+
+
+def make_demo_data(seed: int = 0, *, num_train: int = 512,
+                   num_eval: int = 256, dim: int = 16,
+                   num_classes: int = 4, hard_fraction: float = 0.35,
+                   ) -> dict[str, np.ndarray]:
+    """Synthetic classification data with a planted hard region.
+
+    Returns ``{"train_x", "train_y", "eval_x", "eval_y"}``.  Easy
+    examples sit on well-separated per-class anchors; hard examples of
+    every class share one common region offset only by a small
+    class-dependent direction, so capacity decides whether they resolve.
+    """
+    rng = np.random.default_rng(seed)
+    anchors = np.zeros((num_classes, dim))
+    for cls in range(num_classes):
+        anchors[cls, cls % dim] = 4.0
+        anchors[cls, (cls + 1) % dim] = -4.0
+    hard_center = np.full(dim, 1.5)
+    subtle = np.zeros((num_classes, dim))
+    for cls in range(num_classes):
+        subtle[cls, (cls + dim // 2) % dim] = 0.9
+
+    def build(count: int) -> tuple[np.ndarray, np.ndarray]:
+        labels = rng.integers(0, num_classes, size=count)
+        hard = rng.random(count) < hard_fraction
+        noise = rng.normal(scale=0.35, size=(count, dim))
+        x = np.where(hard[:, None],
+                     hard_center + subtle[labels],
+                     anchors[labels])
+        return (x + noise).astype(np.float64), labels.astype(np.int64)
+
+    train_x, train_y = build(num_train)
+    eval_x, eval_y = build(num_eval)
+    return {"train_x": train_x, "train_y": train_y,
+            "eval_x": eval_x, "eval_y": eval_y}
+
+
+def train_demo_model(seed: int = 0, *, epochs: int = 6,
+                     rates: Sequence[float] = DEMO_RATES,
+                     scheme: Scheme | None = None,
+                     hidden: Sequence[int] = (32, 32),
+                     data: dict[str, np.ndarray] | None = None,
+                     lr: float = 0.1, batch_size: int = 64,
+                     ) -> tuple[MLP, dict[str, np.ndarray]]:
+    """Train a small sliced MLP on the demo data; fully seeded.
+
+    ``scheme`` defaults to the paper's R-min-max random-static scheme —
+    the uniform Algorithm-1 baseline the diagnosis-weighted scheme is
+    benchmarked against.  Returns ``(model, data)``.
+    """
+    if data is None:
+        data = make_demo_data(seed)
+    model = MLP(in_features=data["train_x"].shape[1], hidden=list(hidden),
+                num_classes=int(data["train_y"].max()) + 1, seed=seed)
+    if scheme is None:
+        scheme = RandomStaticScheme(list(rates), num_random=1)
+    trainer = SliceTrainer(model, scheme, SGD(model.parameters(), lr=lr),
+                           rng=np.random.default_rng(seed + 1))
+    dataset = ArrayDataset(data["train_x"], data["train_y"])
+
+    def loader():
+        return DataLoader(dataset, batch_size=batch_size, shuffle=True,
+                          rng=np.random.default_rng(seed + 2))
+
+    trainer.fit(loader, epochs=epochs)
+    return model, data

@@ -1,0 +1,184 @@
+"""The diagnosis report: one object tying the three views together.
+
+:func:`diagnose` runs the full pipeline — plan-speed per-example
+evaluation sweep, embedding-space error-slice discovery, per-layer
+activation attribution, and the scheduling weights derived from the
+worst slices — and returns a :class:`DiagnosisReport` that renders as
+CLI tables or sorted-key JSON (byte-identical across seeded runs; the
+determinism tests pin this).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import obs
+from ..slicing.plans import PlanCache
+from ..slicing.profile import as_profile
+from ..utils.tables import format_table
+from .attribution import (PointDivergence, layer_divergence,
+                          rank_attribution)
+from .records import (accuracy_by_profile, collect_eval_records,
+                      correctness_by_profile, mean_margin_by_profile)
+from .scheme import DiagnosisWeightedScheme
+from .slices import ErrorSlice, discover_error_slices, worst_slice_accuracy
+
+
+@dataclass
+class DiagnosisReport:
+    """Everything ``repro diagnose`` knows about a model's slice quality."""
+
+    model: str
+    seed: int
+    num_examples: int
+    profiles: list[str]                       # narrow -> wide, label keys
+    reference: str                            # narrowest profile's key
+    accuracy: dict[str, float]
+    mean_margin: dict[str, float]
+    error_counts: dict[str, int]
+    worst_slice_accuracy: dict[str, float]
+    slices: list[ErrorSlice]
+    attribution: list[PointDivergence]        # ranked worst-first
+    scheme_weights: dict[str, float]
+    extra: dict = field(default_factory=dict)
+    #: the resolved SliceProfile objects behind ``profiles`` (not
+    #: serialized; lets ``scheme()`` rebuild non-uniform profiles whose
+    #: labels are opaque digests)
+    profile_entries: list = field(default_factory=list, repr=False)
+
+    def to_dict(self, include_members: bool = False) -> dict:
+        return {
+            "model": self.model,
+            "seed": self.seed,
+            "num_examples": self.num_examples,
+            "profiles": list(self.profiles),
+            "reference": self.reference,
+            "accuracy": {k: round(float(v), 6)
+                         for k, v in self.accuracy.items()},
+            "mean_margin": {k: round(float(v), 6)
+                            for k, v in self.mean_margin.items()},
+            "error_counts": {k: int(v)
+                             for k, v in self.error_counts.items()},
+            "worst_slice_accuracy": {
+                k: round(float(v), 6)
+                for k, v in self.worst_slice_accuracy.items()},
+            "slices": [s.to_dict(include_members) for s in self.slices],
+            "attribution": [d.to_dict() for d in self.attribution],
+            "scheme_weights": {k: round(float(v), 6)
+                               for k, v in self.scheme_weights.items()},
+            "extra": self.extra,
+        }
+
+    def to_json(self, include_members: bool = False) -> str:
+        """Canonical JSON: sorted keys, fixed float rounding."""
+        return json.dumps(self.to_dict(include_members), sort_keys=True,
+                          indent=1)
+
+    def scheme(self, **kwargs) -> DiagnosisWeightedScheme:
+        """The scheduling scheme this diagnosis recommends."""
+        return DiagnosisWeightedScheme.from_report(self, **kwargs)
+
+    # -- rendering -------------------------------------------------------
+    def render(self) -> str:
+        sections = [self._profiles_table(), self._slices_table(),
+                    self._attribution_table()]
+        header = (f"diagnosis of {self.model} — {self.num_examples} "
+                  f"examples, {len(self.profiles)} profiles, "
+                  f"reference {self.reference}")
+        return header + "\n\n" + "\n\n".join(sections)
+
+    def _profiles_table(self) -> str:
+        rows = []
+        for key in self.profiles:
+            rows.append([key, self.accuracy.get(key),
+                         self.worst_slice_accuracy.get(key),
+                         self.mean_margin.get(key),
+                         self.error_counts.get(key),
+                         self.scheme_weights.get(key)])
+        return format_table(
+            ["profile", "accuracy", "worst slice", "mean margin",
+             "errors", "sched weight"],
+            rows, title="per-profile quality (narrow -> wide)")
+
+    def _slices_table(self) -> str:
+        headers = ["slice", "size", f"errors@{self.reference}"]
+        headers += [f"acc@{key}" for key in self.profiles]
+        headers.append("exemplars")
+        rows = []
+        for slc in self.slices:
+            row = [slc.slice_id, slc.size, slc.error_count]
+            row += [slc.accuracy_by_profile.get(key)
+                    for key in self.profiles]
+            row.append(",".join(str(i) for i in slc.exemplar_ids[:3]))
+            rows.append(row)
+        return format_table(headers, rows,
+                            title="error slices (worst first)")
+
+    def _attribution_table(self) -> str:
+        rows = [[d.rank, d.point, d.rate,
+                 f"{d.narrow_width}/{d.full_width}",
+                 d.cosine, d.rel_l2, d.divergence]
+                for d in self.attribution]
+        return format_table(
+            ["rank", "slice point", "rate", "width", "cosine", "rel L2",
+             "divergence"],
+            rows, title=f"layer attribution vs full (at {self.reference})")
+
+
+def diagnose(model, inputs: np.ndarray, labels: np.ndarray, profiles, *,
+             plan_cache: PlanCache | None = None, k: int = 4,
+             seed: int = 0, batch_size: int = 256,
+             model_name: str | None = None,
+             scheme_floor: float = 0.25) -> DiagnosisReport:
+    """Run the full slice-quality diagnosis pipeline.
+
+    Evaluates every example under every profile through compiled plans,
+    discovers up to ``k`` embedding-space error slices against the
+    narrowest profile, attributes that profile's divergence to slice
+    points, and derives :class:`DiagnosisWeightedScheme` weights from
+    per-profile worst-slice accuracy.  Emits ``diagnose_*`` metrics and
+    a ``diagnose.run`` span when observability is enabled.
+    """
+    profiles = [as_profile(p) for p in profiles]
+    with obs.span("diagnose.run", model=model_name or type(model).__name__,
+                  profiles=len(profiles)):
+        records, embeddings = collect_eval_records(
+            model, inputs, labels, profiles, plan_cache=plan_cache,
+            batch_size=batch_size)
+        entries = sorted({as_profile(p) for p in profiles})
+        keys = [prof.label() for prof in entries]
+        reference = keys[0]
+        correct = correctness_by_profile(records, len(inputs))
+        slices = discover_error_slices(embeddings, correct,
+                                       reference=reference, k=k)
+        worst = worst_slice_accuracy(slices)
+        attribution = rank_attribution(layer_divergence(
+            model, inputs, entries[0], batch_size=batch_size))
+        errors = {key: int((~np.asarray(series)).sum())
+                  for key, series in correct.items()}
+        scheme = DiagnosisWeightedScheme(
+            entries, {key: 1.0 - worst.get(key, 1.0) for key in keys},
+            floor=scheme_floor)
+        weights = {prof.label(): float(weight) for prof, weight in
+                   zip(scheme.rates, scheme.probabilities)}
+        if obs.enabled():
+            for key in keys:
+                obs.gauge("diagnose_worst_slice_accuracy",
+                          worst.get(key, 1.0), profile=key)
+            for div in attribution:
+                obs.gauge("diagnose_layer_divergence", div.divergence,
+                          point=div.point)
+            obs.gauge("diagnose_error_slices", len(slices))
+        return DiagnosisReport(
+            model=model_name or type(model).__name__,
+            seed=seed, num_examples=len(inputs), profiles=keys,
+            reference=reference,
+            accuracy=accuracy_by_profile(records),
+            mean_margin=mean_margin_by_profile(records),
+            error_counts=errors,
+            worst_slice_accuracy=worst, slices=slices,
+            attribution=attribution, scheme_weights=weights,
+            profile_entries=entries)

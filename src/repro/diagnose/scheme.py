@@ -1,0 +1,135 @@
+"""Scheduling feedback: close the loop from diagnosis to Algorithm 1.
+
+Algorithm 1 samples which subnets train on each batch; the stock
+schemes weight profiles by position (base/full anchors, uniform
+middles).  :class:`DiagnosisWeightedScheme` instead weights each
+profile by *how badly its worst data slice performs*: profiles whose
+worst embedding-space slice has the lowest accuracy get sampled more
+often, spending extra gradient steps exactly where the accuracy/cost
+curve sags.  The full profile stays statically included (the paper's
+``R-max`` anchor — the widest subnet's gradients stabilise all nested
+prefixes under group residual learning).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import SchedulingError
+from ..slicing.profile import SliceProfile, as_profile
+from ..slicing.schemes import Scheme
+
+
+class DiagnosisWeightedScheme(Scheme):
+    """Sample profiles proportionally to their diagnosed worst-slice error.
+
+    Parameters
+    ----------
+    profiles:
+        Candidate profiles (floats, mappings, or
+        :class:`~repro.slicing.profile.SliceProfile`); duplicates by
+        fingerprint collapse, and entries sort narrow to wide.
+    worst_slice_error:
+        ``{profile_key: error}`` where the key is a profile's
+        :meth:`~repro.slicing.profile.SliceProfile.label` (what
+        :class:`~repro.diagnose.report.DiagnosisReport` emits) and the
+        error is ``1 - worst_slice_accuracy`` in ``[0, 1]``.  Keys may
+        also be fingerprints or float rates; unknown profiles fall back
+        to the uniform floor.
+    floor:
+        Mass mixed uniformly into the weights so every profile keeps a
+        nonzero sampling probability (a profile with a perfect worst
+        slice must still train occasionally or it regresses).
+    num_samples:
+        Weighted draws per batch (without replacement), on top of the
+        statically included full profile.
+    include_max:
+        Keep the widest profile in every batch (default, recommended).
+    """
+
+    def __init__(self, profiles: Sequence,
+                 worst_slice_error: Mapping | None = None, *,
+                 floor: float = 0.25, num_samples: int = 1,
+                 include_max: bool = True):
+        entries = [as_profile(p) for p in profiles]
+        if not entries:
+            raise SchedulingError(
+                "a scheduling scheme needs at least one profile")
+        unique: dict[str, SliceProfile] = {
+            p.fingerprint(): p for p in entries}
+        self.rates: list[SliceProfile] = sorted(unique.values())
+        if not 0.0 <= floor <= 1.0:
+            raise SchedulingError(f"floor must be in [0, 1], got {floor}")
+        if num_samples < 1:
+            raise SchedulingError("num_samples must be >= 1")
+        self.floor = floor
+        self.num_samples = num_samples
+        self.include_max = include_max
+        self.errors = self._resolve_errors(worst_slice_error or {})
+        self.probabilities = self._weights()
+
+    def _resolve_errors(self, mapping: Mapping) -> list[float]:
+        by_label: dict[str, float] = {}
+        for key, value in mapping.items():
+            if isinstance(key, (int, float)) and not isinstance(key, bool):
+                key = as_profile(key).label()
+            by_label[str(key)] = float(np.clip(value, 0.0, 1.0))
+        errors = []
+        for prof in self.rates:
+            value = by_label.get(prof.label())
+            if value is None:
+                value = by_label.get(prof.fingerprint(), 0.0)
+            errors.append(value)
+        return errors
+
+    def _weights(self) -> np.ndarray:
+        base = np.full(len(self.rates), self.floor / len(self.rates))
+        weights = base + np.asarray(self.errors)
+        return weights / weights.sum()
+
+    @classmethod
+    def from_report(cls, report, profiles: Sequence | None = None,
+                    **kwargs) -> "DiagnosisWeightedScheme":
+        """Build from a :class:`~repro.diagnose.report.DiagnosisReport`.
+
+        Uses the report's per-profile worst-slice accuracy as the error
+        signal; ``profiles`` defaults to the report's profile set.
+        """
+        errors = {key: 1.0 - acc
+                  for key, acc in report.worst_slice_accuracy.items()}
+        if profiles is None:
+            profiles = (getattr(report, "profile_entries", None)
+                        or [float(key) for key in report.profiles])
+        return cls(profiles, errors, **kwargs)
+
+    def sample(self, rng: np.random.Generator) -> list[SliceProfile]:
+        chosen: dict[str, SliceProfile] = {}
+        probs = self.probabilities
+        if self.include_max:
+            widest = self.rates[-1]
+            chosen[widest.fingerprint()] = widest
+            remaining = [i for i in range(len(self.rates))
+                         if self.rates[i].fingerprint() not in chosen]
+        else:
+            remaining = list(range(len(self.rates)))
+        k = min(self.num_samples, len(remaining))
+        if k > 0 and remaining:
+            local = probs[remaining]
+            if local.sum() <= 0:
+                local = np.full(len(remaining), 1.0 / len(remaining))
+            else:
+                local = local / local.sum()
+            picks = rng.choice(len(remaining), size=k, replace=False,
+                               p=local)
+            for i in np.atleast_1d(picks):
+                prof = self.rates[remaining[int(i)]]
+                chosen[prof.fingerprint()] = prof
+        return sorted(chosen.values(), reverse=True)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(
+            f"{prof.label()}={weight:.3f}"
+            for prof, weight in zip(self.rates, self.probabilities))
+        return f"DiagnosisWeightedScheme({pairs})"

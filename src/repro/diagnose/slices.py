@@ -1,0 +1,209 @@
+"""Error-slice discovery: coherent regions of input space that degrade.
+
+Mines the per-example records for *data slices* — clusters of examples,
+coherent in the full-width embedding space, that a narrow profile gets
+wrong.  The approach follows slice-discovery methods (Domino's
+``SliceDiscoveryMethod``; "Slice and Explain"): errors of the reference
+(narrowest) profile are clustered in embedding space, then every
+example is assigned to its nearest error centroid, so each discovered
+slice carries a full per-profile degradation curve — the accuracy of
+*that region* at every profile, worst region first.
+
+Everything here is pure numpy and fully deterministic: the k-means uses
+farthest-first seeding (no RNG at all) and a canonical cluster order,
+so the same points produce byte-identical slices regardless of row
+permutation — a property the determinism tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DataError
+
+
+def _argmax_stable(scores: np.ndarray, points: np.ndarray) -> int:
+    """Index of the max score; ties break on lexicographic coordinates.
+
+    Keeps seeding independent of input row order: among equally-far
+    candidates the one with the smallest coordinate tuple wins.
+    """
+    best = np.flatnonzero(scores == scores.max())
+    if len(best) == 1:
+        return int(best[0])
+    rows = [tuple(points[i]) for i in best]
+    return int(best[rows.index(min(rows))])
+
+
+def deterministic_kmeans(points: np.ndarray, k: int, *,
+                         iters: int = 50
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Seedless, permutation-stable k-means.
+
+    Farthest-first initialisation (first centre is the point farthest
+    from the mean; each next centre the point farthest from all chosen
+    centres), Lloyd iterations with deterministic empty-cluster
+    reseeding (the point farthest from its assigned centre), and a
+    canonical final ordering by ``(-cluster_size, centroid tuple)``.
+
+    Returns ``(centroids (k, D), assignment (N,))``.  ``k`` is clamped
+    to the number of distinct points; the returned centroid count is
+    the effective k.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or len(points) == 0:
+        raise DataError(f"kmeans needs a non-empty (N, D) array, "
+                        f"got shape {points.shape}")
+    if k < 1:
+        raise DataError(f"kmeans needs k >= 1, got {k}")
+    distinct = len(np.unique(points, axis=0))
+    k = min(k, distinct)
+
+    mean = points.mean(axis=0)
+    first = _argmax_stable(((points - mean) ** 2).sum(axis=1), points)
+    centers = [points[first]]
+    min_d = ((points - centers[0]) ** 2).sum(axis=1)
+    while len(centers) < k:
+        nxt = _argmax_stable(min_d, points)
+        centers.append(points[nxt])
+        min_d = np.minimum(min_d, ((points - centers[-1]) ** 2).sum(axis=1))
+    centroids = np.asarray(centers)
+
+    assignment = np.zeros(len(points), dtype=np.int64)
+    for _ in range(iters):
+        dists = ((points[:, None, :] - centroids[None, :, :]) ** 2
+                 ).sum(axis=2)
+        new_assignment = dists.argmin(axis=1)
+        for cluster in range(k):
+            mask = new_assignment == cluster
+            if mask.any():
+                centroids[cluster] = points[mask].mean(axis=0)
+            else:
+                worst = _argmax_stable(
+                    dists[np.arange(len(points)), new_assignment], points)
+                centroids[cluster] = points[worst]
+                new_assignment[worst] = cluster
+        if np.array_equal(new_assignment, assignment):
+            break
+        assignment = new_assignment
+
+    # canonical order: biggest cluster first, centroid coords tie-break
+    sizes = np.bincount(assignment, minlength=k)
+    order = sorted(range(k),
+                   key=lambda c: (-int(sizes[c]), tuple(centroids[c])))
+    remap = {old: new for new, old in enumerate(order)}
+    assignment = np.asarray([remap[int(c)] for c in assignment],
+                            dtype=np.int64)
+    return centroids[order], assignment
+
+
+@dataclass
+class ErrorSlice:
+    """One discovered data slice with its per-profile degradation curve."""
+
+    slice_id: int
+    size: int
+    error_count: int           # reference-profile errors inside the slice
+    centroid: list[float]
+    exemplar_ids: list[int]    # nearest-to-centroid members, for inspection
+    accuracy_by_profile: dict[str, float]
+    member_ids: list[int] = field(repr=False, default_factory=list)
+
+    def to_dict(self, include_members: bool = False) -> dict:
+        out = {
+            "slice_id": self.slice_id,
+            "size": self.size,
+            "error_count": self.error_count,
+            "centroid": [round(float(v), 6) for v in self.centroid],
+            "exemplar_ids": self.exemplar_ids,
+            "accuracy_by_profile": {
+                key: round(float(v), 6)
+                for key, v in self.accuracy_by_profile.items()},
+        }
+        if include_members:
+            out["member_ids"] = self.member_ids
+        return out
+
+
+def discover_error_slices(embeddings: np.ndarray,
+                          correct_by_profile: dict[str, np.ndarray], *,
+                          reference: str, k: int = 4,
+                          iters: int = 50) -> list[ErrorSlice]:
+    """Find embedding-space slices that degrade under narrow profiles.
+
+    Clusters the *reference* profile's errors (the narrowest profile —
+    where the paper's accuracy/cost trade-off bites hardest) into ``k``
+    groups, then assigns **every** example to its nearest error
+    centroid, so slices partition the full evaluation set and each
+    slice's accuracy is defined under every profile.  Slices come back
+    sorted worst-first by reference-profile accuracy (error density),
+    ties broken by slice size then centroid.
+
+    When the reference profile makes no errors, a single slice covering
+    the whole set is returned (accuracy 1.0 everywhere) so report
+    schemas stay stable.
+    """
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    if reference not in correct_by_profile:
+        raise DataError(f"reference profile {reference!r} has no records; "
+                        f"have {sorted(correct_by_profile)}")
+    correct = np.asarray(correct_by_profile[reference], dtype=bool)
+    if len(correct) != len(embeddings):
+        raise DataError(f"{len(embeddings)} embeddings vs "
+                        f"{len(correct)} correctness flags")
+    error_ids = np.flatnonzero(~correct)
+    if len(error_ids) == 0:
+        centroid = embeddings.mean(axis=0)
+        members = list(range(len(embeddings)))
+        return [ErrorSlice(
+            slice_id=0, size=len(embeddings), error_count=0,
+            centroid=list(map(float, centroid)),
+            exemplar_ids=members[:5],
+            accuracy_by_profile={key: float(np.mean(series))
+                                 for key, series in
+                                 sorted(correct_by_profile.items())},
+            member_ids=members)]
+
+    centroids, _ = deterministic_kmeans(embeddings[error_ids], k,
+                                        iters=iters)
+    dists = ((embeddings[:, None, :] - centroids[None, :, :]) ** 2
+             ).sum(axis=2)
+    assignment = dists.argmin(axis=1)
+
+    slices: list[ErrorSlice] = []
+    for cluster in range(len(centroids)):
+        members = np.flatnonzero(assignment == cluster)
+        if len(members) == 0:
+            continue
+        accuracy = {key: float(np.mean(np.asarray(series)[members]))
+                    for key, series in sorted(correct_by_profile.items())}
+        member_dists = dists[members, cluster]
+        exemplars = members[np.argsort(member_dists, kind="stable")][:5]
+        slices.append(ErrorSlice(
+            slice_id=cluster, size=int(len(members)),
+            error_count=int((~correct[members]).sum()),
+            centroid=list(map(float, centroids[cluster])),
+            exemplar_ids=[int(i) for i in exemplars],
+            accuracy_by_profile=accuracy,
+            member_ids=[int(i) for i in members]))
+    slices.sort(key=lambda s: (s.accuracy_by_profile[reference],
+                               -s.size, tuple(s.centroid)))
+    for new_id, slc in enumerate(slices):
+        slc.slice_id = new_id
+    return slices
+
+
+def worst_slice_accuracy(slices: list[ErrorSlice]) -> dict[str, float]:
+    """Per-profile accuracy of each profile's own worst slice.
+
+    The scheduling feedback signal: for every profile, the minimum
+    accuracy over discovered slices — the accuracy of the data region
+    that profile serves worst.
+    """
+    if not slices:
+        return {}
+    keys = slices[0].accuracy_by_profile
+    return {key: min(s.accuracy_by_profile[key] for s in slices)
+            for key in keys}

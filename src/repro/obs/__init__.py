@@ -40,6 +40,7 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    percentiles_from_buckets,
 )
 from .trace import Tracer, dumps_record
 
@@ -52,6 +53,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "percentiles_from_buckets",
     "Tracer",
     "dumps_record",
     "enabled",
@@ -140,6 +142,22 @@ _CATALOG = {
         "Windows where demand exceeded the cheapest profile's capacity.",
     "cluster_autoscale_events_total":
         "Autoscaler actions per kind (scale-up vs drain).",
+    # -- slice-quality diagnostics (repro.diagnose) --
+    "diagnose_examples_total":
+        "Examples evaluated by the diagnostic sweep, per profile.",
+    "diagnose_errors_total":
+        "Misclassified examples in the diagnostic sweep, per profile.",
+    "diagnose_error_slices":
+        "Embedding-space error slices found by the last diagnosis.",
+    "diagnose_worst_slice_accuracy":
+        "Accuracy of each profile's worst discovered data slice.",
+    "diagnose_layer_divergence":
+        "Activation divergence (1 - cosine) vs the full net, per "
+        "slice point, at the diagnosed reference profile.",
+    # -- per-slice serving telemetry (repro.runtime.engine) --
+    "runtime_slice_requests_total":
+        "Finalized requests per data-slice label and terminal outcome "
+        "(only when the runtime is given slice labels).",
 }
 
 # Non-default histogram buckets per metric name.

@@ -138,6 +138,46 @@ class Gauge(Counter):
         return self.inc(-amount, **labels)
 
 
+def percentiles_from_buckets(bounds: Sequence[float],
+                             cumulative: Sequence[int], total: int,
+                             ps: Sequence[int] = (50, 95, 99)
+                             ) -> dict[str, float | None]:
+    """Estimate percentiles from cumulative bucket counts.
+
+    Standard Prometheus-style estimation: find the bucket owning each
+    target rank and interpolate linearly inside it (the first finite
+    bucket's lower edge is 0.0 for positive bounds; observations in the
+    ``+Inf`` bucket clamp to the highest finite bound, so estimates
+    never exceed it).  An empty series delegates to the runtime
+    telemetry helper so the ``None``-per-percentile contract — and its
+    ``-`` table rendering — is shared with exact-series percentiles.
+    """
+    if total <= 0:
+        from ..runtime.telemetry import percentiles
+        return percentiles((), ps)
+    bounds = [float(b) for b in bounds]
+    cumulative = [int(c) for c in cumulative]
+    out: dict[str, float | None] = {}
+    for p in ps:
+        rank = total * p / 100.0
+        result = bounds[-1]                  # +Inf bucket clamps here
+        for i, (bound, cum) in enumerate(zip(bounds, cumulative)):
+            if cum >= rank:
+                lower = (0.0 if i == 0 and bound > 0.0 else
+                         bounds[i - 1] if i > 0 else bound)
+                prev = cumulative[i - 1] if i > 0 else 0
+                in_bucket = cum - prev
+                if in_bucket <= 0:
+                    result = bound
+                else:
+                    frac = (rank - prev) / in_bucket
+                    result = lower + (bound - lower) * min(max(frac, 0.0),
+                                                           1.0)
+                break
+        out[f"p{p}"] = float(result)
+    return out
+
+
 class Histogram(Metric):
     """Cumulative-bucket histogram, one set of buckets per label set."""
 
@@ -191,6 +231,19 @@ class Histogram(Metric):
         out["+Inf"] = running + counts[-1]
         return out
 
+    def percentile_estimates(self, ps: Sequence[int] = (50, 95, 99),
+                             **labels) -> dict[str, float | None]:
+        """Bucket-interpolated percentile estimates for one label set."""
+        counts = self._counts.get(label_key(labels),
+                                  [0] * (len(self.buckets) + 1))
+        cumulative = []
+        running = 0
+        for n in counts[:-1]:
+            running += n
+            cumulative.append(running)
+        return percentiles_from_buckets(self.buckets, cumulative,
+                                        sum(counts), ps)
+
     def labelled(self) -> list[LabelKey]:
         return sorted(self._counts)
 
@@ -203,6 +256,7 @@ class Histogram(Metric):
                 "count": sum(self._counts[key]),
                 "sum": self._sums.get(key, 0.0),
                 "buckets": self.bucket_counts(**dict(key)),
+                "percentiles": self.percentile_estimates(**dict(key)),
             } for key in sorted(self._counts)],
         }
 
@@ -284,9 +338,14 @@ class MetricsRegistry:
     def to_dict(self) -> dict:
         return {metric.name: metric.to_dict() for metric in self}
 
-    def rows(self) -> list[tuple[str, str, float]]:
-        """Flat ``(metric, labels, value)`` rows for table rendering."""
-        rows: list[tuple[str, str, float]] = []
+    def rows(self) -> list[tuple[str, str, float | None]]:
+        """Flat ``(metric, labels, value)`` rows for table rendering.
+
+        Histograms contribute ``_count`` / ``_mean`` plus bucket-
+        estimated ``_p50`` / ``_p95`` / ``_p99`` rows (``None`` — rendered
+        ``-`` — when the series is empty).
+        """
+        rows: list[tuple[str, str, float | None]] = []
         for metric in self:
             for key in metric.labelled():
                 labels = _format_labels(key)
@@ -296,6 +355,10 @@ class MetricsRegistry:
                                  float(metric.count(**kwargs))))
                     rows.append((metric.name + "_mean", labels,
                                  metric.mean(**kwargs)))
+                    estimates = metric.percentile_estimates(**kwargs)
+                    for pname, value in estimates.items():
+                        rows.append((f"{metric.name}_{pname}", labels,
+                                     value))
                 else:
                     rows.append((metric.name, labels,
                                  metric._series[key]))

@@ -60,12 +60,72 @@ def event_rows(records: list[dict]) -> list[list[object]]:
     return rows
 
 
-def metric_rows(records: list[dict]) -> list[list[object]]:
-    """Flatten the last ``metrics`` snapshot to (metric, labels, value)."""
+def merge_metric_snapshots(snapshots: list[dict]) -> dict:
+    """Merge end-of-run metric snapshots from several traces into one.
+
+    Counters and histogram counts/sums/buckets add up across traces
+    (each trace observed a disjoint share of the work); gauges keep the
+    last trace's value (last-write-wins, matching single-trace
+    semantics).  Histogram percentile estimates are recomputed from the
+    merged buckets, so the merged summary reports the percentiles of
+    the union.
+    """
+    from .metrics import percentiles_from_buckets
+
+    merged: dict = {}
+    for snapshot in snapshots:
+        for name, data in snapshot.items():
+            target = merged.setdefault(
+                name, {"type": data.get("type"),
+                       "help": data.get("help", ""), "samples": []})
+            by_labels = {tuple(sorted(s["labels"].items())): s
+                         for s in target["samples"]}
+            for sample in data.get("samples", []):
+                key = tuple(sorted(sample["labels"].items()))
+                existing = by_labels.get(key)
+                if existing is None:
+                    target["samples"].append(json.loads(json.dumps(sample)))
+                elif data.get("type") == "histogram":
+                    existing["count"] += sample["count"]
+                    existing["sum"] += sample["sum"]
+                    for bound, cum in sample.get("buckets", {}).items():
+                        existing["buckets"][bound] = (
+                            existing["buckets"].get(bound, 0) + cum)
+                elif data.get("type") == "counter":
+                    existing["value"] += sample["value"]
+                else:                      # gauge: last trace wins
+                    existing["value"] = sample["value"]
+    for data in merged.values():
+        data["samples"].sort(key=lambda s: sorted(s["labels"].items()))
+        if data.get("type") == "histogram":
+            for sample in data["samples"]:
+                buckets = sample.get("buckets", {})
+                finite = sorted((float(b), c) for b, c in buckets.items()
+                                if b != "+Inf")
+                sample["percentiles"] = percentiles_from_buckets(
+                    [b for b, _ in finite], [c for _, c in finite],
+                    int(buckets.get("+Inf", sample["count"])))
+    return merged
+
+
+def last_snapshot(records: list[dict]) -> dict | None:
+    """The final ``metrics`` record of one trace (later snapshots win)."""
     snapshot = None
     for record in records:
         if record.get("kind") == "metrics":
             snapshot = record["metrics"]
+    return snapshot
+
+
+def metric_rows(records: list[dict],
+                snapshot: dict | None = None) -> list[list[object]]:
+    """Flatten a ``metrics`` snapshot to (metric, labels, value) rows.
+
+    Defaults to the last snapshot in ``records`` (single-trace
+    semantics); pass a pre-merged ``snapshot`` for multi-trace rows.
+    """
+    if snapshot is None:
+        snapshot = last_snapshot(records)
     if snapshot is None:
         return []
     rows: list[list[object]] = []
@@ -79,15 +139,39 @@ def metric_rows(records: list[dict]) -> list[list[object]]:
                 mean = sample["sum"] / count if count else 0.0
                 rows.append([name + "_count", labels, float(count)])
                 rows.append([name + "_mean", labels, mean])
+                estimates = sample.get("percentiles", {})
+                for pname in sorted(estimates):
+                    rows.append([f"{name}_{pname}", labels,
+                                 estimates[pname]])
             else:
                 rows.append([name, labels, sample["value"]])
     return rows
 
 
-def summarize(path: str, top: int = 15) -> str:
-    """Render the standard summary of one JSONL trace file."""
-    records = load_records(path)
-    parts: list[str] = [f"{len(records)} records in {path}"]
+def summarize(paths: str | list[str], top: int = 15) -> str:
+    """Render the standard summary of one or more JSONL trace files.
+
+    Multiple paths merge into a single summary: spans and events
+    aggregate across every record, and per-trace metric snapshots
+    combine via :func:`merge_metric_snapshots`.
+    """
+    if isinstance(paths, str):
+        paths = [paths]
+    if not paths:
+        raise DataError("summarize needs at least one trace file")
+    records: list[dict] = []
+    snapshots: list[dict] = []
+    for path in paths:
+        loaded = load_records(path)
+        records.extend(loaded)
+        snapshot = last_snapshot(loaded)
+        if snapshot is not None:
+            snapshots.append(snapshot)
+    merged = (snapshots[0] if len(snapshots) == 1
+              else merge_metric_snapshots(snapshots) if snapshots else None)
+    location = (paths[0] if len(paths) == 1
+                else f"{len(paths)} traces ({', '.join(paths)})")
+    parts: list[str] = [f"{len(records)} records in {location}"]
 
     spans = span_rows(records)
     if spans:
@@ -99,7 +183,7 @@ def summarize(path: str, top: int = 15) -> str:
     if events:
         parts.append(format_table(["event", "count"], events[:top],
                                   title="events"))
-    metrics = metric_rows(records)
+    metrics = metric_rows(records, snapshot=merged)
     if metrics:
         parts.append(format_table(["metric", "labels", "value"], metrics,
                                   title="metrics snapshot"))

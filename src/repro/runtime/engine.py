@@ -86,7 +86,8 @@ class InferenceRuntime:
                  accuracy_of_rate: Mapping[float, float],
                  fault_plan: FaultPlan | None = None,
                  inputs: np.ndarray | None = None,
-                 labels: np.ndarray | None = None):
+                 labels: np.ndarray | None = None,
+                 slice_labels: Sequence[str] | Mapping[int, str] | None = None):
         self.pool = pool
         self.controller = controller
         self.config = config
@@ -96,6 +97,20 @@ class InferenceRuntime:
         self.labels = labels
         if labels is not None and inputs is None:
             raise ServingError("labels supplied without inputs")
+        # Optional payload-index -> data-slice label mapping (e.g. the
+        # member lists of diagnosed error slices); enables the
+        # runtime_slice_requests_total breakdown and a ``slice``
+        # attribute on request spans.
+        if slice_labels is not None and inputs is None:
+            raise ServingError("slice_labels supplied without inputs")
+        if slice_labels is not None and not isinstance(slice_labels, Mapping):
+            if len(slice_labels) != len(inputs):
+                raise ServingError(
+                    f"{len(slice_labels)} slice labels for "
+                    f"{len(inputs)} inputs")
+            slice_labels = {i: label
+                            for i, label in enumerate(slice_labels)}
+        self.slice_labels = slice_labels
 
     # ------------------------------------------------------------------
     def run(self, arrivals: Sequence[float], duration: float
@@ -308,12 +323,20 @@ class InferenceRuntime:
         if obs.disabled():
             return
         obs.count("runtime_requests_total", outcome=trace.outcome)
+        slice_label = None
+        if self.slice_labels is not None and trace.payload is not None:
+            slice_label = self.slice_labels.get(trace.payload)
+        if slice_label is not None:
+            obs.count("runtime_slice_requests_total",
+                      slice=slice_label, outcome=trace.outcome)
         end = trace.completed if trace.completed is not None else now
+        extra = {} if slice_label is None else {"slice": slice_label}
         span_id = obs.span_at(
             "runtime.request", trace.arrival, end,
             request_id=trace.request_id, outcome=trace.outcome,
             rate=rate_value(trace.rate), replica=trace.replica,
-            attempts=trace.attempts, deadline_met=trace.deadline_met)
+            attempts=trace.attempts, deadline_met=trace.deadline_met,
+            **extra)
         # ``batched`` can be stale (from a pre-retry attempt) when a
         # re-admitted request dies in the queue; only a coherent wait is
         # worth a span.

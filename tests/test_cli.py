@@ -55,13 +55,31 @@ class TestParser:
     def test_obs_summarize_parses(self):
         args = build_parser().parse_args(["obs", "summarize", "t.jsonl"])
         assert args.obs_command == "summarize"
-        assert args.trace == "t.jsonl"
+        assert args.trace == ["t.jsonl"]
         assert args.top == 15
         args = build_parser().parse_args(
             ["obs", "summarize", "t.jsonl", "--top", "3"])
         assert args.top == 3
+        args = build_parser().parse_args(
+            ["obs", "summarize", "a.jsonl", "b.jsonl"])
+        assert args.trace == ["a.jsonl", "b.jsonl"]
         with pytest.raises(SystemExit):
             build_parser().parse_args(["obs"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "summarize"])
+
+    def test_diagnose_parses(self):
+        args = build_parser().parse_args(["diagnose"])
+        assert args.command == "diagnose"
+        assert args.epochs == 6 and args.seed == 0
+        assert args.rates is None and args.slices == 4
+        assert args.json is None and args.trace is None
+        args = build_parser().parse_args(
+            ["diagnose", "--rates", "0.25", "1.0", "--slices", "2",
+             "--json", "d.json", "--trace", "d.jsonl"])
+        assert args.rates == [0.25, 1.0]
+        assert args.slices == 2
+        assert args.json == "d.json" and args.trace == "d.jsonl"
 
 
 class TestCommands:
@@ -118,6 +136,36 @@ class TestCommands:
                                                       tmp_path):
         assert main(["obs", "summarize", str(tmp_path / "nope.jsonl")]) == 2
         assert "cannot summarize" in capsys.readouterr().err
+
+    def test_obs_summarize_merges_multiple_traces(self, capsys, tmp_path):
+        first = tmp_path / "a.jsonl"
+        second = tmp_path / "b.jsonl"
+        for trace in (first, second):
+            assert main(["runtime", "--duration", "5", "--base-rate", "50",
+                         "--trace", str(trace)]) == 0
+            capsys.readouterr()
+        assert main(["obs", "summarize", str(first), str(second)]) == 0
+        out = capsys.readouterr().out
+        assert "2 traces" in out
+        assert "runtime_requests_total" in out
+        # glob expansion reaches both files too
+        assert main(["obs", "summarize", str(tmp_path / "*.jsonl")]) == 0
+        assert "2 traces" in capsys.readouterr().out
+
+    def test_diagnose_runs_and_is_deterministic(self, capsys, tmp_path):
+        args = ["diagnose", "--epochs", "2", "--slices", "2",
+                "--json", str(tmp_path / "d.json"),
+                "--trace", str(tmp_path / "d.jsonl")]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "error slices (worst first)" in out
+        assert "layer attribution" in out
+        first_json = (tmp_path / "d.json").read_bytes()
+        first_trace = (tmp_path / "d.jsonl").read_bytes()
+        assert main(args) == 0
+        capsys.readouterr()
+        assert (tmp_path / "d.json").read_bytes() == first_json
+        assert (tmp_path / "d.jsonl").read_bytes() == first_trace
 
     def test_artifact_table_registry_is_consistent(self):
         import importlib

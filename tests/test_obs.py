@@ -112,6 +112,48 @@ class TestHistogram:
             Histogram("h", buckets=(1.0, 1.0))
 
 
+class TestHistogramPercentiles:
+    def test_estimates_interpolate_within_buckets(self):
+        hist = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.6, 3.0):
+            hist.observe(value)
+        est = hist.percentile_estimates()
+        # p50: rank 2 falls in the (1, 2] bucket (cumulative 1 -> 3)
+        assert est["p50"] == pytest.approx(1.5)
+        assert 2.0 < est["p95"] <= 4.0
+        assert est["p99"] <= 4.0
+
+    def test_empty_series_yields_none_like_runtime_helper(self):
+        from repro.runtime.telemetry import percentiles
+        hist = Histogram("h", buckets=(1.0,))
+        assert hist.percentile_estimates() == percentiles(())
+        assert hist.percentile_estimates() == {
+            "p50": None, "p95": None, "p99": None}
+
+    def test_inf_bucket_clamps_to_highest_finite_bound(self):
+        hist = Histogram("h", buckets=(1.0, 2.0))
+        for value in (100.0, 200.0, 300.0):
+            hist.observe(value)
+        est = hist.percentile_estimates()
+        assert est["p50"] == 2.0
+        assert est["p99"] == 2.0
+
+    def test_to_dict_and_rows_carry_percentiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        sample = registry.to_dict()["h"]["samples"][0]
+        assert set(sample["percentiles"]) == {"p50", "p95", "p99"}
+        names = [row[0] for row in registry.rows()]
+        for suffix in ("_p50", "_p95", "_p99"):
+            assert f"h{suffix}" in names
+
+    def test_empty_histogram_contributes_no_rows(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", buckets=(1.0,))
+        assert registry.rows() == []
+
+
 class TestRegistry:
     def test_get_or_create_returns_same_metric(self):
         registry = MetricsRegistry()
@@ -343,6 +385,33 @@ class TestRuntimeInstrumentation:
         assert "runtime.request" in text
         assert "metrics snapshot" in text
         assert "runtime_requests_total" in text
+        # histogram series surface bucket-estimated percentiles
+        assert "runtime_batch_size_p50" in text
+
+    def test_summarize_merges_counters_across_traces(self, tmp_path):
+        paths = [str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl")]
+        for path in paths:
+            obs.configure(trace_path=path, clock=obs.TickClock())
+            _runtime_run()
+            obs.shutdown()
+        single = summarize(paths[0], top=5)
+        merged = summarize(paths, top=5)
+        assert "2 traces" in merged
+
+        def requests_total(text):
+            for line in text.splitlines():
+                if line.startswith("runtime_requests_total") \
+                        and "completed" in line:
+                    return float(line.split("|")[-1])
+            raise AssertionError("runtime_requests_total row missing")
+
+        # identical runs merged: completed-request count doubles
+        assert requests_total(merged) == 2 * requests_total(single)
+
+    def test_summarize_rejects_empty_path_list(self):
+        from repro.errors import DataError
+        with pytest.raises(DataError):
+            summarize([])
 
 
 # ---------------------------------------------------------------------------
