@@ -163,6 +163,134 @@ def _cmd_serve_demo(args) -> int:
     return 0
 
 
+def _cmd_runtime_cascade(args) -> int:
+    """``repro runtime --cascade``: confidence-cascade serving demo.
+
+    Trains the seeded demo MLP (planted easy/hard regions), then serves
+    the same arrival trace three ways — the cascade (start every
+    request at the cheapest stage, escalate low-margin rows via
+    ResumablePlan.widen) and the fixed cheapest/widest profiles — and
+    prints measured accuracy, FLOPs per request and escalation stats.
+    Fully deterministic under one seed; ``--trace`` uses the TickClock
+    so the JSONL is byte-identical across runs.
+    """
+    import numpy as np
+
+    from . import obs
+    from .diagnose.demo import DEMO_RATES, train_demo_model
+    from .runtime import (
+        CascadeExecutor,
+        CascadeStage,
+        FaultPlan,
+        InferenceRuntime,
+        LatencyProfile,
+        Replica,
+        ReplicaPool,
+        RuntimeConfig,
+        format_seconds,
+    )
+    from .serving import (
+        CascadeController,
+        FixedRateController,
+        diurnal_rate,
+        generate_arrivals,
+        spike_rate,
+    )
+    from .slicing.resume import ResumablePlan
+
+    full_latency, slo = 0.002, 0.1
+    rates = list(DEMO_RATES)
+    thresholds = args.cascade_thresholds or [1.0] * (len(rates) - 1)
+    if len(thresholds) != len(rates) - 1:
+        print(f"--cascade-thresholds needs {len(rates) - 1} values "
+              f"(stages {rates[:-1]})", file=sys.stderr)
+        return 2
+    print(f"training the demo MLP for {args.cascade_epochs} epochs "
+          f"(seed {args.seed}) ...", file=sys.stderr)
+    model, data = train_demo_model(seed=args.seed,
+                                   epochs=args.cascade_epochs)
+    inputs = data["eval_x"].astype(np.float32)
+    labels = data["eval_y"]
+    # Measured per-rate accuracy on the eval split doubles as the
+    # runtime's expected-accuracy table.
+    accuracy = {}
+    for rate in rates:
+        logits = ResumablePlan(model, rate).run(inputs)
+        accuracy[rate] = float(
+            np.mean(np.argmax(logits, axis=-1) == labels))
+
+    stages = [CascadeStage(rate, threshold) for rate, threshold
+              in zip(rates[:-1], thresholds)]
+    stages.append(CascadeStage(rates[-1]))
+    executor = CascadeExecutor(model, stages, exact=True)
+    cost = {rate: full_latency * rate * rate for rate in rates}
+    # High-margin exits at a cheap stage are far more accurate than the
+    # stage's marginal accuracy: calibrate the cascade's per-stage exit
+    # accuracy on the eval split (the table its runtime reports against).
+    calibrated = executor.calibrate(inputs, labels)
+
+    intensity = spike_rate(
+        diurnal_rate(args.base_rate, args.peak_ratio, 60.0),
+        [(args.duration * 0.25, args.duration * 0.1, 2.0)])
+    arrivals = generate_arrivals(intensity, args.duration,
+                                 np.random.default_rng(args.seed))
+    crash_id = f"r{min(1, args.replicas - 1)}"
+    plan = FaultPlan() if args.no_faults else FaultPlan.single_crash(
+        crash_id, args.crash_time if args.crash_time is not None
+        else args.duration * 0.3)
+    print(f"{len(arrivals)} queries over {args.duration}s, "
+          f"{args.replicas} replicas, stages "
+          f"{[s.label() for s in stages]}, thresholds {thresholds}\n")
+    if args.trace:
+        obs.configure(trace_path=args.trace, clock=obs.TickClock())
+
+    policies = {
+        "cascade": (CascadeController(rates, cost, slo), executor),
+        "fixed full": (FixedRateController(rates[-1], full_latency, slo),
+                       None),
+        "fixed small": (FixedRateController(rates[0], full_latency, slo),
+                        None),
+    }
+    print(f"{'policy':<12} {'dropped':>8} {'goodput':>9} {'p99':>8} "
+          f"{'good*acc':>9} {'measured':>9} {'escalated':>10}")
+    cascade_report = None
+    for name, (controller, cascade) in policies.items():
+        pool = ReplicaPool(
+            [Replica(f"r{i}", LatencyProfile(full_latency), model=model)
+             for i in range(args.replicas)],
+            dispatch=args.dispatch, seed=args.seed)
+        if cascade is not None:
+            pool.warm_cascade(cascade)
+        config = RuntimeConfig(latency_slo=slo, max_batch_size=400,
+                               batch_timeout=args.batch_timeout,
+                               dispatch=args.dispatch, seed=args.seed)
+        runtime = InferenceRuntime(
+            pool, controller, config,
+            calibrated if cascade is not None else accuracy,
+            fault_plan=plan, inputs=inputs, labels=labels, cascade=cascade)
+        with obs.span("runtime.policy", policy=name):
+            report = runtime.run(arrivals, args.duration)
+        if name == "cascade":
+            cascade_report = report
+        tails = report.latency_percentiles()
+        escalated = report.escalation_fraction
+        measured = report.measured_accuracy
+        print(f"{name:<12} {report.drop_fraction:>8.2%} "
+              f"{report.goodput:>9.1f} {format_seconds(tails['p99']):>8} "
+              f"{report.goodput_weighted_accuracy:>9.3f} "
+              f"{'-' if measured is None else f'{measured:>9.3f}'} "
+              f"{'-' if escalated is None else f'{escalated:>10.2%}'}")
+    if args.json and cascade_report is not None:
+        with open(args.json, "w") as handle:
+            handle.write(cascade_report.to_json())
+        print(f"\ncascade policy telemetry written to {args.json}")
+    if args.trace:
+        obs.shutdown()
+        print(f"observability trace written to {args.trace} "
+              f"(inspect with: repro obs summarize {args.trace})")
+    return 0
+
+
 def _cmd_runtime(args) -> int:
     import numpy as np
 
@@ -187,6 +315,8 @@ def _cmd_runtime(args) -> int:
     if args.replicas < 1:
         print("--replicas must be >= 1", file=sys.stderr)
         return 2
+    if args.cascade:
+        return _cmd_runtime_cascade(args)
     rates = [0.25, 0.5, 0.75, 1.0]
     accuracy = {0.25: 0.62, 0.5: 0.85, 0.75: 0.91, 1.0: 0.94}
     full_latency, slo = 0.002, 0.1
@@ -530,6 +660,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="when the injected crash fires "
                               "(default: 30%% into the run)")
     runtime.add_argument("--no-faults", action="store_true")
+    runtime.add_argument("--cascade", action="store_true",
+                         help="serve a trained demo model through a "
+                              "confidence cascade (margin-gated "
+                              "incremental escalation) and compare "
+                              "against fixed profiles")
+    runtime.add_argument("--cascade-thresholds", type=float, nargs="*",
+                         default=None, metavar="MARGIN",
+                         help="per-stage escalation margins (one per "
+                              "non-terminal stage; default 1.0 each)")
+    runtime.add_argument("--cascade-epochs", type=int, default=4,
+                         help="demo-model training epochs in cascade mode")
     runtime.add_argument("--seed", type=int, default=0)
     runtime.add_argument("--json", default=None, metavar="PATH",
                          help="write the elastic policy's telemetry "

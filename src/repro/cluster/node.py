@@ -148,6 +148,76 @@ class CostTable:
         """``{profile: accuracy}`` in the runtime engine's expected form."""
         return {as_profile(e.profile): e.accuracy for e in self.entries}
 
+    # -- cascade costing -----------------------------------------------
+    def cascade_controller(self, latency_slo: float,
+                           stage_profiles: Sequence | None = None,
+                           reach_fractions: Sequence[float] | None = None):
+        """A :class:`~repro.serving.CascadeController` over these costs.
+
+        ``stage_profiles`` picks the cascade rungs (defaults to every
+        entry, cheapest first); ``reach_fractions`` are the fraction of
+        requests expected to reach each rung (worst case 1.0), which the
+        runtime's measured escalation counters exist to calibrate.
+        """
+        from ..serving.controller import CascadeController
+
+        if stage_profiles is None:
+            stages = list(self.entries)
+        else:
+            stages = [self.get(profile) for profile in stage_profiles]
+        return CascadeController(
+            [e.profile for e in stages],
+            {e.profile: e.per_sample_s for e in stages},
+            latency_slo, reach_fractions=reach_fractions)
+
+    def cascade_summary(self, stage_profiles: Sequence | None = None,
+                        reach_fractions: Sequence[float] | None = None,
+                        incremental_fractions: Sequence[float] | None = None
+                        ) -> dict:
+        """Planning-time expectations for a cascade over these entries.
+
+        ``reach_fractions[k]`` is the fraction of requests reaching
+        stage ``k`` (``[1.0, ...]`` worst case); the *exit* fraction of
+        each stage follows.  ``incremental_fractions[k]`` optionally
+        discounts escalated stages to the fraction of from-scratch
+        multiply-adds an incremental
+        :meth:`~repro.slicing.resume.ResumablePlan.widen` actually
+        spends there (1.0 = recompute baseline).  Returns expected
+        per-sample seconds, FLOPs and blended accuracy — the cluster
+        planner's cascade analogue of a single :class:`ProfileCost` row.
+        """
+        if stage_profiles is None:
+            stages = list(self.entries)
+        else:
+            stages = [self.get(profile) for profile in stage_profiles]
+        if len(stages) < 2:
+            raise ServingError("a cascade needs at least two stages")
+        count = len(stages)
+        reach = [1.0] * count if reach_fractions is None \
+            else [float(f) for f in reach_fractions]
+        inc = [1.0] * count if incremental_fractions is None \
+            else [float(f) for f in incremental_fractions]
+        if len(reach) != count or len(inc) != count:
+            raise ServingError(
+                f"expected {count} reach/incremental fractions")
+        # Fraction exiting at stage k = reach_k - reach_{k+1}.
+        exits = [reach[k] - (reach[k + 1] if k + 1 < count else 0.0)
+                 for k in range(count)]
+        if any(e < -1e-12 for e in exits):
+            raise ServingError("reach fractions must be non-increasing")
+        seconds = sum(r * e.per_sample_s * f
+                      for r, e, f in zip(reach, stages, inc))
+        flops = sum(r * e.flops * f for r, e, f in zip(reach, stages, inc))
+        accuracy = sum(x * e.accuracy for x, e in zip(exits, stages))
+        return {
+            "stages": [e.label() for e in stages],
+            "reach_fractions": reach,
+            "exit_fractions": exits,
+            "per_sample_s": seconds,
+            "flops": flops,
+            "expected_accuracy": accuracy,
+        }
+
     def to_rows(self) -> list[list]:
         return [[e.label(), e.accuracy, e.per_sample_s * 1e3, e.flops,
                  e.param_bytes, e.activation_bytes] for e in self.entries]

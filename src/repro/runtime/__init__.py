@@ -5,8 +5,10 @@ per-request admission with backpressure (:mod:`.queue`), dynamic
 batching with per-batch slice-rate selection (:mod:`.batcher`), a
 replica pool with slice-rate-aware dispatch (:mod:`.replica`,
 :mod:`.pool`), deterministic fault injection with health checking and
-retry-with-downgrade (:mod:`.faults`), and structured per-request
-telemetry (:mod:`.telemetry`), all orchestrated by :mod:`.engine`.
+retry-with-downgrade (:mod:`.faults`), confidence cascades with
+incremental (resume-not-recompute) escalation (:mod:`.cascade`), and
+structured per-request telemetry (:mod:`.telemetry`), all orchestrated
+by :mod:`.engine`.
 """
 
 from .telemetry import (
@@ -26,6 +28,7 @@ from .batcher import Batch, DynamicBatcher
 from .replica import LatencyProfile, Replica
 from .pool import ReplicaPool
 from .faults import FaultEvent, FaultPlan
+from .cascade import CascadeExecutor, CascadeResult, CascadeStage, margins_of
 from .engine import InferenceRuntime, RuntimeConfig
 
 __all__ = [
@@ -47,6 +50,10 @@ __all__ = [
     "ReplicaPool",
     "FaultEvent",
     "FaultPlan",
+    "CascadeStage",
+    "CascadeResult",
+    "CascadeExecutor",
+    "margins_of",
     "InferenceRuntime",
     "RuntimeConfig",
 ]

@@ -1,0 +1,256 @@
+"""Confidence cascades: run cheap, escalate the unsure, resume the work.
+
+Every batch first executes at the cascade's cheapest slice profile.
+Rows whose prediction *margin* (top-1 minus top-2 logit) clears the
+stage's confidence threshold are answered immediately; the rest
+escalate to the next wider stage.  Escalation is **incremental**: the
+narrow pass ran through a :class:`~repro.slicing.resume.ResumablePlan`,
+so the escalated rows :meth:`~repro.slicing.resume.ResumablePlan.subset`
+out their retained intermediates and
+:meth:`~repro.slicing.resume.ResumablePlan.widen` to the next profile,
+paying only the widening cross-terms instead of a from-scratch pass.
+In exact mode the widened logits are bitwise what a from-scratch pass
+at the wider profile would produce, so incremental and
+recompute-from-scratch escalation are *prediction-identical* and differ
+only in cost — which is what the differential harness pins.
+
+:class:`CascadeExecutor` is the deterministic, clock-free core the
+runtime engine calls at dispatch time; :class:`CascadeResult` carries
+per-row final stages, escalation counts and the multiply-add accounting
+the engine turns into service time and the
+``cascade_escalations_total`` / ``cascade_flops_saved_total`` metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ServingError
+from ..slicing.profile import as_profile
+from ..slicing.resume import ResumablePlan, pointwise_nested
+
+__all__ = ["CascadeStage", "CascadeResult", "CascadeExecutor",
+           "margins_of"]
+
+
+def margins_of(logits: np.ndarray) -> np.ndarray:
+    """Per-row confidence margin: top-1 minus top-2 logit.
+
+    The standard cascade confidence signal — cheap, monotone in the
+    softmax margin, and deterministic (no sampling).
+    """
+    logits = np.asarray(logits)
+    if logits.ndim != 2 or logits.shape[1] < 2:
+        raise ServingError(
+            f"margins need (batch, classes>=2) logits, got {logits.shape}")
+    top2 = np.partition(logits, -2, axis=-1)[:, -2:]
+    return top2[:, 1] - top2[:, 0]
+
+
+@dataclass(frozen=True)
+class CascadeStage:
+    """One rung of the cascade: a slice profile and an exit threshold.
+
+    Rows whose margin is **at least** ``threshold`` exit at this stage;
+    the rest escalate.  The terminal stage has ``threshold=None`` —
+    everything that reaches it exits there.
+    """
+
+    rate: object               # uniform rate or SliceProfile
+    threshold: float | None = None
+
+    def label(self) -> str:
+        profile = as_profile(self.rate)
+        return f"{float(profile):g}" if profile.uniform \
+            else profile.fingerprint()
+
+
+@dataclass
+class CascadeResult:
+    """What one cascaded batch produced, and what it cost."""
+
+    predictions: np.ndarray          # (n,) final class per row
+    stages: np.ndarray               # (n,) final stage index per row
+    stage_rows: list[int]            # rows processed at each stage
+    stage_spent: list[int]           # multiply-adds actually executed
+    stage_full: list[int]            # from-scratch multiply-adds
+    escalations: list[tuple[int, int, int]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.predictions)
+
+    @property
+    def spent_madds(self) -> int:
+        return sum(self.stage_spent)
+
+    @property
+    def recompute_madds(self) -> int:
+        """What the same escalations would cost recomputed from scratch."""
+        return sum(self.stage_full)
+
+    @property
+    def flops_saved(self) -> int:
+        return self.recompute_madds - self.spent_madds
+
+    @property
+    def escalated_rows(self) -> int:
+        return int(np.count_nonzero(self.stages > 0))
+
+    def stage_counts(self) -> list[int]:
+        """Rows that *exited* at each stage."""
+        return [int(np.count_nonzero(self.stages == k))
+                for k in range(len(self.stage_rows))]
+
+    def to_dict(self) -> dict:
+        return {
+            "rows": len(self),
+            "exits_per_stage": self.stage_counts(),
+            "rows_per_stage": list(self.stage_rows),
+            "spent_madds": self.spent_madds,
+            "recompute_madds": self.recompute_madds,
+            "flops_saved": self.flops_saved,
+            "escalations": [
+                {"from": frm, "to": to, "rows": count}
+                for frm, to, count in self.escalations],
+        }
+
+
+class CascadeExecutor:
+    """Runs batches through a confidence cascade over one model.
+
+    Parameters
+    ----------
+    model:
+        A model :class:`~repro.slicing.resume.ResumablePlan` supports
+        with ``(batch, features)`` inputs (row subsetting rules out
+        sequence models).
+    stages:
+        Cheapest-first :class:`CascadeStage` rungs; each stage's profile
+        must be pointwise-nested inside the next (Eq. 2), and only the
+        terminal stage may omit its threshold.
+    exact:
+        Widening mode for escalations.  ``True`` (default) keeps
+        escalated predictions bitwise equal to a from-scratch pass at
+        the reached profile; ``False`` uses the paper's approximate
+        cross-term reuse.
+    incremental:
+        ``False`` switches escalation to the recompute-from-scratch
+        baseline (same thresholds, same predictions in exact mode,
+        no reuse) — the cost comparator the benchmark reports.
+    """
+
+    def __init__(self, model, stages: Sequence[CascadeStage],
+                 exact: bool = True, incremental: bool = True):
+        stages = [s if isinstance(s, CascadeStage) else CascadeStage(*s)
+                  for s in stages]
+        if len(stages) < 2:
+            raise ServingError("a cascade needs at least two stages")
+        for k, stage in enumerate(stages[:-1]):
+            if stage.threshold is None:
+                raise ServingError(
+                    f"stage {k} ({stage.label()}) needs a threshold; only "
+                    f"the terminal stage may omit it")
+            if stage.threshold < 0:
+                raise ServingError("thresholds must be >= 0")
+            if not pointwise_nested(model, stage.rate, stages[k + 1].rate):
+                raise ServingError(
+                    f"stage {k + 1} ({stages[k + 1].label()}) is not "
+                    f"pointwise wider than stage {k} ({stage.label()})")
+        self.model = model
+        self.stages = stages
+        self.exact = bool(exact)
+        self.incremental = bool(incremental)
+
+    def stage_rates(self) -> list:
+        return [stage.rate for stage in self.stages]
+
+    def run_batch(self, inputs: np.ndarray) -> CascadeResult:
+        """Cascade one batch; returns predictions plus cost accounting."""
+        x = np.ascontiguousarray(inputs, dtype=np.float32)
+        n = x.shape[0]
+        plan = ResumablePlan(self.model, self.stages[0].rate,
+                             exact=self.exact)
+        logits = plan.run(x)
+        predictions = np.argmax(logits, axis=-1)
+        final_stage = np.zeros(n, dtype=np.int64)
+        stage_rows = [n]
+        stage_spent = [plan.spent_madds]
+        stage_full = [plan.scratch_madds]
+        escalations: list[tuple[int, int, int]] = []
+
+        rows_global = np.arange(n)
+        margins = margins_of(logits)
+        for k, stage in enumerate(self.stages[:-1]):
+            unsure = margins < stage.threshold
+            count = int(np.count_nonzero(unsure))
+            if count == 0:
+                break
+            local = np.nonzero(unsure)[0]
+            rows_global = rows_global[local]
+            escalations.append((k, k + 1, count))
+            target = self.stages[k + 1].rate
+            if self.incremental:
+                plan = plan.subset(local)
+                logits = plan.widen(target)
+            else:
+                plan = ResumablePlan(self.model, target, exact=self.exact)
+                logits = plan.run(x[rows_global])
+            stage_rows.append(count)
+            stage_spent.append(plan.spent_madds)
+            # ``scratch_madds`` is what a from-scratch pass at the
+            # reached profile costs on these rows — the recompute
+            # baseline for this escalation.
+            stage_full.append(plan.scratch_madds)
+            predictions[rows_global] = np.argmax(logits, axis=-1)
+            final_stage[rows_global] = k + 1
+            margins = margins_of(logits)
+        return CascadeResult(predictions=predictions, stages=final_stage,
+                             stage_rows=stage_rows, stage_spent=stage_spent,
+                             stage_full=stage_full, escalations=escalations)
+
+    def calibrate(self, inputs: np.ndarray, labels: np.ndarray) -> dict:
+        """Per-stage *conditional* exit accuracy on a labeled holdout.
+
+        A row exiting at a cheap stage did so because its margin was
+        high, so its expected accuracy is far above the stage profile's
+        marginal accuracy — this is the expected-accuracy table cascade
+        serving should hand the runtime (keyed by stage rate).  Stages
+        with no exits during calibration inherit the overall cascade
+        accuracy.
+        """
+        result = self.run_batch(inputs)
+        labels = np.asarray(labels)
+        if labels.shape[0] != len(result):
+            raise ServingError(
+                f"{labels.shape[0]} labels for {len(result)} inputs")
+        overall = float(np.mean(result.predictions == labels))
+        accuracy = {}
+        for k, stage in enumerate(self.stages):
+            mask = result.stages == k
+            accuracy[stage.rate] = (
+                float(np.mean(result.predictions[mask] == labels[mask]))
+                if mask.any() else overall)
+        return accuracy
+
+    def service_seconds(self, result: CascadeResult,
+                        latency_profile) -> float:
+        """Calibrated wall time of a cascaded batch.
+
+        Each stage contributes its processed rows at the stage profile's
+        calibrated per-sample time, scaled by the fraction of
+        from-scratch multiply-adds actually executed — incremental
+        escalation is proportionally cheaper than its recompute
+        baseline, in the same units the rest of the runtime uses.
+        """
+        total = 0.0
+        for stage, rows, spent, full in zip(self.stages, result.stage_rows,
+                                            result.stage_spent,
+                                            result.stage_full):
+            if rows == 0:
+                continue
+            fraction = 1.0 if full == 0 else spent / full
+            total += rows * latency_profile.per_sample(stage.rate) * fraction
+        return total

@@ -87,7 +87,8 @@ class InferenceRuntime:
                  fault_plan: FaultPlan | None = None,
                  inputs: np.ndarray | None = None,
                  labels: np.ndarray | None = None,
-                 slice_labels: Sequence[str] | Mapping[int, str] | None = None):
+                 slice_labels: Sequence[str] | Mapping[int, str] | None = None,
+                 cascade=None):
         self.pool = pool
         self.controller = controller
         self.config = config
@@ -95,6 +96,13 @@ class InferenceRuntime:
         self.fault_plan = fault_plan or FaultPlan()
         self.inputs = inputs
         self.labels = labels
+        # Cascade mode: a CascadeExecutor runs each batch at dispatch
+        # time (cheapest stage first, margin-gated incremental
+        # escalation) instead of the single-rate replica path.
+        self.cascade = cascade
+        if cascade is not None and inputs is None:
+            raise ServingError(
+                "cascade mode executes a real model; supply inputs")
         if labels is not None and inputs is None:
             raise ServingError("labels supplied without inputs")
         # Optional payload-index -> data-slice label mapping (e.g. the
@@ -240,6 +248,13 @@ class InferenceRuntime:
             cause, elapsed = "crash", self.config.detection_timeout
         elif replica.timing_out(now):
             cause, elapsed = "timeout", self.config.detection_timeout
+        elif self.cascade is not None:
+            cause = "ok"
+            rows = self.inputs[[r.payload for r in batch.requests]]
+            result = self.cascade.run_batch(rows)
+            batch.cascade_result = result
+            elapsed = replica.scaled_time(
+                self.cascade.service_seconds(result, replica.profile), now)
         else:
             cause = "ok"
             elapsed = replica.service_time(len(batch), batch.rate, now)
@@ -252,6 +267,10 @@ class InferenceRuntime:
                    (replica.replica_id, token, batch, cause))
 
     def _complete(self, batch: Batch, replica, now: float) -> None:
+        result = getattr(batch, "cascade_result", None)
+        if result is not None:
+            self._complete_cascade(batch, result, now)
+            return
         predictions = None
         if self.inputs is not None:
             rows = self.inputs[[r.payload for r in batch.requests]]
@@ -264,6 +283,31 @@ class InferenceRuntime:
             if predictions is not None and self.labels is not None:
                 request.correct = bool(
                     predictions[i] == self.labels[request.payload])
+            self._observe_request(request, now)
+
+    def _complete_cascade(self, batch: Batch, result, now: float) -> None:
+        """Book a cascaded batch: per-request stage, rate and accuracy."""
+        stages = self.cascade.stages
+        if obs.enabled():
+            for frm, to, count in result.escalations:
+                obs.count("cascade_escalations_total", amount=count,
+                          **{"from": stages[frm].label(),
+                             "to": stages[to].label()})
+            if result.flops_saved:
+                obs.count("cascade_flops_saved_total",
+                          amount=int(result.flops_saved))
+        for i, request in enumerate(batch.requests):
+            stage = int(result.stages[i])
+            rate = stages[stage].rate
+            request.completed = now
+            request.outcome = OUTCOME_COMPLETED
+            request.rate = rate
+            request.stage = stage
+            request.expected_accuracy = accuracy_for_rate(
+                self.accuracy_of_rate, rate)
+            if self.labels is not None:
+                request.correct = bool(
+                    result.predictions[i] == self.labels[request.payload])
             self._observe_request(request, now)
 
     def _retry(self, batch: Batch, now: float) -> None:
@@ -331,6 +375,8 @@ class InferenceRuntime:
                       slice=slice_label, outcome=trace.outcome)
         end = trace.completed if trace.completed is not None else now
         extra = {} if slice_label is None else {"slice": slice_label}
+        if trace.stage is not None:
+            extra["stage"] = trace.stage
         span_id = obs.span_at(
             "runtime.request", trace.arrival, end,
             request_id=trace.request_id, outcome=trace.outcome,

@@ -95,6 +95,16 @@ class ReplicaPool:
         rates = list(rates)
         return sum(replica.warm_plans(rates) for replica in self.replicas)
 
+    def warm_cascade(self, executor) -> int:
+        """Pre-compile from-scratch plans at every cascade stage rate.
+
+        The cascade's incremental path builds resumable plans per batch,
+        but retries, the recompute baseline and any non-cascade predict
+        at a stage rate go through the replicas' compiled-plan cache —
+        warm those so no dispatch pays compilation.
+        """
+        return self.warm_plans(executor.stage_rates())
+
     # -- dispatch -------------------------------------------------------
     def idle(self, now: float) -> list[Replica]:
         """Replicas in rotation that are free to accept a batch now."""

@@ -148,9 +148,18 @@ class Replica:
         if batch_size < 1:
             raise ServingError("batch_size must be >= 1")
         base = batch_size * self.profile.per_sample(rate)
+        return self.scaled_time(base, now)
+
+    def scaled_time(self, seconds: float, now: float) -> float:
+        """Apply any active slowdown window to a pre-computed duration.
+
+        Cascade dispatches compute their own base time (per-stage rows
+        times per-stage calibrated cost) but still slow down with the
+        replica they run on.
+        """
         if now < self.slowdown_until - 1e-12:
-            base *= self.slowdown_factor
-        return base
+            return seconds * self.slowdown_factor
+        return seconds
 
     def begin(self, until: float) -> int:
         """Mark the replica busy until ``until``; returns the dispatch token."""

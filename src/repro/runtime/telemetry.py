@@ -95,6 +95,8 @@ class RequestTrace:
     correct: bool | None = None
     payload: int | None = None
     rate_cap: float | None = field(default=None, repr=False)
+    # Final cascade stage index (cascade mode only; None otherwise).
+    stage: int | None = None
 
     @property
     def latency(self) -> float | None:
@@ -129,6 +131,7 @@ class RequestTrace:
             "deadline_met": self.deadline_met,
             "expected_accuracy": self.expected_accuracy,
             "correct": self.correct,
+            **({} if self.stage is None else {"stage": self.stage}),
         }
 
 
@@ -217,6 +220,28 @@ class RuntimeReport:
     goodput_weighted_accuracy = mean_expected_accuracy
 
     @property
+    def escalation_fraction(self) -> float | None:
+        """Completed requests that escalated past the cascade floor.
+
+        ``None`` unless the run served in cascade mode (no trace carries
+        a stage otherwise).
+        """
+        staged = [t for t in self.completed if t.stage is not None]
+        if not staged:
+            return None
+        return sum(1 for t in staged if t.stage > 0) / len(staged)
+
+    def stage_histogram(self) -> dict[int, int] | None:
+        """Completed requests per final cascade stage (None off-cascade)."""
+        staged = [t.stage for t in self.completed if t.stage is not None]
+        if not staged:
+            return None
+        histogram: dict[int, int] = {}
+        for stage in staged:
+            histogram[stage] = histogram.get(stage, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    @property
     def measured_accuracy(self) -> float | None:
         """Realized accuracy over completions, when labels were supplied."""
         judged = [t.correct for t in self.completed if t.correct is not None]
@@ -240,6 +265,10 @@ class RuntimeReport:
             "goodput_weighted_accuracy": self.goodput_weighted_accuracy,
             "measured_accuracy": self.measured_accuracy,
         }
+        if self.escalation_fraction is not None:
+            summary["escalation_fraction"] = self.escalation_fraction
+            summary["stage_histogram"] = {
+                str(k): v for k, v in self.stage_histogram().items()}
         if include_traces:
             summary["traces"] = [t.to_dict() for t in self.traces]
         return summary

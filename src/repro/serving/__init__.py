@@ -9,6 +9,7 @@ from .workload import (
 )
 from .controller import (
     AdaptiveSliceRateController,
+    CascadeController,
     FixedRateController,
     ProfileTableController,
     SliceRateController,
@@ -29,6 +30,7 @@ __all__ = [
     "peak_to_trough",
     "SliceRateController",
     "AdaptiveSliceRateController",
+    "CascadeController",
     "FixedRateController",
     "ProfileTableController",
     "ServingReport",

@@ -235,6 +235,108 @@ class ProfileTableController:
         return int(window / self.per_sample_cost(rate))
 
 
+class CascadeController:
+    """Batch policy for confidence-cascade serving.
+
+    Every batch *starts* at the cheapest cascade stage; widening happens
+    per request inside the runtime's
+    :class:`~repro.runtime.cascade.CascadeExecutor`, not here.  The
+    controller's job is admission: budget the ``T/2`` window for the
+    cascade's expected per-sample cost — the stage costs weighted by the
+    fraction of requests expected to *reach* each stage (worst case 1.0
+    everywhere: every request escalates to the top).
+
+    ``cost_of_stage`` maps each stage rate to calibrated per-sample
+    seconds; ``reach_fractions`` (optional, same length) are the
+    planning-time escalation assumptions, which the runtime's measured
+    ``cascade_escalations_total`` counters exist to calibrate.
+    """
+
+    def __init__(self, stage_rates: Sequence, cost_of_stage: Mapping,
+                 latency_slo: float,
+                 reach_fractions: Sequence[float] | None = None):
+        if latency_slo <= 0:
+            raise ServingError("latency_slo must be positive")
+        self.stage_rates = list(stage_rates)
+        if len(self.stage_rates) < 2:
+            raise ServingError("a cascade needs at least two stages")
+        self._costs = []
+        for rate in self.stage_rates:
+            key = rate if rate in cost_of_stage else float(rate)
+            if key not in cost_of_stage:
+                raise ServingError(f"cost_of_stage lacks stage rate {rate}")
+            cost = float(cost_of_stage[key])
+            if cost <= 0:
+                raise ServingError("per-stage costs must be positive")
+            self._costs.append(cost)
+        if sorted(self._costs) != self._costs:
+            raise ServingError("cascade stages must be cheapest-first")
+        if reach_fractions is None:
+            reach_fractions = [1.0] * len(self.stage_rates)
+        self.reach_fractions = [float(f) for f in reach_fractions]
+        if len(self.reach_fractions) != len(self.stage_rates):
+            raise ServingError(
+                f"{len(self.reach_fractions)} reach fractions for "
+                f"{len(self.stage_rates)} stages")
+        if self.reach_fractions[0] != 1.0 \
+                or any(not 0.0 <= f <= 1.0 for f in self.reach_fractions):
+            raise ServingError(
+                "reach fractions must be in [0, 1] and start at 1.0")
+        if any(b > a + 1e-12 for a, b in zip(self.reach_fractions,
+                                             self.reach_fractions[1:])):
+            raise ServingError("reach fractions must be non-increasing")
+        self.latency_slo = latency_slo
+
+    @property
+    def rates(self) -> list:
+        return list(self.stage_rates)
+
+    @property
+    def floor_rate(self):
+        """The cheapest stage — where every batch starts."""
+        return self.stage_rates[0]
+
+    def per_sample_cost(self, rate=None) -> float:
+        """Expected cascade seconds per request (escalations included).
+
+        With an explicit ``rate``, the calibrated cost of that single
+        stage instead (the cluster layer prices stages individually).
+        """
+        if rate is not None:
+            for candidate, cost in zip(self.stage_rates, self._costs):
+                if float(candidate) == float(rate):
+                    return cost
+            raise ServingError(f"unknown cascade stage rate {rate}")
+        return sum(fraction * cost for fraction, cost
+                   in zip(self.reach_fractions, self._costs))
+
+    def choose(self, batch_size: int):
+        """Stage-0 rate if the expected cascade fits ``T/2``, else None."""
+        rate = self._decide(batch_size)
+        if obs.enabled():
+            cost = None if rate is None \
+                else batch_size * self.per_sample_cost()
+            _record_decision("cascade", batch_size, rate,
+                             self.latency_slo / 2.0, cost)
+        return rate
+
+    def _decide(self, batch_size: int):
+        if batch_size == 0:
+            return None
+        if batch_size * self.per_sample_cost() > self.latency_slo / 2.0:
+            return None
+        return self.floor_rate
+
+    def downgrade(self, rate):
+        """Retries re-enter at the cascade floor (already the cheapest)."""
+        return self.floor_rate
+
+    def max_batch(self, rate=None) -> int:
+        """Largest batch whose *expected* cascade fits the window."""
+        window = self.latency_slo / 2.0
+        return int(window / self.per_sample_cost())
+
+
 class FixedRateController:
     """Degenerate policy: always run at one rate (the baselines).
 

@@ -14,6 +14,9 @@
 * :mod:`~repro.slicing.upgrade` — convert plain models to sliceable ones.
 * :mod:`~repro.slicing.incremental` — group-residual computation reuse
   (Sec. 3.5).
+* :mod:`~repro.slicing.resume` — resumable compiled plans: run narrow,
+  retain intermediates, :meth:`~repro.slicing.resume.ResumablePlan.widen`
+  to a nested wider profile with cross-term reuse.
 """
 
 from .context import (
@@ -84,6 +87,12 @@ from .plans import (
     get_plan,
     shared_cache,
 )
+from .resume import (
+    ResumablePlan,
+    compile_resumable,
+    pointwise_nested,
+    scratch_madds,
+)
 from . import analysis, incremental
 
 __all__ = [
@@ -140,6 +149,10 @@ __all__ = [
     "compile_layer",
     "get_plan",
     "shared_cache",
+    "ResumablePlan",
+    "compile_resumable",
+    "pointwise_nested",
+    "scratch_madds",
     "incremental",
     "analysis",
 ]

@@ -1,5 +1,8 @@
 """Shared fixtures for the test suite."""
 
+import os
+import random
+
 import numpy as np
 import pytest
 from hypothesis import settings
@@ -9,6 +12,23 @@ from hypothesis import settings
 settings.register_profile("deterministic", derandomize=True,
                           deadline=None)
 settings.load_profile("deterministic")
+
+
+def pytest_collection_modifyitems(config, items):
+    """Optionally shuffle test order to flush inter-test coupling.
+
+    ``REPRO_SHUFFLE_TESTS=<seed>`` reorders the collected items with a
+    seeded shuffle (so a CI failure reproduces locally with the same
+    seed).  Tests must not depend on execution order — module-scoped
+    fixtures are per-module and survive interleaving, and anything
+    touching process-global observability state isolates itself.
+    """
+    seed = os.environ.get("REPRO_SHUFFLE_TESTS")
+    if not seed:
+        return
+    random.Random(int(seed)).shuffle(items)
+    config.pluginmanager.get_plugin("terminalreporter").write_line(
+        f"repro: shuffled {len(items)} tests with seed {seed}")
 
 
 @pytest.fixture

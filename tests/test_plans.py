@@ -368,6 +368,25 @@ class TestParameterVersion:
         assert p.version == 0
         assert p.bump_version() == 1
 
+    def test_mutate_scope_bumps_once(self):
+        # The supported form for element writes: the context manager
+        # closes the ``data[...]`` staleness footgun above.
+        p = Parameter(np.zeros(3))
+        with p.mutate() as data:
+            data[0] = 1.0
+            data[2] = 2.0
+        assert p.version == 1
+        np.testing.assert_allclose(p.data, [1.0, 0.0, 2.0])
+
+    def test_mutate_bumps_even_when_body_raises(self):
+        # A partial write still invalidates compiled plans.
+        p = Parameter(np.zeros(3))
+        with pytest.raises(RuntimeError):
+            with p.mutate() as data:
+                data[0] = 1.0
+                raise RuntimeError("interrupted mid-write")
+        assert p.version == 1
+
     def test_module_parameter_version_sums(self):
         layer = SlicedLinear(4, 4, rng=np.random.default_rng(0))
         before = layer.parameter_version()
@@ -629,3 +648,39 @@ class TestIntegrations:
         model.head.weight.data = model.head.weight.data * 1.1
         engine.run(x)
         assert engine.plan_compiles == 2
+
+
+# ----------------------------------------------------------------------
+# Resumable plans against the compiled-plan contract
+# ----------------------------------------------------------------------
+class TestResumablePlanParity:
+    """The resumable path honours the same contracts as InferencePlan:
+    numerically aligned outputs per profile and the identical
+    parameter-version staleness signal."""
+
+    def test_resumable_matches_compiled_plan_per_rate(self, rng):
+        from repro.slicing import ResumablePlan
+        model = MLP(12, [16, 16], 4, num_groups=4, seed=0)
+        x = rng.normal(size=(5, 12)).astype(np.float32)
+        for rate in RATES_G4:
+            resumable = ResumablePlan(model, rate).run(x)
+            compiled = compile_plan(model, rate,
+                                    fold_rescale=False).run(x)
+            np.testing.assert_allclose(resumable, np.asarray(compiled),
+                                       rtol=1e-5, atol=1e-6)
+
+    def test_mutate_scope_invalidates_both_plan_kinds(self, rng):
+        from repro.slicing import ResumablePlan
+        model = MLP(12, [16], 4, num_groups=4, seed=0)
+        x = rng.normal(size=(3, 12)).astype(np.float32)
+        cache = PlanCache()
+        cache.get(model, 0.5)
+        resumable = ResumablePlan(model, 0.5)
+        resumable.run(x)
+        with model.head.weight.mutate() as data:
+            data[0, 0] += 1.0
+        cache.get(model, 0.5)
+        assert cache.misses == 2  # cached InferencePlan went stale
+        assert not resumable.is_valid()
+        with pytest.raises(PlanError):
+            resumable.widen(1.0)

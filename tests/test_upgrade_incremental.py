@@ -5,17 +5,22 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError, SliceRateError
+from repro.models import NNLM, SlicedVGG
 from repro.nn import BatchNorm2d, Conv2d, Linear, ReLU, Sequential
 from repro.slicing import (
+    LayerProfile,
     MultiBatchNorm2d,
+    ResumablePlan,
     SlicedConv2d,
     SlicedGroupNorm,
     SlicedLinear,
+    materialize_subnet,
+    slice_profile,
     slice_rate,
     upgrade_model,
 )
 from repro.slicing.incremental import forward_narrow, full_cost, widen
-from repro.tensor import Tensor
+from repro.tensor import Tensor, no_grad
 
 
 def plain_mlp(rng):
@@ -149,3 +154,121 @@ class TestIncrementalWidening:
         again, spent = widen(layer, x[:, :8], 0.5, state, exact=False)
         np.testing.assert_allclose(again, narrow, rtol=1e-5)
         assert spent == 0
+
+
+class TestResumeFallback:
+    """Resume-or-recompute fallback for conv and recurrent stacks.
+
+    Dense layers widen by pure column extension, but the fallback rules
+    differ elsewhere: a convolution extends by output channels only
+    while its input is untouched and recomputes otherwise, and an LSTM
+    cell grafts its cached per-gate input projections yet always
+    replays the recurrence (the hidden trajectory and the rescale
+    depend on the hidden width).  Each widened result is pinned three
+    ways: against a from-scratch resumable pass (bitwise), the live
+    sliced forward, and the materialized subnet.
+    """
+
+    def vgg(self):
+        return SlicedVGG([(8, 1), (8, 1)], in_channels=3, num_classes=4,
+                         seed=5)
+
+    def nnlm(self):
+        return NNLM(vocab_size=20, embed_dim=8, hidden_size=8,
+                    num_layers=2, seed=6)
+
+    @staticmethod
+    def _arg(x):
+        arr = np.asarray(x)
+        return arr if arr.dtype.kind in "iu" else Tensor(x)
+
+    def _three_way(self, model, inputs, chained, profile,
+                   rtol=1e-4, atol=1e-5):
+        scratch = ResumablePlan(model, profile, exact=True).run(inputs)
+        np.testing.assert_array_equal(chained, scratch)
+        model.eval()
+        with no_grad(), slice_profile(profile):
+            live = model(self._arg(inputs)).data
+        np.testing.assert_allclose(chained, live, rtol=rtol, atol=atol,
+                                   err_msg="widened vs live forward")
+        deployed = materialize_subnet(model, profile)
+        deployed.eval()
+        with no_grad():
+            deployed_out = deployed(self._arg(inputs)).data
+        np.testing.assert_allclose(chained, deployed_out, rtol=rtol,
+                                   atol=atol,
+                                   err_msg="widened vs materialized")
+
+    def test_conv_channel_extension_three_way(self, rng):
+        """conv0 grows, conv1's input changes -> extend then recompute."""
+        model = self.vgg()
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        narrow = LayerProfile({"conv0": 0.5, "conv1": 0.5, "head": 0.5},
+                              default=0.5)
+        wide = LayerProfile({"conv0": 1.0, "conv1": 0.5, "head": 0.75},
+                            default=1.0)
+        plan = ResumablePlan(model, narrow, exact=True)
+        plan.run(x)
+        chained = plan.widen(wide)
+        report = {r["name"]: r for r in plan.last_report}
+        # conv0: clean channel extension — cheaper than from-scratch.
+        assert 0 < report["conv0"]["spent"] < report["conv0"]["full"]
+        # conv1: its input gained channels, so reuse is unjustifiable
+        # and the fallback recomputes at full cost.
+        assert report["conv1"]["spent"] == report["conv1"]["full"] > 0
+        assert not report["conv1"]["reused"]
+        self._three_way(model, x, chained, wide)
+
+    def test_conv_untouched_prefix_is_reused(self, rng):
+        """Only conv1 grows: conv0 and its norm are served from cache."""
+        model = self.vgg()
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        narrow = LayerProfile({"conv1": 0.5}, default=1.0)
+        wide = LayerProfile({"conv1": 1.0}, default=1.0)
+        plan = ResumablePlan(model, narrow, exact=True)
+        plan.run(x)
+        chained = plan.widen(wide)
+        report = {r["name"]: r for r in plan.last_report}
+        assert report["conv0"]["reused"] and report["conv0"]["spent"] == 0
+        assert 0 < report["conv1"]["spent"] < report["conv1"]["full"]
+        self._three_way(model, x, chained, wide)
+
+    def test_lstm_recurrence_always_replays(self, rng):
+        """Hidden growth grafts projections but replays the recurrence."""
+        model = self.nnlm()
+        tokens = rng.integers(0, 20, size=(5, 3))
+        narrow = LayerProfile({"lstm.cell0": 0.5, "lstm.cell1": 0.5,
+                               "decoder": 0.5}, default=0.5)
+        wide = LayerProfile({"lstm.cell0": 1.0, "lstm.cell1": 0.5,
+                             "decoder": 0.5}, default=1.0)
+        plan = ResumablePlan(model, narrow, exact=True)
+        plan.run(tokens)
+        chained = plan.widen(wide)
+        report = {r["name"]: r for r in plan.last_report}
+        lstm = report["lstm"]
+        # The input projections resumed (spent < full), but the replayed
+        # recurrence keeps the cost strictly positive even though cell1
+        # kept its width (its input widened underneath it).
+        assert 0 < lstm["spent"] < lstm["full"]
+        self._three_way(model, tokens, chained, wide,
+                        rtol=1e-3, atol=1e-4)
+
+    def test_lstm_untouched_prefix_reused_decoder_recomputes(self, rng):
+        """Only cell1 grows: cell0 serves its cached sequence, and the
+        decoder — whose input just widened — falls back to recompute."""
+        model = self.nnlm()
+        tokens = rng.integers(0, 20, size=(4, 2))
+        narrow = LayerProfile({"lstm.cell1": 0.5}, default=1.0)
+        wide = LayerProfile({"lstm.cell1": 1.0}, default=1.0)
+        plan = ResumablePlan(model, narrow, exact=True)
+        plan.run(tokens)
+        chained = plan.widen(wide)
+        report = {r["name"]: r for r in plan.last_report}
+        # cell0 reused its whole sequence, so the stack spends less
+        # than from-scratch, but cell1's replayed recurrence keeps it
+        # positive; the decoder cannot reuse across a width change.
+        assert 0 < report["lstm"]["spent"] < report["lstm"]["full"]
+        assert report["decoder"]["spent"] == report["decoder"]["full"] > 0
+        assert not report["decoder"]["reused"]
+        self._three_way(model, tokens, chained, wide,
+                        rtol=1e-3, atol=1e-4)
