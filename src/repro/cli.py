@@ -163,6 +163,122 @@ def _cmd_serve_demo(args) -> int:
     return 0
 
 
+def _cmd_runtime_workers(args) -> int:
+    """``repro runtime --workers N``: true-parallel process serving demo.
+
+    Trains the seeded demo MLP, moves its weights into a shared-memory
+    arena (:meth:`Module.share_memory`), and serves the arrival trace
+    through ``N`` real worker processes — real predictions computed in
+    the workers, simulated clock in the parent.  With ``--trace``, each
+    worker writes its own JSONL next to the parent's; merge them with
+    ``repro obs summarize 'TRACE*'``.
+    """
+    import numpy as np
+
+    from . import obs
+    from .diagnose.demo import train_demo_model
+    from .runtime import (
+        FaultPlan,
+        InferenceRuntime,
+        LatencyProfile,
+        ProcessReplicaPool,
+        RuntimeConfig,
+        format_seconds,
+    )
+    from .serving import (
+        FixedRateController,
+        SliceRateController,
+        diurnal_rate,
+        generate_arrivals,
+        spike_rate,
+    )
+    from .slicing.resume import ResumablePlan
+
+    rates = [0.25, 0.5, 0.75, 1.0]
+    full_latency, slo = 0.002, 0.1
+    print(f"training the demo MLP for {args.cascade_epochs} epochs "
+          f"(seed {args.seed}) ...", file=sys.stderr)
+    model, data = train_demo_model(seed=args.seed,
+                                   epochs=args.cascade_epochs)
+    inputs = data["eval_x"].astype(np.float32)
+    labels = data["eval_y"]
+    accuracy = {}
+    for rate in rates:
+        logits = ResumablePlan(model, rate).run(inputs)
+        accuracy[rate] = float(
+            np.mean(np.argmax(logits, axis=-1) == labels))
+
+    intensity = spike_rate(
+        diurnal_rate(args.base_rate, args.peak_ratio, 60.0),
+        [(args.duration * 0.25, args.duration * 0.1, 2.0)])
+    arrivals = generate_arrivals(intensity, args.duration,
+                                 np.random.default_rng(args.seed))
+    crash_id = f"w{min(1, args.workers - 1)}"
+    plan = FaultPlan() if args.no_faults else FaultPlan.single_crash(
+        crash_id, args.crash_time if args.crash_time is not None
+        else args.duration * 0.3)
+    print(f"{len(arrivals)} queries over {args.duration}s, "
+          f"{args.workers} worker processes over one shared-memory "
+          f"arena, faults={'none' if args.no_faults else 'one crash'}\n")
+    if args.trace:
+        obs.configure(trace_path=args.trace, clock=obs.TickClock())
+
+    controllers = {
+        "model slicing": SliceRateController(rates, full_latency, slo),
+        "fixed full": FixedRateController(1.0, full_latency, slo),
+        "fixed small": FixedRateController(0.25, full_latency, slo),
+    }
+    print(f"{'policy':<14} {'dropped':>8} {'goodput':>9} {'p50':>8} "
+          f"{'p99':>8} {'measured':>9} {'good*acc':>9}")
+    elastic_report = None
+    worker_requests: dict[str, dict] = {}
+    for name, controller in controllers.items():
+        slug = name.replace(" ", "-")
+        traces = [f"{args.trace}.{slug}.w{i}.jsonl"
+                  for i in range(args.workers)] if args.trace else None
+        pool = ProcessReplicaPool(
+            model, args.workers, LatencyProfile(full_latency),
+            dispatch=args.dispatch, seed=args.seed, trace_paths=traces)
+        try:
+            pool.warm_plans(rates)
+            config = RuntimeConfig(latency_slo=slo, max_batch_size=400,
+                                   batch_timeout=args.batch_timeout,
+                                   dispatch=args.dispatch, seed=args.seed)
+            runtime = InferenceRuntime(pool, controller, config, accuracy,
+                                       fault_plan=plan, inputs=inputs,
+                                       labels=labels)
+            with obs.span("runtime.policy", policy=name):
+                report = runtime.run(arrivals, args.duration)
+            worker_requests[name] = {
+                stats["worker"]: stats["requests"]
+                for stats in pool.worker_stats()}
+        finally:
+            pool.shutdown()
+        if name == "model slicing":
+            elastic_report = report
+        tails = report.latency_percentiles()
+        measured = report.measured_accuracy
+        print(f"{name:<14} {report.drop_fraction:>8.2%} "
+              f"{report.goodput:>9.1f} {format_seconds(tails['p50']):>8} "
+              f"{format_seconds(tails['p99']):>8} "
+              f"{'-' if measured is None else f'{measured:>9.3f}'} "
+              f"{report.goodput_weighted_accuracy:>9.3f}")
+    print("\nrequests served per worker process:")
+    for name, counts in worker_requests.items():
+        shares = " ".join(f"{worker}={count}"
+                          for worker, count in sorted(counts.items()))
+        print(f"  {name:<14} {shares}")
+    if args.json and elastic_report is not None:
+        with open(args.json, "w") as handle:
+            handle.write(elastic_report.to_json())
+        print(f"\nelastic policy telemetry written to {args.json}")
+    if args.trace:
+        obs.shutdown()
+        print(f"observability traces written to {args.trace}* "
+              f"(merge with: repro obs summarize '{args.trace}*')")
+    return 0
+
+
 def _cmd_runtime_cascade(args) -> int:
     """``repro runtime --cascade``: confidence-cascade serving demo.
 
@@ -184,6 +300,7 @@ def _cmd_runtime_cascade(args) -> int:
         FaultPlan,
         InferenceRuntime,
         LatencyProfile,
+        ProcessReplicaPool,
         Replica,
         ReplicaPool,
         RuntimeConfig,
@@ -234,12 +351,15 @@ def _cmd_runtime_cascade(args) -> int:
         [(args.duration * 0.25, args.duration * 0.1, 2.0)])
     arrivals = generate_arrivals(intensity, args.duration,
                                  np.random.default_rng(args.seed))
-    crash_id = f"r{min(1, args.replicas - 1)}"
+    crash_id = f"w{min(1, args.workers - 1)}" if args.workers \
+        else f"r{min(1, args.replicas - 1)}"
     plan = FaultPlan() if args.no_faults else FaultPlan.single_crash(
         crash_id, args.crash_time if args.crash_time is not None
         else args.duration * 0.3)
+    hosts = (f"{args.workers} worker processes" if args.workers
+             else f"{args.replicas} replicas")
     print(f"{len(arrivals)} queries over {args.duration}s, "
-          f"{args.replicas} replicas, stages "
+          f"{hosts}, stages "
           f"{[s.label() for s in stages]}, thresholds {thresholds}\n")
     if args.trace:
         obs.configure(trace_path=args.trace, clock=obs.TickClock())
@@ -255,21 +375,33 @@ def _cmd_runtime_cascade(args) -> int:
           f"{'good*acc':>9} {'measured':>9} {'escalated':>10}")
     cascade_report = None
     for name, (controller, cascade) in policies.items():
-        pool = ReplicaPool(
-            [Replica(f"r{i}", LatencyProfile(full_latency), model=model)
-             for i in range(args.replicas)],
-            dispatch=args.dispatch, seed=args.seed)
-        if cascade is not None:
-            pool.warm_cascade(cascade)
-        config = RuntimeConfig(latency_slo=slo, max_batch_size=400,
-                               batch_timeout=args.batch_timeout,
-                               dispatch=args.dispatch, seed=args.seed)
-        runtime = InferenceRuntime(
-            pool, controller, config,
-            calibrated if cascade is not None else accuracy,
-            fault_plan=plan, inputs=inputs, labels=labels, cascade=cascade)
-        with obs.span("runtime.policy", policy=name):
-            report = runtime.run(arrivals, args.duration)
+        if args.workers:
+            slug = name.replace(" ", "-")
+            traces = [f"{args.trace}.{slug}.w{i}.jsonl"
+                      for i in range(args.workers)] if args.trace else None
+            pool = ProcessReplicaPool(
+                model, args.workers, LatencyProfile(full_latency),
+                dispatch=args.dispatch, seed=args.seed, trace_paths=traces)
+        else:
+            pool = ReplicaPool(
+                [Replica(f"r{i}", LatencyProfile(full_latency), model=model)
+                 for i in range(args.replicas)],
+                dispatch=args.dispatch, seed=args.seed)
+        try:
+            if cascade is not None:
+                pool.warm_cascade(cascade)
+            config = RuntimeConfig(latency_slo=slo, max_batch_size=400,
+                                   batch_timeout=args.batch_timeout,
+                                   dispatch=args.dispatch, seed=args.seed)
+            runtime = InferenceRuntime(
+                pool, controller, config,
+                calibrated if cascade is not None else accuracy,
+                fault_plan=plan, inputs=inputs, labels=labels,
+                cascade=cascade)
+            with obs.span("runtime.policy", policy=name):
+                report = runtime.run(arrivals, args.duration)
+        finally:
+            pool.shutdown()
         if name == "cascade":
             cascade_report = report
         tails = report.latency_percentiles()
@@ -315,8 +447,13 @@ def _cmd_runtime(args) -> int:
     if args.replicas < 1:
         print("--replicas must be >= 1", file=sys.stderr)
         return 2
+    if args.workers < 0:
+        print("--workers must be >= 0", file=sys.stderr)
+        return 2
     if args.cascade:
         return _cmd_runtime_cascade(args)
+    if args.workers:
+        return _cmd_runtime_workers(args)
     rates = [0.25, 0.5, 0.75, 1.0]
     accuracy = {0.25: 0.62, 0.5: 0.85, 0.75: 0.91, 1.0: 0.94}
     full_latency, slo = 0.002, 0.1
@@ -669,6 +806,11 @@ def build_parser() -> argparse.ArgumentParser:
                          default=None, metavar="MARGIN",
                          help="per-stage escalation margins (one per "
                               "non-terminal stage; default 1.0 each)")
+    runtime.add_argument("--workers", type=int, default=0, metavar="N",
+                         help="serve through N real worker processes over "
+                              "a shared-memory weight arena (0 = classic "
+                              "in-process replicas); composes with "
+                              "--cascade")
     runtime.add_argument("--cascade-epochs", type=int, default=4,
                          help="demo-model training epochs in cascade mode")
     runtime.add_argument("--seed", type=int, default=0)

@@ -58,6 +58,19 @@ class Parameter(Tensor):
         self._version += 1
         return self._version
 
+    def sync_version(self, version: int) -> int:
+        """Adopt an externally published version counter.
+
+        Used by :class:`~repro.tensor.shared.SharedArena` to carry
+        version counters across process boundaries: a worker syncs its
+        parameters to the counters the serving parent published, so the
+        plan-cache staleness check fires cross-process exactly as it
+        would in-process.  Unlike :meth:`bump_version` this may set any
+        value, including one the local process never saw.
+        """
+        self._version = int(version)
+        return self._version
+
     @contextlib.contextmanager
     def mutate(self):
         """In-place mutation scope: yields the raw array, bumps on exit.
@@ -153,6 +166,27 @@ class Module:
         """Drop the gradients of all parameters."""
         for param in self.parameters():
             param.zero_grad()
+
+    # -- shared memory ----------------------------------------------------
+    def share_memory(self, arena=None):
+        """Move parameters and running stats into a shared-memory arena.
+
+        Packs the widest-rate weights into one
+        ``multiprocessing.shared_memory`` segment (see
+        :class:`~repro.tensor.shared.SharedArena`) and rebinds this
+        model's parameters to views of it.  Returns the arena; hand its
+        ``manifest`` to worker processes, which
+        :meth:`~repro.tensor.shared.SharedArena.attach` and
+        :meth:`~repro.tensor.shared.SharedArena.adopt` the same segment
+        zero-copy.  The caller owns the arena's lifecycle
+        (``close()``/``unlink()`` or use it as a context manager).
+        """
+        from ..tensor.shared import SharedArena
+
+        if arena is None:
+            arena = SharedArena.create(self)
+        arena.bind(self)
+        return arena
 
     # -- serialization ----------------------------------------------------
     def state_dict(self) -> dict[str, np.ndarray]:

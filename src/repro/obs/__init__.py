@@ -113,6 +113,14 @@ _CATALOG = {
     "runtime_health_detections_total":
         "Crashed replicas detected by the periodic health check.",
     "runtime_replicas_in_rotation": "Replicas believed healthy.",
+    # -- process workers (repro.runtime.workers) --
+    "worker_requests_total":
+        "Requests served by each worker process, per op.",
+    "worker_ipc_seconds":
+        "Parent-side round-trip time of worker pipe requests, per op.",
+    "worker_refreshes_total":
+        "Shared-arena version counters adopted by worker processes "
+        "(each adoption invalidates that worker's stale plans).",
     # -- serving controllers (repro.serving.controller) --
     "controller_decisions_total":
         "Slice-rate decisions per chosen rate ('none' = infeasible).",

@@ -29,6 +29,7 @@ from .replica import LatencyProfile, Replica
 from .pool import ReplicaPool
 from .faults import FaultEvent, FaultPlan
 from .cascade import CascadeExecutor, CascadeResult, CascadeStage, margins_of
+from .workers import POOL_BACKENDS, ProcessReplicaPool, WorkerReplica, build_pool
 from .engine import InferenceRuntime, RuntimeConfig
 
 __all__ = [
@@ -54,6 +55,10 @@ __all__ = [
     "CascadeResult",
     "CascadeExecutor",
     "margins_of",
+    "POOL_BACKENDS",
+    "ProcessReplicaPool",
+    "WorkerReplica",
+    "build_pool",
     "InferenceRuntime",
     "RuntimeConfig",
 ]

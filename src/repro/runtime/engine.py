@@ -251,7 +251,12 @@ class InferenceRuntime:
         elif self.cascade is not None:
             cause = "ok"
             rows = self.inputs[[r.payload for r in batch.requests]]
-            result = self.cascade.run_batch(rows)
+            # Process-backed replicas cascade inside their own worker so
+            # stage escalation (and its resumable intermediates) stays
+            # local; in-process replicas share the engine's executor.
+            runner = getattr(replica, "run_cascade", None)
+            result = runner(rows) if runner is not None \
+                else self.cascade.run_batch(rows)
             batch.cascade_result = result
             elapsed = replica.scaled_time(
                 self.cascade.service_seconds(result, replica.profile), now)

@@ -32,6 +32,9 @@ DISPATCH_POLICIES = ("least-loaded", "power-of-two")
 class ReplicaPool:
     """An ordered set of replicas with a dispatch policy."""
 
+    #: Serving backend tag; the process-backed subclass overrides it.
+    backend = "thread"
+
     def __init__(self, replicas: Iterable[Replica],
                  dispatch: str = "least-loaded", seed: int = 0):
         self.replicas = list(replicas)
@@ -128,3 +131,18 @@ class ReplicaPool:
                now: float) -> float:
         start = max(replica.busy_until, now)
         return start + replica.service_time(batch_size, rate, now)
+
+    # -- lifecycle -------------------------------------------------------
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Release pool resources; a no-op for the in-process backend.
+
+        Exists so callers (cluster nodes, the CLI) can tear any pool
+        down uniformly — the process backend overrides this to stop its
+        workers and unlink the shared-memory arena.
+        """
+
+    def __enter__(self) -> "ReplicaPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

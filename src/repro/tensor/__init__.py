@@ -31,6 +31,7 @@ from .functional import (
 from .fused import fused_cross_entropy, fused_group_norm
 from .gradcheck import check_gradients, numeric_gradient
 from .profile import FlopCounter, count_flops, profiling_active, record_flops
+from .shared import ArenaManifest, SharedArena, shm_segments
 from .workspace import WorkspaceArena, active_workspace, use_workspace
 
 __all__ = [
@@ -61,6 +62,9 @@ __all__ = [
     "WorkspaceArena",
     "active_workspace",
     "use_workspace",
+    "SharedArena",
+    "ArenaManifest",
+    "shm_segments",
     "check_gradients",
     "numeric_gradient",
     "FlopCounter",

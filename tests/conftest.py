@@ -31,6 +31,25 @@ def pytest_collection_modifyitems(config, items):
         f"repro: shuffled {len(items)} tests with seed {seed}")
 
 
+@pytest.fixture(autouse=True)
+def _no_leaked_arenas():
+    """Fail any test that leaves a shared-memory arena segment behind.
+
+    Every :class:`repro.tensor.shared.SharedArena` maps a named segment
+    under ``/dev/shm``; a test that creates one must release it (or use
+    the arena/pool as a context manager).  Segments that predate the
+    test are tolerated so one leak does not cascade into every later
+    test failing.
+    """
+    from repro.tensor import shared
+
+    before = set(shared.shm_segments())
+    yield
+    leaked = sorted(set(shared.shm_segments()) - before)
+    assert not leaked, \
+        f"test leaked shared-memory arena segments: {leaked}"
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(0)

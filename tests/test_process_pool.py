@@ -1,0 +1,342 @@
+"""Tests for the multi-process replica pool (repro.runtime.workers).
+
+The acceptance contract: a :class:`ProcessReplicaPool` must be
+byte-identical to the in-process pool for the same seeded request
+stream (every demo rate plus a non-uniform layer profile), weight
+mutations in the parent must invalidate worker plan caches through the
+shared arena's version block, and workers must boot with the parent's
+seed, ``REPRO_*`` environment and observability state.
+"""
+
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro import MLP, obs
+from repro.diagnose.demo import DEMO_RATES, train_demo_model
+from repro.errors import ServingError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.summary import load_records, summarize
+from repro.runtime import (
+    CascadeExecutor,
+    CascadeStage,
+    LatencyProfile,
+    Replica,
+    ReplicaPool,
+)
+from repro.runtime.workers import (
+    POOL_BACKENDS,
+    ProcessReplicaPool,
+    build_pool,
+)
+from repro.slicing import LayerProfile
+from repro.tensor.shared import shm_segments
+
+PROFILE = LayerProfile({"fc0": 0.5, "fc1": 0.75}, default=1.0)
+
+
+@pytest.fixture(scope="module")
+def demo():
+    """One trained demo model (and its data) shared by this module."""
+    model, data = train_demo_model(seed=0, epochs=1)
+    return model.eval(), data
+
+
+def _baseline(model):
+    return Replica("ref", LatencyProfile(1.0), model=model)
+
+
+def _spawn_factory():
+    return MLP(in_features=8, hidden=[16, 16], num_classes=3, seed=41)
+
+
+# ---------------------------------------------------------------------------
+class TestByteIdentical:
+    def test_one_worker_matches_in_process(self, demo):
+        """Acceptance: all demo rates + a non-uniform layer profile."""
+        model, data = demo
+        x = data["eval_x"][:64]
+        reference = _baseline(model)
+        with ProcessReplicaPool(model, 1, seed=0) as pool:
+            worker = pool.replicas[0]
+            for profile in [*DEMO_RATES, PROFILE]:
+                np.testing.assert_array_equal(
+                    worker.predict(x, profile),
+                    reference.predict(x, profile))
+
+    def test_two_workers_agree_with_each_other(self, demo):
+        model, data = demo
+        x = data["eval_x"][:32]
+        with ProcessReplicaPool(model, 2, seed=0) as pool:
+            first, second = pool.replicas
+            np.testing.assert_array_equal(first.predict(x, 0.5),
+                                          second.predict(x, 0.5))
+
+    def test_predict_many_preserves_batch_order(self, demo):
+        model, data = demo
+        reference = _baseline(model)
+        batches = [data["eval_x"][i * 10:(i + 1) * 10] for i in range(8)]
+        with ProcessReplicaPool(model, 2, seed=0) as pool:
+            results = pool.predict_many(batches, 0.5, window=2)
+        assert len(results) == len(batches)
+        for batch, result in zip(batches, results):
+            np.testing.assert_array_equal(
+                result, reference.predict(batch, 0.5))
+
+    def test_in_worker_cascade_matches_parent_executor(self, demo):
+        model, data = demo
+        rows = np.ascontiguousarray(data["eval_x"][:48], dtype=np.float32)
+        stages = [CascadeStage(rate, 1.0) for rate in DEMO_RATES[:-1]]
+        stages.append(CascadeStage(DEMO_RATES[-1]))
+        executor = CascadeExecutor(model, stages)
+        expected = executor.run_batch(rows)
+        with ProcessReplicaPool(model, 1, seed=0) as pool:
+            assert pool.warm_cascade(executor) > 0
+            result = pool.replicas[0].run_cascade(rows)
+        np.testing.assert_array_equal(result.predictions,
+                                      expected.predictions)
+        np.testing.assert_array_equal(result.stages, expected.stages)
+        assert result.spent_madds == expected.spent_madds
+
+    def test_cascade_before_warm_is_an_error(self, demo):
+        model, data = demo
+        with ProcessReplicaPool(model, 1, seed=0) as pool:
+            with pytest.raises(ServingError, match="warm_cascade"):
+                pool.replicas[0].run_cascade(data["eval_x"][:4])
+
+
+# ---------------------------------------------------------------------------
+class TestStaleness:
+    def test_parent_mutation_recompiles_worker_plans(self):
+        model, data = train_demo_model(seed=3, epochs=1)
+        model.eval()
+        x = data["eval_x"][:32]
+        with ProcessReplicaPool(model, 2, seed=0) as pool:
+            pool.warm_plans([0.5])
+            for replica in pool.replicas:
+                replica.predict(x, 0.5)
+            assert [s["plan_cache"]["invalidations"]
+                    for s in pool.worker_stats()] == [0, 0]
+
+            # Hot-swap weights in the parent (version counters bump);
+            # the next proxied request publishes and every worker's
+            # local PlanCache recompiles its now-stale plan.
+            state = {name: array * 1.02
+                     for name, array in model.state_dict().items()}
+            model.load_state_dict(state)
+            expected = _baseline(model).predict(x, 0.5)
+            for replica in pool.replicas:
+                np.testing.assert_array_equal(replica.predict(x, 0.5),
+                                              expected)
+            assert [s["plan_cache"]["invalidations"]
+                    for s in pool.worker_stats()] == [1, 1]
+
+    def test_mutate_scope_reaches_workers(self, demo):
+        model, data = demo
+        x = data["eval_x"][:16]
+        param = next(p for _, p in model.named_parameters())
+        original = param.data.copy()
+        with ProcessReplicaPool(model, 1, seed=0) as pool:
+            try:
+                pool.replicas[0].predict(x, 0.5)
+                with param.mutate() as weights:
+                    weights[...] = weights * 2.0
+                expected = _baseline(model).predict(x, 0.5)
+                np.testing.assert_array_equal(
+                    pool.replicas[0].predict(x, 0.5), expected)
+            finally:
+                with param.mutate() as weights:
+                    weights[...] = original
+
+    def test_sync_is_noop_without_mutation(self, demo):
+        model, _ = demo
+        with ProcessReplicaPool(model, 1, seed=0) as pool:
+            assert pool.sync() is False
+
+
+# ---------------------------------------------------------------------------
+class TestWorkerBoot:
+    def test_seed_env_and_obs_state_propagate(self, demo, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_KNOB", "42")
+        model, _ = demo
+        with ProcessReplicaPool(model, 2, seed=7) as pool:
+            stats = pool.worker_stats()
+        assert [s["worker"] for s in stats] == ["w0", "w1"]
+        assert [s["seed"] for s in stats] == [7, 8]
+        for report in stats:
+            assert report["pid"] != os.getpid()
+            assert report["env"]["REPRO_TEST_KNOB"] == "42"
+            assert report["obs_enabled"] is False
+            assert report["trace_path"] is None
+
+    def test_spawn_needs_a_model_factory(self, demo):
+        model, _ = demo
+        with pytest.raises(ServingError, match="model_factory"):
+            ProcessReplicaPool(model, 1, start_method="spawn")
+
+    @pytest.mark.skipif("spawn" not in
+                        __import__("multiprocessing").get_all_start_methods(),
+                        reason="no spawn start method")
+    def test_spawn_workers_adopt_arena_weights(self):
+        model = _spawn_factory()
+        for _, param in model.named_parameters():   # diverge from factory
+            with param.mutate() as weights:
+                weights[...] = weights * 1.5
+        model.eval()
+        x = np.random.default_rng(0).normal(size=(8, 8)).astype(np.float32)
+        expected = _baseline(model).predict(x, 0.5)
+        with ProcessReplicaPool(model, 1, seed=0, start_method="spawn",
+                                model_factory=_spawn_factory) as pool:
+            np.testing.assert_array_equal(
+                pool.replicas[0].predict(x, 0.5), expected)
+
+    def test_validation(self, demo):
+        model, _ = demo
+        with pytest.raises(ServingError, match="at least one"):
+            ProcessReplicaPool(model, 0)
+        with pytest.raises(ServingError, match="trace paths"):
+            ProcessReplicaPool(model, 2, trace_paths=["only-one.jsonl"])
+
+
+# ---------------------------------------------------------------------------
+class TestObservability:
+    @pytest.fixture(autouse=True)
+    def _isolated_obs(self):
+        obs.disable()
+        obs._registry = MetricsRegistry()
+        obs._tracer = obs.Tracer()
+        yield
+        obs.disable()
+        obs._registry = MetricsRegistry()
+        obs._tracer = obs.Tracer()
+
+    def test_worker_traces_exist_and_merge(self, demo, tmp_path):
+        model, data = demo
+        x = data["eval_x"][:16]
+        parent = str(tmp_path / "run.jsonl")
+        obs.configure(trace_path=parent, clock=obs.TickClock())
+        with ProcessReplicaPool(model, 2, seed=0) as pool:
+            paths = pool.trace_paths()
+            assert paths == [f"{parent}.w0.jsonl", f"{parent}.w1.jsonl"]
+            for replica in pool.replicas:
+                replica.predict(x, 0.5)
+        obs.shutdown()
+
+        # The parent records IPC latency; the workers record service.
+        merged = summarize([parent, *paths])
+        assert "worker_ipc_seconds" in merged
+        assert "worker_requests_total" in merged
+        for path in paths:
+            metrics = next(r["metrics"] for r in load_records(path)
+                           if r.get("kind") == "metrics")
+            assert "worker_requests_total" in metrics
+            assert "plan_cache_misses_total" in metrics
+
+    def test_staleness_counts_in_worker_metrics(self, tmp_path):
+        model, data = train_demo_model(seed=5, epochs=1)
+        model.eval()
+        x = data["eval_x"][:16]
+        parent = str(tmp_path / "stale.jsonl")
+        obs.configure(trace_path=parent, clock=obs.TickClock())
+        with ProcessReplicaPool(model, 2, seed=0) as pool:
+            paths = pool.trace_paths()
+            for replica in pool.replicas:
+                replica.predict(x, 0.5)
+            state = {name: array * 1.01
+                     for name, array in model.state_dict().items()}
+            model.load_state_dict(state)
+            for replica in pool.replicas:
+                replica.predict(x, 0.5)
+        obs.shutdown()
+
+        for path in paths:     # every worker accounts its own recompile
+            metrics = next(r["metrics"] for r in load_records(path)
+                           if r.get("kind") == "metrics")
+            invalidations = metrics["plan_cache_invalidations_total"]
+            assert sum(s["value"]
+                       for s in invalidations["samples"]) == 1.0
+            refreshes = metrics["worker_refreshes_total"]
+            assert sum(s["value"] for s in refreshes["samples"]) > 0
+
+    def test_one_worker_trace_is_deterministic(self, demo, tmp_path):
+        model, data = demo
+        x = data["eval_x"][:16]
+        traces = []
+        for run in ("a", "b"):
+            parent = str(tmp_path / f"{run}.jsonl")
+            obs.configure(trace_path=parent, clock=obs.TickClock())
+            with ProcessReplicaPool(model, 1, seed=0) as pool:
+                pool.warm_plans([0.5])
+                pool.replicas[0].predict(x, 0.5)
+                traces.append(pool.trace_paths()[0])
+            obs.shutdown()
+        with open(traces[0], "rb") as a, open(traces[1], "rb") as b:
+            assert a.read() == b.read()
+
+
+# ---------------------------------------------------------------------------
+class TestPoolLifecycle:
+    def test_killed_worker_is_quarantined_and_pool_survives(self, demo):
+        model, data = demo
+        x = data["eval_x"][:8]
+        with ProcessReplicaPool(model, 2, seed=0) as pool:
+            victim = pool.replicas[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim._handle.process.join(5.0)
+            detected = pool.health_check()
+            assert [r.replica_id for r in detected] == ["w0"]
+            assert [r.replica_id for r in pool.in_rotation()] == ["w1"]
+            assert pool.replicas[1].predict(x, 0.5).shape == (8,)
+
+    def test_shutdown_is_idempotent_and_releases_arena(self, demo):
+        model, _ = demo
+        pool = ProcessReplicaPool(model, 1, seed=0)
+        segment = pool.arena.manifest.segment
+        assert segment in shm_segments()
+        pool.shutdown()
+        pool.shutdown()
+        assert segment not in shm_segments()
+        with pytest.raises(ServingError, match="no live workers"):
+            pool.worker_stats()
+
+    def test_caller_owned_arena_survives_pool_shutdown(self, demo):
+        model, _ = demo
+        arena = model.share_memory()
+        try:
+            pool = ProcessReplicaPool(model, 1, seed=0, arena=arena)
+            pool.shutdown()
+            assert arena.manifest.segment in shm_segments()
+        finally:
+            arena.release()
+
+
+# ---------------------------------------------------------------------------
+class TestBuildPool:
+    def test_backend_selection(self, demo):
+        model, _ = demo
+        assert POOL_BACKENDS == ("thread", "process")
+        thread = build_pool(model, 2, LatencyProfile(1e-3),
+                            backend="thread")
+        assert isinstance(thread, ReplicaPool) \
+            and not isinstance(thread, ProcessReplicaPool)
+        assert thread.backend == "thread"
+        assert [r.replica_id for r in thread] == ["w0", "w1"]
+        thread.shutdown()      # no-op on the in-process pool
+
+        with build_pool(model, 2, LatencyProfile(1e-3),
+                        backend="process") as process:
+            assert process.backend == "process"
+            assert [r.replica_id for r in process] == ["w0", "w1"]
+
+    def test_unknown_backend_rejected(self, demo):
+        model, _ = demo
+        with pytest.raises(ServingError, match="unknown pool backend"):
+            build_pool(model, 2, LatencyProfile(1e-3), backend="greenlet")
+
+    def test_process_kwargs_rejected_for_threads(self, demo):
+        model, _ = demo
+        with pytest.raises(ServingError, match="process backend"):
+            build_pool(model, 2, LatencyProfile(1e-3), backend="thread",
+                       plan_cache_capacity=8)
