@@ -163,11 +163,57 @@ def _cmd_serve_demo(args) -> int:
     return 0
 
 
+def _runtime_demo_model(args, rates):
+    """The model + eval split the runtime demos serve.
+
+    ``--model mlp`` trains the planted demo MLP; ``--model tenc`` builds
+    the seeded sliced-attention transformer encoder and labels a random
+    eval batch with the *full-width* model's own predictions, so the
+    per-rate accuracy table measures fidelity to the full model (1.0 at
+    rate 1.0 by construction) without any training.
+    """
+    import numpy as np
+
+    from .slicing.resume import ResumablePlan
+
+    if args.model == "tenc":
+        from .models import TransformerEncoder
+
+        model = TransformerEncoder(
+            image_size=8, patch_size=4, channels=3, num_classes=8,
+            embed_dim=32, num_heads=4, ffn_dim=64, depth=2, seed=args.seed)
+        model.eval()
+        rng = np.random.default_rng(args.seed)
+        eval_x = rng.normal(size=(512, 3, 8, 8)).astype(np.float32)
+        eval_y = np.argmax(ResumablePlan(model, 1.0).run(eval_x), axis=-1)
+        print(f"building the seeded sliced-attention encoder (seed "
+              f"{args.seed}); accuracy = agreement with full width",
+              file=sys.stderr)
+        data = {"eval_x": eval_x, "eval_y": eval_y}
+    else:
+        from .diagnose.demo import train_demo_model
+
+        print(f"training the demo MLP for {args.cascade_epochs} epochs "
+              f"(seed {args.seed}) ...", file=sys.stderr)
+        model, data = train_demo_model(seed=args.seed,
+                                       epochs=args.cascade_epochs)
+    inputs = data["eval_x"].astype(np.float32)
+    labels = data["eval_y"]
+    accuracy = {}
+    for rate in rates:
+        logits = ResumablePlan(model, rate).run(inputs)
+        accuracy[rate] = float(
+            np.mean(np.argmax(logits, axis=-1) == labels))
+    return model, inputs, labels, accuracy
+
+
 def _cmd_runtime_workers(args) -> int:
     """``repro runtime --workers N``: true-parallel process serving demo.
 
-    Trains the seeded demo MLP, moves its weights into a shared-memory
-    arena (:meth:`Module.share_memory`), and serves the arrival trace
+    Builds the demo model (``--model``: the trained demo MLP or the
+    seeded sliced-attention transformer encoder), moves its weights into
+    a shared-memory arena (:meth:`Module.share_memory`), and serves the
+    arrival trace
     through ``N`` real worker processes — real predictions computed in
     the workers, simulated clock in the parent.  With ``--trace``, each
     worker writes its own JSONL next to the parent's; merge them with
@@ -176,7 +222,6 @@ def _cmd_runtime_workers(args) -> int:
     import numpy as np
 
     from . import obs
-    from .diagnose.demo import train_demo_model
     from .runtime import (
         FaultPlan,
         InferenceRuntime,
@@ -192,21 +237,10 @@ def _cmd_runtime_workers(args) -> int:
         generate_arrivals,
         spike_rate,
     )
-    from .slicing.resume import ResumablePlan
 
     rates = [0.25, 0.5, 0.75, 1.0]
     full_latency, slo = 0.002, 0.1
-    print(f"training the demo MLP for {args.cascade_epochs} epochs "
-          f"(seed {args.seed}) ...", file=sys.stderr)
-    model, data = train_demo_model(seed=args.seed,
-                                   epochs=args.cascade_epochs)
-    inputs = data["eval_x"].astype(np.float32)
-    labels = data["eval_y"]
-    accuracy = {}
-    for rate in rates:
-        logits = ResumablePlan(model, rate).run(inputs)
-        accuracy[rate] = float(
-            np.mean(np.argmax(logits, axis=-1) == labels))
+    model, inputs, labels, accuracy = _runtime_demo_model(args, rates)
 
     intensity = spike_rate(
         diurnal_rate(args.base_rate, args.peak_ratio, 60.0),
@@ -293,7 +327,7 @@ def _cmd_runtime_cascade(args) -> int:
     import numpy as np
 
     from . import obs
-    from .diagnose.demo import DEMO_RATES, train_demo_model
+    from .diagnose.demo import DEMO_RATES
     from .runtime import (
         CascadeExecutor,
         CascadeStage,
@@ -313,7 +347,6 @@ def _cmd_runtime_cascade(args) -> int:
         generate_arrivals,
         spike_rate,
     )
-    from .slicing.resume import ResumablePlan
 
     full_latency, slo = 0.002, 0.1
     rates = list(DEMO_RATES)
@@ -322,24 +355,18 @@ def _cmd_runtime_cascade(args) -> int:
         print(f"--cascade-thresholds needs {len(rates) - 1} values "
               f"(stages {rates[:-1]})", file=sys.stderr)
         return 2
-    print(f"training the demo MLP for {args.cascade_epochs} epochs "
-          f"(seed {args.seed}) ...", file=sys.stderr)
-    model, data = train_demo_model(seed=args.seed,
-                                   epochs=args.cascade_epochs)
-    inputs = data["eval_x"].astype(np.float32)
-    labels = data["eval_y"]
     # Measured per-rate accuracy on the eval split doubles as the
     # runtime's expected-accuracy table.
-    accuracy = {}
-    for rate in rates:
-        logits = ResumablePlan(model, rate).run(inputs)
-        accuracy[rate] = float(
-            np.mean(np.argmax(logits, axis=-1) == labels))
+    model, inputs, labels, accuracy = _runtime_demo_model(args, rates)
 
     stages = [CascadeStage(rate, threshold) for rate, threshold
               in zip(rates[:-1], thresholds)]
     stages.append(CascadeStage(rates[-1]))
-    executor = CascadeExecutor(model, stages, exact=True)
+    # Transformer plans do not support row subsetting (the attention
+    # cache couples the batch axis), so escalation recomputes instead of
+    # resuming; thresholds and predictions are unchanged.
+    executor = CascadeExecutor(model, stages, exact=True,
+                               incremental=args.model != "tenc")
     cost = {rate: full_latency * rate * rate for rate in rates}
     # High-margin exits at a cheap stage are far more accurate than the
     # stage's marginal accuracy: calibrate the cascade's per-stage exit
@@ -455,7 +482,12 @@ def _cmd_runtime(args) -> int:
     if args.workers:
         return _cmd_runtime_workers(args)
     rates = [0.25, 0.5, 0.75, 1.0]
-    accuracy = {0.25: 0.62, 0.5: 0.85, 0.75: 0.91, 1.0: 0.94}
+    if args.model == "tenc":
+        # Replicas are simulated here, but the expected-accuracy table
+        # is measured on the real encoder (fidelity to full width).
+        _, _, _, accuracy = _runtime_demo_model(args, rates)
+    else:
+        accuracy = {0.25: 0.62, 0.5: 0.85, 0.75: 0.91, 1.0: 0.94}
     full_latency, slo = 0.002, 0.1
     intensity = spike_rate(
         diurnal_rate(args.base_rate, args.peak_ratio, 60.0),
@@ -564,7 +596,7 @@ def _cmd_plan(args) -> int:
     import numpy as np
 
     from .metrics.latency import measure_latency
-    from .models import MLP, NNLM, SlicedVGG
+    from .models import MLP, NNLM, SlicedVGG, TransformerEncoder, TransformerLM
     from .slicing import PlanCache
 
     rng = np.random.default_rng(args.seed)
@@ -574,6 +606,15 @@ def _cmd_plan(args) -> int:
     elif args.model == "cnn":
         model = SlicedVGG.cifar_mini(width=16, seed=args.seed)
         inputs = rng.normal(size=(args.batch, 3, 8, 8)).astype(np.float32)
+    elif args.model == "tenc":
+        model = TransformerEncoder(image_size=8, patch_size=4, channels=3,
+                                   num_classes=8, embed_dim=32, num_heads=4,
+                                   ffn_dim=64, depth=2, seed=args.seed)
+        inputs = rng.normal(size=(args.batch, 3, 8, 8)).astype(np.float32)
+    elif args.model == "tlm":
+        model = TransformerLM(64, embed_dim=32, num_heads=4, ffn_dim=64,
+                              depth=2, max_seq=16, seed=args.seed)
+        inputs = rng.integers(0, 64, size=(12, args.batch))
     else:
         model = NNLM(64, embed_dim=32, hidden_size=32, seed=args.seed)
         inputs = rng.integers(0, 64, size=(12, args.batch))
@@ -623,7 +664,7 @@ def _cmd_sizing(args) -> int:
         simulate_autoscaling,
     )
     from .errors import ServingError
-    from .models import MLP, SlicedVGG
+    from .models import MLP, SlicedVGG, TransformerEncoder, TransformerLM
     from .runtime.replica import LatencyProfile
 
     # The demo accuracy/rate trade-off (anchored at the Sec 4.1 demo
@@ -631,9 +672,24 @@ def _cmd_sizing(args) -> int:
     anchors = ([0.0, 0.25, 0.5, 0.75, 1.0],
                [0.30, 0.62, 0.85, 0.91, 0.94])
 
+    input_builder = None
     if args.model == "mlp":
         model = MLP(32, [64, 64], 8, seed=args.seed)
         input_shape = (1, 32)
+    elif args.model == "tenc":
+        model = TransformerEncoder(image_size=8, patch_size=4, channels=3,
+                                   num_classes=8, embed_dim=32, num_heads=4,
+                                   ffn_dim=64, depth=2, seed=args.seed)
+        input_shape = (1, 3, 8, 8)
+    elif args.model == "tlm":
+        model = TransformerLM(64, embed_dim=32, num_heads=4, ffn_dim=64,
+                              depth=2, max_seq=16, seed=args.seed)
+        # Decoder inputs are time-major token ids: one 16-step session
+        # column per "sample".
+        input_shape = (16, 1)
+        rng = np.random.default_rng(args.seed)
+        input_builder = lambda shape: rng.integers(  # noqa: E731
+            0, 64, size=shape)
     else:
         model = SlicedVGG.cifar_mini(width=16, seed=args.seed)
         input_shape = (1, 3, 8, 8)
@@ -645,10 +701,12 @@ def _cmd_sizing(args) -> int:
         spec = parse_forecast(args.forecast)
         table = CostTable.from_model(
             model, input_shape, accuracy,
-            LatencyProfile(args.full_latency))
+            LatencyProfile(args.full_latency),
+            input_builder=input_builder)
         node_spec = NodeSpec(memory_bytes=args.node_memory_gb * GiB,
                              flops_per_sec=args.node_flops,
-                             max_replicas=args.max_replicas)
+                             max_replicas=args.max_replicas,
+                             sessions_per_replica=args.sessions_per_user)
         request = SizingRequest(
             spec=spec, window_seconds=args.window,
             latency_slo=args.slo_p95 / 1e3,
@@ -685,6 +743,21 @@ def _cmd_sizing(args) -> int:
 
     report = CapacityReport(plan, simulations)
     print(report.render())
+    if any(cost.kv_bytes_per_session > 0 for cost in table):
+        # Decoder sessions hold KV caches resident between requests, so
+        # node memory — not FLOPs — can bound how many users a node
+        # keeps live.  (weights + batch activations already deducted.)
+        print(f"\nKV-cache session capacity per node "
+              f"({args.sessions_per_user} resident sessions budgeted "
+              f"per replica):")
+        print(f"{'profile':>8} {'kv bytes/session':>17} "
+              f"{'max resident sessions':>22}")
+        for cost in table:
+            capacity = node_spec.max_sessions(cost)
+            text = "unbounded" if capacity == float("inf") \
+                else f"{int(capacity)}"
+            print(f"{cost.label():>8} {cost.kv_bytes_per_session:>17.0f} "
+                  f"{text:>22}")
     if args.json:
         with open(args.json, "w") as handle:
             handle.write(report.to_json())
@@ -813,6 +886,14 @@ def build_parser() -> argparse.ArgumentParser:
                               "--cascade")
     runtime.add_argument("--cascade-epochs", type=int, default=4,
                          help="demo-model training epochs in cascade mode")
+    runtime.add_argument("--model", default="mlp",
+                         choices=["mlp", "tenc"],
+                         help="model the demos serve: the trained demo "
+                              "MLP, or the seeded sliced-attention "
+                              "transformer encoder scored by agreement "
+                              "with its own full width (the decoder LM "
+                              "is session-based — see repro plan/sizing "
+                              "--model tlm)")
     runtime.add_argument("--seed", type=int, default=0)
     runtime.add_argument("--json", default=None, metavar="PATH",
                          help="write the elastic policy's telemetry "
@@ -826,7 +907,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="compile per-rate inference plans and compare against the "
              "uncompiled sliced forward")
     plan.add_argument("--model", default="cnn",
-                      choices=["mlp", "cnn", "nnlm"])
+                      choices=["mlp", "cnn", "nnlm", "tenc", "tlm"],
+                      help="tenc/tlm are the sliced-attention transformer "
+                           "encoder and decoder LM (head+FFN slicing)")
     plan.add_argument("--batch", type=int, default=8)
     plan.add_argument("--repeats", type=int, default=15)
     plan.add_argument("--rates", type=float, nargs="*", default=None,
@@ -878,7 +961,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="calibrated full-width per-sample seconds")
     sizing.add_argument("--boot-windows", type=int, default=2,
                         help="windows a provisioned node takes to boot")
-    sizing.add_argument("--model", default="mlp", choices=["mlp", "cnn"])
+    sizing.add_argument("--model", default="mlp",
+                        choices=["mlp", "cnn", "tenc", "tlm"],
+                        help="tlm (decoder LM) adds per-session KV-cache "
+                             "bytes to the plan's memory budget")
+    sizing.add_argument("--sessions-per-user", type=int, default=0,
+                        help="resident decoder sessions budgeted per "
+                             "replica slot (each holds a KV cache at "
+                             "the replica's profile); trades slice rate "
+                             "against KV residency on node memory")
     sizing.add_argument("--rates", type=float, nargs="*", default=None,
                         help="slice rates in the profile table "
                              "(default: 0.25 0.5 0.75 1.0)")

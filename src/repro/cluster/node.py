@@ -48,12 +48,15 @@ class ProfileCost:
     flops: float               # multiply-adds per request
     param_bytes: float         # resident weight bytes (deployed alone)
     activation_bytes: float    # peak activation bytes per request
+    kv_bytes_per_session: float = 0.0  # per-resident-session KV cache
 
     def __post_init__(self):
         if self.per_sample_s <= 0:
             raise ServingError("per_sample_s must be positive")
         if self.flops <= 0 or self.param_bytes <= 0:
             raise ServingError("flops and param_bytes must be positive")
+        if self.kv_bytes_per_session < 0:
+            raise ServingError("kv_bytes_per_session must be >= 0")
 
     def fingerprint(self) -> str:
         return as_profile(self.profile).fingerprint()
@@ -75,6 +78,7 @@ class ProfileCost:
             "flops": self.flops,
             "param_bytes": self.param_bytes,
             "activation_bytes": self.activation_bytes,
+            "kv_bytes_per_session": self.kv_bytes_per_session,
         }
 
 
@@ -249,6 +253,8 @@ class CostTable:
                 param_bytes=float(memory["param_bytes"]),
                 activation_bytes=float(memory["peak_activation_bytes"])
                 / max(memory["batch"], 1),
+                kv_bytes_per_session=float(
+                    memory.get("kv_cache_bytes_per_session", 0)),
             ))
         return cls(entries)
 
@@ -261,6 +267,7 @@ class NodeSpec:
     flops_per_sec: float = 5e9
     max_replicas: int = 8
     serving_batch: int = 32   # per-replica batch the footprint plans for
+    sessions_per_replica: int = 0  # resident decoding sessions budgeted
 
     def __post_init__(self):
         if self.memory_bytes <= 0 or self.flops_per_sec <= 0:
@@ -268,6 +275,8 @@ class NodeSpec:
         if self.max_replicas < 1 or self.serving_batch < 1:
             raise ServingError(
                 "max_replicas and serving_batch must be >= 1")
+        if self.sessions_per_replica < 0:
+            raise ServingError("sessions_per_replica must be >= 0")
 
     def replica_footprint(self, cost: ProfileCost,
                           resident: ProfileCost | None = None) -> float:
@@ -276,9 +285,29 @@ class NodeSpec:
         ``resident`` names the profile whose *weights* stay loaded —
         for an elastic replica that slices one full model this is the
         widest entry; a fixed-rate replica deploys only its own prefix.
+        Stateful decoder profiles additionally hold one KV cache per
+        budgeted resident session (``sessions_per_replica``), priced at
+        the *serving* profile's rate — narrow profiles cache fewer
+        heads, so they admit more sessions in the same memory.
         """
         weights = (resident or cost).param_bytes
-        return weights + cost.activation_bytes * self.serving_batch
+        return weights + cost.activation_bytes * self.serving_batch \
+            + cost.kv_bytes_per_session * self.sessions_per_replica
+
+    def max_sessions(self, cost: ProfileCost,
+                     resident: ProfileCost | None = None) -> float:
+        """Resident sessions one replica's leftover memory admits.
+
+        The KV-residency ceiling at this profile: memory left after the
+        weights and serving batch, divided by the per-session cache.
+        ``inf`` for stateless profiles (no KV cache).
+        """
+        if cost.kv_bytes_per_session <= 0:
+            return float("inf")
+        weights = (resident or cost).param_bytes
+        free = self.memory_bytes - weights \
+            - cost.activation_bytes * self.serving_batch
+        return max(0.0, free // cost.kv_bytes_per_session)
 
     def replicas_for(self, cost: ProfileCost,
                      resident: ProfileCost | None = None) -> int:
@@ -303,6 +332,7 @@ class NodeSpec:
             "flops_per_sec": self.flops_per_sec,
             "max_replicas": self.max_replicas,
             "serving_batch": self.serving_batch,
+            "sessions_per_replica": self.sessions_per_replica,
         }
 
 

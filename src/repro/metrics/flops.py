@@ -171,16 +171,27 @@ def memory_of_profile(model: Module, input_shape: tuple[int, ...],
     Returns ``{"param_bytes", "peak_activation_bytes", "total_bytes",
     "batch"}`` where ``batch`` is the leading dimension the activations
     were measured at (activation bytes scale linearly with it).
+
+    Models that expose ``kv_cache_bytes(profile)`` (decoder LMs with
+    per-session KV caches) additionally report
+    ``"kv_cache_bytes_per_session"`` — the *per resident session* cache
+    footprint at this profile, which the cluster planner budgets
+    separately from the shared weights (``total_bytes`` deliberately
+    excludes it: sessions scale with users, not replicas).
     """
     params = param_bytes(model, rate)
     activations = peak_activation_bytes(model, input_shape, rate=rate,
                                         input_builder=input_builder)
-    return {
+    result = {
         "param_bytes": params,
         "peak_activation_bytes": activations,
         "total_bytes": params + activations,
         "batch": int(input_shape[0]),
     }
+    kv_fn = getattr(model, "kv_cache_bytes", None)
+    if callable(kv_fn):
+        result["kv_cache_bytes_per_session"] = int(kv_fn(rate))
+    return result
 
 
 def memory_table(model: Module, input_shape: tuple[int, ...],

@@ -1,9 +1,12 @@
-"""Sliceable reference models: MLP, VGG, ResNet and the NNLM."""
+"""Sliceable reference models: MLP, VGG, ResNet, NNLM and Transformers."""
 
 from .mlp import MLP
 from .vgg import SlicedVGG, VGG13_PLAN, VGG16_PLAN
 from .resnet import BottleneckBlock, SlicedResNet
 from .nnlm import NNLM
+from .transformer import (DecoderSession, TransformerBlock,
+                          TransformerEncoder, TransformerLM,
+                          head_ffn_profile, transformer_search_points)
 
 __all__ = [
     "MLP",
@@ -13,4 +16,10 @@ __all__ = [
     "BottleneckBlock",
     "SlicedResNet",
     "NNLM",
+    "TransformerBlock",
+    "TransformerEncoder",
+    "TransformerLM",
+    "DecoderSession",
+    "head_ffn_profile",
+    "transformer_search_points",
 ]

@@ -3,11 +3,13 @@
 from .module import Module, ModuleList, Parameter
 from .linear import Linear
 from .conv import Conv2d
-from .norm import BatchNorm2d, GroupNorm
+from .norm import BatchNorm2d, GroupNorm, LayerNorm, layer_norm_eval
 from .activations import ReLU, Sigmoid, Tanh
 from .dropout import Dropout
 from .pooling import AvgPool2d, GlobalAvgPool2d, MaxPool2d
-from .embedding import Embedding
+from .embedding import Embedding, LearnedPositional
+from .attention import (MultiHeadSelfAttention, attention_eval, causal_mask,
+                        softmax_eval)
 from .container import Sequential
 from .loss import CrossEntropyLoss, MSELoss
 from .recurrent import GRUCell, LSTM, LSTMCell, RNNCell
@@ -21,6 +23,13 @@ __all__ = [
     "Conv2d",
     "BatchNorm2d",
     "GroupNorm",
+    "LayerNorm",
+    "layer_norm_eval",
+    "MultiHeadSelfAttention",
+    "attention_eval",
+    "causal_mask",
+    "softmax_eval",
+    "LearnedPositional",
     "ReLU",
     "Sigmoid",
     "Tanh",

@@ -35,6 +35,8 @@ from .profile import (
     as_profile,
     assign_slice_points,
     named_slice_points,
+    slice_granularity,
+    snap_rate,
 )
 from .partition import GroupPartition
 from .layers import (
@@ -109,6 +111,8 @@ __all__ = [
     "as_profile",
     "assign_slice_points",
     "named_slice_points",
+    "slice_granularity",
+    "snap_rate",
     "GroupPartition",
     "DEFAULT_GROUPS",
     "SlicedLinear",

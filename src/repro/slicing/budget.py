@@ -94,10 +94,20 @@ def width_slice_points(model) -> list[tuple[str, object]]:
     """The slice points whose rate controls a layer's *output* width.
 
     These are the profile search's decision variables: sliced linear and
-    conv layers with ``slice_output=True`` plus recurrent cells.  Norm
-    layers and unsliced-output heads follow their input width, so they
-    carry no independent width decision.
+    conv layers with ``slice_output=True``, recurrent cells, and
+    attention layers (whose decision is the head count — the output
+    width follows the input, but the active heads set the layer's
+    internal width and cost).  Norm layers and unsliced-output heads
+    follow their input width, so they carry no independent width
+    decision.
+
+    For transformer models, pass
+    :func:`repro.models.transformer.transformer_search_points` as the
+    search's ``points``: the residual-width controllers and ``fc2``
+    must stay at the profile default, so perturbing them independently
+    raises a shape error at the residual add.
     """
+    from ..nn.attention import MultiHeadSelfAttention
     from .layers import SlicedConv2d, SlicedLinear
     from .profile import named_slice_points
     from .recurrent import _SlicedRecurrentBase
@@ -107,13 +117,20 @@ def width_slice_points(model) -> list[tuple[str, object]]:
         if isinstance(module, (SlicedLinear, SlicedConv2d)):
             if module.slice_output:
                 points.append((name, module))
-        elif isinstance(module, _SlicedRecurrentBase):
+        elif isinstance(module, (_SlicedRecurrentBase,
+                                 MultiHeadSelfAttention)):
             points.append((name, module))
     return points
 
 
 def _point_widths(module, rate: float) -> tuple[int, int]:
     """``(active_width, full_width)`` of a width-controlling module."""
+    head_part = getattr(module, "head_partition", None)
+    if head_part is not None:
+        # Attention: the width decision is head-granular (whole trailing
+        # heads), so active width moves in head_dim-sized steps.
+        return (head_part.groups_for(rate) * module.head_dim,
+                head_part.width * module.head_dim)
     if hasattr(module, "out_partition") and module.out_partition is not None:
         full = module.out_partition.width
         return module.out_partition.width_for(rate), full

@@ -20,11 +20,13 @@ import copy
 import numpy as np
 
 from ..errors import ConfigError
+from ..nn.attention import MultiHeadSelfAttention
 from ..nn.conv import Conv2d
+from ..nn.embedding import Embedding
 from ..nn.linear import Linear
 from ..nn.module import Module
 from ..nn.norm import GroupNorm
-from ..nn.norm import BatchNorm2d
+from ..nn.norm import BatchNorm2d, LayerNorm
 from ..nn.module import Parameter
 from ..nn.recurrent import GRUCell, LSTMCell, RNNCell
 from .profile import as_profile, named_slice_points
@@ -140,6 +142,55 @@ def _gru_cell_from(cell: SlicedGRUCell, rate: float,
     return plain
 
 
+def _attention_from(layer: MultiHeadSelfAttention, rate: float,
+                    in_rate: float) -> MultiHeadSelfAttention:
+    """A non-sliceable attention holding only the active head prefix.
+
+    ``rate`` picks the head count (whole trailing heads drop, so each
+    retained head keeps its full ``head_dim``); the arriving rate picks
+    the residual width the QKV columns and output rows follow.
+    """
+    if not layer.sliceable:
+        return copy.deepcopy(layer)
+    heads = layer.head_partition.groups_for(rate)
+    head_dim = layer.head_dim
+    inner = heads * head_dim
+    width = layer.embed_partition.width_for(in_rate)
+    plain = MultiHeadSelfAttention(
+        width, heads, head_dim=head_dim, causal=layer.causal,
+        batch_first=layer.batch_first, sliceable=False,
+        rng=np.random.default_rng(0),
+    )
+    _set(plain.qkv_weight, layer.qkv_weight.data[:3 * inner, :width])
+    _set(plain.qkv_bias, layer.qkv_bias.data[:3 * inner])
+    _set(plain.proj_weight, layer.proj_weight.data[:width, :inner])
+    _set(plain.proj_bias, layer.proj_bias.data[:width])
+    return plain
+
+
+def _layernorm_from(layer: LayerNorm, rate: float,
+                    in_rate: float) -> LayerNorm:
+    # Like GroupNorm, width follows the arriving activation.
+    groups = max(1, min(round(in_rate * layer.num_groups), layer.num_groups))
+    width = round(layer.num_features * groups / layer.num_groups)
+    plain = LayerNorm(width, eps=layer.eps,
+                      num_groups=min(layer.num_groups, width))
+    _set(plain.weight, layer.weight.data[:width])
+    _set(plain.bias, layer.bias.data[:width])
+    return plain
+
+
+def _embedding_from(layer: Embedding, rate: float, in_rate: float) -> Embedding:
+    # Width controllers shrink to their active columns; plain embeddings
+    # materialize at full width (nothing to slice).
+    width = layer.out_partition.width_for(rate) if layer.slice_output \
+        else layer.embedding_dim
+    plain = Embedding(layer.num_embeddings, width,
+                      rng=np.random.default_rng(0))
+    _set(plain.weight, layer.weight.data[:, :width])
+    return plain
+
+
 def _multi_bn_from(layer: MultiBatchNorm2d, rate: float,
                    in_rate: float) -> BatchNorm2d:
     # The arriving width (feeding conv's rate) picks the statistics
@@ -163,6 +214,9 @@ _CONVERTERS = [
     (SlicedRNNCell, _rnn_cell_from),
     (SlicedGRUCell, _gru_cell_from),
     (MultiBatchNorm2d, _multi_bn_from),
+    (MultiHeadSelfAttention, _attention_from),
+    (LayerNorm, _layernorm_from),
+    (Embedding, _embedding_from),
 ]
 
 
@@ -207,6 +261,11 @@ def materialize_subnet(model: Module, rate) -> Module:
                 feeder = profile.rate_for(point)
         elif isinstance(module, (SlicedRNNCell, SlicedLSTMCell,
                                  SlicedGRUCell)):
+            feeder = profile.rate_for(point)
+        elif isinstance(module, Embedding) and module.slice_output:
+            # Width-controller embedding: everything downstream follows
+            # its width.  (Attention is *not* a feeder — its output width
+            # equals its input width, like norms.)
             feeder = profile.rate_for(point)
 
     def visit(module: Module) -> None:

@@ -69,6 +69,10 @@ class SlicedLinear(Module):
         self.weight = Parameter(kaiming_normal(rng, (out_features, in_features)))
         self.bias = Parameter(zeros((out_features,))) if bias else None
         self.slice_point = auto_slice_point(self)
+        # Components per indivisible slice unit along the output axis.
+        # Plain width slicing can cut at any group boundary, so the unit
+        # is a single neuron; attention overrides this with head_dim.
+        self.slice_group_size = 1
 
     def active_param_count(self, rate: float) -> int:
         """Parameters resident in memory when deployed at ``rate``."""
@@ -138,6 +142,7 @@ class SlicedConv2d(Module):
         )
         self.bias = Parameter(zeros((out_channels,))) if bias else None
         self.slice_point = auto_slice_point(self)
+        self.slice_group_size = 1
 
     def active_param_count(self, rate: float) -> int:
         """Parameters resident in memory when deployed at ``rate``."""
@@ -200,6 +205,8 @@ class SlicedGroupNorm(Module):
         # The forward is input-width-driven, but deploy / param
         # accounting resolve this norm's own rate by name.
         self.slice_point = auto_slice_point(self)
+        # A norm group only survives whole, so it is the slice unit here.
+        self.slice_group_size = self.group_size
 
     def forward(self, x: Tensor) -> Tensor:
         channels = x.shape[1]

@@ -393,6 +393,180 @@ class LogSoftmaxStep(PlanStep):
         return _log_softmax(x, axis=self.axis)
 
 
+# -- transformer steps --------------------------------------------------
+# These steps deliberately keep weights in the *live orientation*
+# ((out, in), applied as ``x @ W.T``) instead of pre-transposing like
+# LinearStep: the transformer acceptance bar is bitwise identity between
+# the live sliced forward, the compiled plan and the materialized subnet,
+# so every GEMM must present BLAS with the same shapes and orientation
+# the live path does.
+class DenseStep(PlanStep):
+    """``y = x @ W.T + b`` over a prefix, replaying the live op order."""
+
+    kind = "dense"
+
+    def __init__(self, weight: np.ndarray, bias: np.ndarray,
+                 relu: bool = False):
+        self.weight = _f32(weight)  # (out, in) prefix, live orientation
+        self.bias = _f32(bias)
+        self.relu = bool(relu)
+
+    def param_bytes(self) -> int:
+        return self.weight.nbytes + self.bias.nbytes
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        y = x @ self.weight.T
+        y = y + self.bias
+        if self.relu:
+            # Tensor.relu computes x * (x > 0); mirror it exactly.
+            y = y * (y > 0)
+        return y
+
+
+class LayerNormStep(PlanStep):
+    """Layer norm over the arriving width, via the shared numpy eval."""
+
+    kind = "layernorm"
+
+    def __init__(self, gamma: np.ndarray, beta: np.ndarray, eps: float):
+        from ..nn.norm import layer_norm_eval
+
+        self.weight = _f32(gamma)
+        self.bias = _f32(beta)
+        self.eps = float(eps)
+        self._eval = layer_norm_eval
+
+    def param_bytes(self) -> int:
+        return self.weight.nbytes + self.bias.nbytes
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self._eval(x, self.weight, self.bias, self.eps)
+
+
+class PositionalStep(PlanStep):
+    """Adds the learned positional prefix (seq length from the input)."""
+
+    kind = "positional"
+
+    def __init__(self, table: np.ndarray, batch_first: bool):
+        self.weight = _f32(table)  # (max_len, width) prefix
+        self.batch_first = bool(batch_first)
+
+    def param_bytes(self) -> int:
+        return self.weight.nbytes
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        seq_len = x.shape[1] if self.batch_first else x.shape[0]
+        if seq_len > self.weight.shape[0]:
+            raise PlanError(
+                f"positional step compiled for max {self.weight.shape[0]} "
+                f"positions, got {seq_len}")
+        pos = self.weight[:seq_len]
+        if not self.batch_first:
+            pos = pos.reshape(seq_len, 1, -1)
+        return x + pos
+
+
+class AttentionBlockStep(PlanStep):
+    """Pre-norm attention half-block: ``x + attn(ln(x))``, LN folded in.
+
+    The LayerNorm is evaluated inline (no separate step, no autograd
+    graph) and the packed head-major QKV prefix runs as **one GEMM** for
+    all active heads.  The causal mask comes from the process-wide
+    :func:`repro.nn.attention.causal_mask` cache, shared with the live
+    layer and resumable plans.  ``qkv_weight``/``proj_weight`` hold the
+    raw prefixes, so nesting tests can compare them across profiles.
+    """
+
+    kind = "attention"
+
+    def __init__(self, ln_gamma: np.ndarray, ln_beta: np.ndarray, eps: float,
+                 qkv_weight: np.ndarray, qkv_bias: np.ndarray,
+                 proj_weight: np.ndarray, proj_bias: np.ndarray,
+                 head_dim: int, causal: bool, batch_first: bool):
+        from ..nn.attention import attention_eval, causal_mask
+        from ..nn.norm import layer_norm_eval
+
+        self.ln_gamma = _f32(ln_gamma)
+        self.ln_beta = _f32(ln_beta)
+        self.eps = float(eps)
+        self.qkv_weight = _f32(qkv_weight)
+        self.qkv_bias = _f32(qkv_bias)
+        self.proj_weight = _f32(proj_weight)
+        self.proj_bias = _f32(proj_bias)
+        self.head_dim = int(head_dim)
+        self.heads = self.qkv_weight.shape[0] // (3 * self.head_dim)
+        self.causal = bool(causal)
+        self.batch_first = bool(batch_first)
+        self._attention = attention_eval
+        self._mask = causal_mask
+        self._ln = layer_norm_eval
+
+    def param_bytes(self) -> int:
+        return (self.ln_gamma.nbytes + self.ln_beta.nbytes
+                + self.qkv_weight.nbytes + self.qkv_bias.nbytes
+                + self.proj_weight.nbytes + self.proj_bias.nbytes)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        hx = self._ln(x, self.ln_gamma, self.ln_beta, self.eps)
+        seq_len = x.shape[1] if self.batch_first else x.shape[0]
+        mask = self._mask(seq_len) if self.causal else None
+        return x + self._attention(
+            hx, self.qkv_weight, self.qkv_bias, self.proj_weight,
+            self.proj_bias, self.head_dim, mask=mask,
+            batch_first=self.batch_first,
+        )
+
+
+class FFNBlockStep(PlanStep):
+    """Pre-norm FFN half-block: ``x + fc2(relu(fc1(ln(x))))``."""
+
+    kind = "ffn"
+
+    def __init__(self, ln_gamma: np.ndarray, ln_beta: np.ndarray, eps: float,
+                 fc1_weight: np.ndarray, fc1_bias: np.ndarray,
+                 fc2_weight: np.ndarray, fc2_bias: np.ndarray):
+        from ..nn.norm import layer_norm_eval
+
+        self.ln_gamma = _f32(ln_gamma)
+        self.ln_beta = _f32(ln_beta)
+        self.eps = float(eps)
+        self.fc1_weight = _f32(fc1_weight)
+        self.fc1_bias = _f32(fc1_bias)
+        self.fc2_weight = _f32(fc2_weight)
+        self.fc2_bias = _f32(fc2_bias)
+        self._ln = layer_norm_eval
+
+    def param_bytes(self) -> int:
+        return (self.ln_gamma.nbytes + self.ln_beta.nbytes
+                + self.fc1_weight.nbytes + self.fc1_bias.nbytes
+                + self.fc2_weight.nbytes + self.fc2_bias.nbytes)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        shape = x.shape
+        hx = self._ln(x, self.ln_gamma, self.ln_beta, self.eps)
+        flat = hx.reshape(-1, shape[-1])
+        hidden = flat @ self.fc1_weight.T
+        hidden = hidden + self.fc1_bias
+        hidden = hidden * (hidden > 0)  # Tensor.relu's exact arithmetic
+        out = hidden @ self.fc2_weight.T
+        out = out + self.fc2_bias
+        return x + out.reshape(shape)
+
+
+class MeanPoolStep(PlanStep):
+    """Mean over the token axis, replaying ``Tensor.mean``'s sum*scale."""
+
+    kind = "meanpool"
+
+    def __init__(self, axis: int = 1):
+        self.axis = int(axis)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        count = x.shape[self.axis]
+        return x.sum(axis=self.axis) * (1.0 / count)
+
+
 # -- recurrent steps ----------------------------------------------------
 class RNNCellStep(PlanStep):
     """Sliced vanilla RNN cell with the rescale folded into the weights."""
@@ -749,10 +923,109 @@ def _compile_nnlm(model, profile: SliceProfile, fold_rescale: bool):
     return runner.steps, runner
 
 
+def _block_steps(block, profile: SliceProfile, width: int) -> list[PlanStep]:
+    """Compile one pre-norm transformer block at the residual ``width``."""
+    attn = block.attn
+    heads = attn.active_heads(profile.rate_for(attn.slice_point))
+    inner = heads * attn.head_dim
+    rows = 3 * inner
+    attn_step = AttentionBlockStep(
+        block.ln1.weight.data[:width], block.ln1.bias.data[:width],
+        block.ln1.eps,
+        attn.qkv_weight.data[:rows, :width], attn.qkv_bias.data[:rows],
+        attn.proj_weight.data[:width, :inner], attn.proj_bias.data[:width],
+        attn.head_dim, attn.causal, attn.batch_first,
+    )
+    ffn = block.fc1.out_partition.width_for(
+        profile.rate_for(block.fc1.slice_point))
+    fc2_out = block.fc2.out_partition.width_for(
+        profile.rate_for(block.fc2.slice_point))
+    if fc2_out != width:
+        raise PlanError(
+            f"profile gives fc2 width {fc2_out} but the residual stream is "
+            f"{width} wide; fc2 must stay at the default (residual) rate")
+    ffn_step = FFNBlockStep(
+        block.ln2.weight.data[:width], block.ln2.bias.data[:width],
+        block.ln2.eps,
+        block.fc1.weight.data[:ffn, :width], block.fc1.bias.data[:ffn],
+        block.fc2.weight.data[:width, :ffn], block.fc2.bias.data[:width],
+    )
+    return [attn_step, ffn_step]
+
+
+class _TransformerEncoderRunner:
+    """Images ``(B, C, H, W)`` -> class log-probabilities ``(B, classes)``."""
+
+    def __init__(self, patchify, steps: list[PlanStep]):
+        self.steps = steps
+        self._patchify = patchify
+
+    def __call__(self, images: np.ndarray) -> np.ndarray:
+        x = self._patchify(np.asarray(images))
+        for step in self.steps:
+            x = step(x)
+        return x
+
+
+class _TransformerLMRunner:
+    """Token ids ``(T, B)`` -> log-probabilities ``(T, B, vocab)``."""
+
+    def __init__(self, steps: list[PlanStep]):
+        self.steps = steps
+
+    def __call__(self, tokens: np.ndarray) -> np.ndarray:
+        seq, batch = tokens.shape
+        x = self.steps[0](tokens)
+        for step in self.steps[1:-1]:
+            x = step(x)
+        logits = self.steps[-1](x.reshape(seq * batch, x.shape[-1]))
+        return _log_softmax(logits).reshape(seq, batch, -1)
+
+
+def _compile_transformer_encoder(model, profile: SliceProfile,
+                                 fold_rescale: bool):
+    width = model.patch_embed.out_partition.width_for(
+        profile.rate_for(model.patch_embed.slice_point))
+    steps: list[PlanStep] = [
+        DenseStep(model.patch_embed.weight.data[:width, :],
+                  model.patch_embed.bias.data[:width]),
+        PositionalStep(model.pos.weight.data[:, :width], batch_first=True),
+    ]
+    for block in model.blocks:
+        steps.extend(_block_steps(block, profile, width))
+    steps.append(LayerNormStep(model.ln_f.weight.data[:width],
+                               model.ln_f.bias.data[:width], model.ln_f.eps))
+    steps.append(MeanPoolStep(axis=1))
+    steps.append(DenseStep(model.head.weight.data[:, :width],
+                           model.head.bias.data))
+    steps.append(LogSoftmaxStep())
+    runner = _TransformerEncoderRunner(model.patchify, steps)
+    return steps, runner
+
+
+def _compile_transformer_lm(model, profile: SliceProfile,
+                            fold_rescale: bool):
+    width = model.embedding.active_width(
+        profile.rate_for(model.embedding.slice_point))
+    steps: list[PlanStep] = [
+        EmbeddingStep(model.embedding.weight.data[:, :width]),
+        PositionalStep(model.pos.weight.data[:, :width], batch_first=False),
+    ]
+    for block in model.blocks:
+        steps.extend(_block_steps(block, profile, width))
+    steps.append(LayerNormStep(model.ln_f.weight.data[:width],
+                               model.ln_f.bias.data[:width], model.ln_f.eps))
+    steps.append(DenseStep(model.decoder.weight.data[:, :width],
+                           model.decoder.bias.data))
+    runner = _TransformerLMRunner(steps)
+    return steps, runner
+
+
 def _find_compiler(model):
     # Imported lazily: repro.models imports repro.slicing at module load.
     from ..models.mlp import MLP
     from ..models.nnlm import NNLM
+    from ..models.transformer import TransformerEncoder, TransformerLM
     from ..models.vgg import SlicedVGG
 
     if isinstance(model, MLP):
@@ -761,6 +1034,10 @@ def _find_compiler(model):
         return _compile_vgg
     if isinstance(model, NNLM):
         return _compile_nnlm
+    if isinstance(model, TransformerEncoder):
+        return _compile_transformer_encoder
+    if isinstance(model, TransformerLM):
+        return _compile_transformer_lm
     return None
 
 

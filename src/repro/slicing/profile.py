@@ -46,6 +46,18 @@ def validate_rate(rate: float) -> float:
     return rate
 
 
+def snap_rate(rate: float, num_groups: int) -> int:
+    """Snap ``rate`` to the number of groups it activates under ``G`` groups.
+
+    This is the same rounding :class:`~repro.slicing.partition.GroupPartition`
+    applies, exposed so profile comparisons can happen at the granularity a
+    grouped slice point actually resolves widths at: two rates that activate
+    the same group count produce identical prefixes and must compare equal.
+    """
+    rate = validate_rate(rate)
+    return min(max(round(rate * num_groups), 1), num_groups)
+
+
 class SliceProfile:
     """Ordered mapping from slice-point names to slice rates.
 
@@ -216,18 +228,37 @@ class LayerProfile(SliceProfile):
         return LayerProfile(updated, default=self.default)
 
     def pointwise_leq(self, other: "SliceProfile",
-                      names: Iterable[str] | None = None) -> bool:
+                      names: Iterable[str] | None = None,
+                      granularity: Mapping[str, int] | None = None) -> bool:
         """True if this profile is <= ``other`` at every slice point.
 
         Pointwise-ordered profiles preserve Eq. 2 across profiles: every
         layer's active prefix under ``self`` is a prefix of its active
         prefix under ``other``.
+
+        ``granularity`` maps slice-point names to group counts (see
+        :func:`slice_granularity`).  Grouped points — attention head
+        partitions, grouped linear widths — quantize their rate, so two
+        rates activating the same groups are the *same* width; comparing
+        at group granularity keeps the ordering faithful to the widths
+        the model will actually run at.  Points without a granularity
+        entry compare on raw rates, as before.
         """
         if names is None:
             names = set(self._rates) | {n for n, _ in other.items()}
-        return (self.default <= other.rate_for(None)
-                and all(self.rate_for(n) <= other.rate_for(n)
-                        for n in names))
+        if self.default > other.rate_for(None):
+            return False
+        granularity = granularity or {}
+        for name in names:
+            mine = self.rate_for(name)
+            theirs = other.rate_for(name)
+            groups = granularity.get(name)
+            if groups:
+                if snap_rate(mine, groups) > snap_rate(theirs, groups):
+                    return False
+            elif mine > theirs:
+                return False
+        return True
 
     def __repr__(self) -> str:
         body = ", ".join(f"{name}={rate:g}"
@@ -294,16 +325,45 @@ def named_slice_points(model) -> list[tuple[str, object]]:
     return points
 
 
+def slice_granularity(model) -> dict[str, int]:
+    """Map each slice-point name to the group count its rates snap to.
+
+    Grouped slice points quantize rates: a partition with ``G`` groups
+    resolves every rate in ``((g-1)/G, g/G]``-ish rounding neighborhoods
+    to the same prefix width.  :meth:`LayerProfile.pointwise_leq` and
+    :func:`repro.slicing.resume.pointwise_nested` compare at this
+    granularity so profile ordering reflects the widths a model actually
+    runs at (critical for attention, where a "group" is a whole head).
+    Points whose width is not partition-driven are omitted and compare
+    on raw rates.
+    """
+    grains: dict[str, int] = {}
+    for name, module in named_slice_points(model):
+        part = getattr(module, "head_partition", None)
+        if part is None:
+            part = getattr(module, "out_partition", None)
+        if part is None:
+            part = getattr(module, "partition", None)
+        if part is not None:
+            grains[name] = part.num_groups
+    return grains
+
+
 def assign_slice_points(model) -> dict[str, object]:
     """Rename every slice point to its stable dotted module path.
 
     Returns the resulting ``{path: module}`` mapping.  Idempotent; the
     bundled models call this at the end of ``__init__`` so profiles can
     reference layers by architecture position (``"fc0"``, ``"conv3"``,
-    ``"lstm.cell1"``, ...).
+    ``"lstm.cell1"``, ...).  Every point is also guaranteed to carry a
+    ``slice_group_size`` (component count per group along the slice
+    axis: 1 for plain width slicing, ``head_dim`` for attention), so
+    downstream consumers can rely on the attribute's presence.
     """
     mapping: dict[str, object] = {}
     for name, module in named_slice_points(model):
         module.slice_point = name
+        if not hasattr(module, "slice_group_size"):
+            module.slice_group_size = 1
         mapping[name] = module
     return mapping

@@ -60,11 +60,15 @@ number the cascade's ``cascade_flops_saved_total`` counter exports.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from ..errors import PlanError, SliceRateError
+from ..nn.attention import causal_mask, softmax_eval
 from ..nn.dropout import Dropout
 from ..nn.embedding import Embedding
+from ..nn.norm import layer_norm_eval
 from .layers import SlicedConv2d, SlicedGroupNorm, SlicedLinear
 from .plans import (
     AvgPoolStep,
@@ -117,14 +121,28 @@ def pointwise_nested(model, narrow, wide) -> bool:
 
     This is the Eq. 2 prefix-nesting condition under which widening is
     well defined: every layer's active prefix under ``narrow`` must be a
-    prefix of its active prefix under ``wide``.
+    prefix of its active prefix under ``wide``.  Grouped slice points
+    (attention heads, group norms) compare after snapping to their group
+    grid: two rates that round to the same head count activate the same
+    prefix, so they nest even when the raw rates are ordered the other
+    way.
     """
+    from .profile import slice_granularity, snap_rate
+
     narrow, wide = as_profile(narrow), as_profile(wide)
     eps = 1e-12
     if narrow.rate_for(None) > wide.rate_for(None) + eps:
         return False
-    return all(narrow.rate_for(name) <= wide.rate_for(name) + eps
-               for name, _ in named_slice_points(model))
+    granularity = slice_granularity(model)
+    for name, _ in named_slice_points(model):
+        low, high = narrow.rate_for(name), wide.rate_for(name)
+        groups = granularity.get(name, 1)
+        if groups > 1:
+            if snap_rate(low, groups) > snap_rate(high, groups):
+                return False
+        elif low > high + eps:
+            return False
+    return True
 
 
 # ----------------------------------------------------------------------
@@ -585,6 +603,372 @@ class _LogSoftmaxNode(_Node):
         return self.run(x, profile)
 
 
+class _SlicedEmbeddingNode(_Node):
+    """Width-controller embedding: widening appends gathered columns.
+
+    Gathering rows of a column prefix equals the column prefix of the
+    full gather, so column extension is bitwise by construction — no
+    canonical GEMM needed.
+    """
+
+    _cached = ("y",)
+
+    def __init__(self, layer: Embedding):
+        self.layer = layer
+        self.name = getattr(layer, "slice_point", "embedding")
+        self.tokens = None
+        self.y = None
+        self.width = 0
+
+    def _width(self, profile: SliceProfile) -> int:
+        return self.layer.active_width(
+            profile.rate_for(self.layer.slice_point))
+
+    def run(self, tokens, profile):
+        idx = np.asarray(tokens)
+        if idx.dtype.kind not in "iu":
+            raise PlanError("embedding node expects integer token ids")
+        width = self._width(profile)
+        self.tokens = idx
+        self.y = _f32(self.layer.weight.data[:, :width])[idx]
+        self.width = width
+        return self.y, True, 0, 0
+
+    def widen(self, tokens, profile, changed_in, exact):
+        width = self._width(profile)
+        if width < self.width:
+            raise SliceRateError(
+                f"{self.name}: widen() target is narrower than cached")
+        if width == self.width:
+            return self.y, False, 0, 0
+        extra = _f32(self.layer.weight.data[:, self.width:width])
+        self.y = np.concatenate([self.y, extra[self.tokens]], axis=-1)
+        self.width = width
+        return self.y, False, 0, 0
+
+    def take_rows(self, rows) -> None:
+        self.tokens = self.tokens[:, rows]
+        self.y = self.y[:, rows]
+
+
+class _PosNode(_Node):
+    """Learned positional add; elementwise, so prefix-preserving."""
+
+    _cached = ("x", "y")
+    name = "pos"
+
+    def __init__(self, layer):
+        self.layer = layer
+        self.x = self.y = None
+
+    def run(self, x, profile):
+        d = x.shape[-1]
+        t = x.shape[1] if self.layer.batch_first else x.shape[0]
+        table = _f32(self.layer.weight.data[:t, :d])
+        if not self.layer.batch_first:
+            table = table.reshape(t, 1, d)
+        y = x + table
+        self.x, self.y = x, y
+        return y, True, 0, 0
+
+    def widen(self, x, profile, changed_in, exact):
+        if not changed_in and self.x is not None and x.shape == self.x.shape:
+            return self.y, False, 0, 0
+        y, _, _, _ = self.run(x, profile)
+        # The add is elementwise: growing the width leaves the cached
+        # prefix columns bit-identical, so upstream cleanliness carries.
+        return y, changed_in, 0, 0
+
+
+class _LayerNormNode(_Node):
+    """LayerNorm over the arriving width; stats couple every feature,
+    so any width growth invalidates the cached output (cost ~0 anyway).
+    """
+
+    _cached = ("x", "y")
+    name = "norm"
+
+    def __init__(self, layer):
+        self.layer = layer
+        self.x = self.y = None
+
+    def run(self, x, profile):
+        d = x.shape[-1]
+        y = layer_norm_eval(x, _f32(self.layer.weight.data[:d]),
+                            _f32(self.layer.bias.data[:d]), self.layer.eps)
+        self.x, self.y = x, y
+        return y, True, 0, 0
+
+    def widen(self, x, profile, changed_in, exact):
+        if not changed_in and self.x is not None and x.shape == self.x.shape:
+            return self.y, False, 0, 0
+        y, _, _, _ = self.run(x, profile)
+        return y, True, 0, 0
+
+
+class _MeanPoolNode(_Node):
+    """Sequence mean pool (encoder readout); recomputed when upstream
+    moved — summation order may shift with the feature width, so width
+    growth conservatively marks the output changed.
+    """
+
+    _cached = ("x", "y")
+    name = "mean_pool"
+
+    def __init__(self, axis: int = 1):
+        self.axis = axis
+        self.x = self.y = None
+
+    def run(self, x, profile):
+        count = x.shape[self.axis]
+        y = x.sum(axis=self.axis) * (1.0 / count)
+        self.x, self.y = x, y
+        return y, True, 0, 0
+
+    def widen(self, x, profile, changed_in, exact):
+        if not changed_in and self.x is not None and x.shape == self.x.shape:
+            return self.y, False, 0, 0
+        y, _, _, _ = self.run(x, profile)
+        return y, True, 0, 0
+
+
+class _AttentionBlockNode(_Node):
+    """Residual pre-norm attention: ``x + proj(attn(ln(x)))``.
+
+    The reuse unit is the *head*: run() computes scores, softmax and
+    context per ``(batch, head)`` 2-d slice with the canonical GEMM, so
+    each head's result is independent of how many heads run beside it.
+    Widening on a clean input then appends whole head blocks — the
+    softmax stages cannot use the dense cross-term rule, so the new
+    heads are recomputed per head (reported as ``"per-head recompute"``
+    in ``last_report``).  The output projection's input columns grow
+    with the heads, so exact mode recomputes it in full with the
+    canonical GEMM while approximate mode keeps the cached base product
+    and adds only the new heads' cross-term (the Sec. 3.5 rule).
+    """
+
+    _cached = ("xc", "hx_flat", "ctx", "raw", "y")
+
+    def __init__(self, ln, attn):
+        self.ln = ln
+        self.attn = attn
+        self.name = attn.slice_point
+        self.xc = self.hx_flat = self.ctx = self.raw = self.y = None
+        self.heads = self.d = 0
+        self.last_note = None
+
+    # -- helpers ---------------------------------------------------------
+    def _active_heads(self, profile: SliceProfile) -> int:
+        return self.attn.active_heads(
+            profile.rate_for(self.attn.slice_point))
+
+    def _full(self, b: int, t: int, d: int, heads: int) -> int:
+        dk = self.attn.head_dim
+        inner = heads * dk
+        return b * t * 3 * inner * d + 2 * b * heads * t * t * dk \
+            + b * t * d * inner
+
+    def _head_qkv(self, hx_flat, head: int, d: int, b: int, t: int):
+        """Head ``head``'s q, k, v as ``(b, t, d_k)`` arrays."""
+        dk = self.attn.head_dim
+        weight = self.attn.qkv_weight.data
+        bias = self.attn.qkv_bias.data
+        base = 3 * dk * head
+        parts = []
+        for j in range(3):
+            lo, hi = base + j * dk, base + (j + 1) * dk
+            raw = _cgemm(hx_flat, _f32(weight[lo:hi, :d]))
+            parts.append((raw + _f32(bias[lo:hi])).reshape(b, t, dk))
+        return parts
+
+    def _head_ctx(self, q, k, v, mask, b: int, t: int) -> np.ndarray:
+        dk = self.attn.head_dim
+        scale = 1.0 / math.sqrt(dk)
+        ctx = np.empty((b, t, dk), dtype=np.float32)
+        for i in range(b):
+            scores = _cgemm(q[i], k[i]) * scale
+            if mask is not None:
+                scores = scores + mask
+            probs = softmax_eval(scores)
+            ctx[i] = _cgemm(probs, np.ascontiguousarray(v[i].T))
+        return ctx
+
+    def _project(self, ctx: np.ndarray, d: int) -> np.ndarray:
+        """Full output projection + residual from the context blocks."""
+        b, heads, t, dk = ctx.shape
+        flat = np.ascontiguousarray(
+            np.moveaxis(ctx, 1, 2)).reshape(b * t, heads * dk)
+        self.raw = _cgemm(flat, _f32(self.attn.proj_weight.data[:d,
+                                                                :heads * dk]))
+        out = self.raw + _f32(self.attn.proj_bias.data[:d])
+        return self.xc + out.reshape(b, t, d)
+
+    def _layout(self, y: np.ndarray) -> np.ndarray:
+        if self.attn.batch_first:
+            return y
+        return np.ascontiguousarray(np.swapaxes(y, 0, 1))
+
+    # -- execution -------------------------------------------------------
+    def run(self, x, profile):
+        self.last_note = None
+        attn = self.attn
+        heads = self._active_heads(profile)
+        xc = x if attn.batch_first \
+            else np.ascontiguousarray(np.swapaxes(x, 0, 1))
+        b, t, d = xc.shape
+        hx = layer_norm_eval(xc, _f32(self.ln.weight.data[:d]),
+                             _f32(self.ln.bias.data[:d]), self.ln.eps)
+        self.xc = xc
+        self.hx_flat = _f32(hx.reshape(b * t, d))
+        mask = causal_mask(t) if attn.causal else None
+        ctx = np.empty((b, heads, t, attn.head_dim), dtype=np.float32)
+        for h in range(heads):
+            q, k, v = self._head_qkv(self.hx_flat, h, d, b, t)
+            ctx[:, h] = self._head_ctx(q, k, v, mask, b, t)
+        self.ctx = ctx
+        y = self._layout(self._project(ctx, d))
+        self.y = y
+        self.heads, self.d = heads, d
+        full = self._full(b, t, d, heads)
+        return y, True, full, full
+
+    def widen(self, x, profile, changed_in, exact):
+        self.last_note = None
+        attn = self.attn
+        dk = attn.head_dim
+        heads_new = self._active_heads(profile)
+        d_new = x.shape[-1]
+        if heads_new < self.heads or d_new < self.d:
+            raise SliceRateError(
+                f"{self.name}: widen() target is narrower than cached")
+        b, _, t, _ = self.ctx.shape
+        full = self._full(b, t, d_new, heads_new)
+        clean = not changed_in and d_new == self.d
+        if clean and heads_new == self.heads:
+            return self.y, False, 0, full
+        if clean:
+            grown = heads_new - self.heads
+            mask = causal_mask(t) if attn.causal else None
+            extra = np.empty((b, grown, t, dk), dtype=np.float32)
+            for h in range(self.heads, heads_new):
+                q, k, v = self._head_qkv(self.hx_flat, h, d_new, b, t)
+                extra[:, h - self.heads] = self._head_ctx(q, k, v, mask, b, t)
+            ctx = np.concatenate([self.ctx, extra], axis=1)
+            spent = b * t * 3 * grown * dk * d_new \
+                + 2 * b * grown * t * t * dk
+            if exact:
+                # proj input columns grew: canonical full recompute keeps
+                # the guarantee (every column's accumulation is fixed).
+                y = self._layout(self._project(ctx, d_new))
+                spent += b * t * d_new * heads_new * dk
+            else:
+                flat = np.ascontiguousarray(
+                    np.moveaxis(extra, 1, 2)).reshape(b * t, grown * dk)
+                self.raw = self.raw + _cgemm(
+                    flat, _f32(attn.proj_weight.data[
+                        :d_new, self.heads * dk:heads_new * dk]))
+                out = self.raw + _f32(attn.proj_bias.data[:d_new])
+                y = self._layout(self.xc + out.reshape(b, t, d_new))
+                spent += b * t * d_new * grown * dk
+            self.ctx, self.y = ctx, y
+            self.heads = heads_new
+            self.last_note = "per-head recompute"
+            return y, True, spent, full
+        # Residual width or input values changed: the LayerNorm stats
+        # moved, so nothing cached survives — recompute from scratch.
+        y, _, spent, full = self.run(x, profile)
+        self.last_note = "full recompute"
+        return y, True, spent, full
+
+
+class _FFNBlockNode(_Node):
+    """Residual pre-norm FFN: ``x + fc2(relu(fc1(ln(x))))``.
+
+    Clean-input widening appends FFN columns: fc1's new output columns
+    are independent canonical accumulations (bitwise extension), the
+    relu is elementwise, and fc2 — whose *input* columns grew — is
+    recomputed in full under exact mode or cross-termed under the
+    paper's approximate rule.
+    """
+
+    _cached = ("x", "hx_flat", "hidden", "raw", "y")
+
+    def __init__(self, ln, fc1: SlicedLinear, fc2: SlicedLinear):
+        self.ln = ln
+        self.fc1 = fc1
+        self.fc2 = fc2
+        self.name = fc1.slice_point
+        self.x = self.hx_flat = self.hidden = self.raw = self.y = None
+        self.d = self.f = 0
+
+    def _widths(self, profile: SliceProfile, d: int) -> int:
+        ffn = self.fc1.out_partition.width_for(
+            profile.rate_for(self.fc1.slice_point))
+        fc2_out = self.fc2.out_partition.width_for(
+            profile.rate_for(self.fc2.slice_point))
+        if fc2_out != d:
+            raise PlanError(
+                f"profile gives fc2 width {fc2_out} but the residual "
+                f"stream is {d} wide; fc2 must stay at the default rate")
+        return ffn
+
+    def _hidden_cols(self, lo: int, hi: int, d: int) -> np.ndarray:
+        raw = _cgemm(self.hx_flat, _f32(self.fc1.weight.data[lo:hi, :d]))
+        return np.maximum(raw + _f32(self.fc1.bias.data[lo:hi]), 0.0)
+
+    def _finish(self, hidden: np.ndarray, raw: np.ndarray, d: int,
+                shape) -> np.ndarray:
+        out = raw + _f32(self.fc2.bias.data[:d])
+        return self.x + out.reshape(shape)
+
+    def run(self, x, profile):
+        d = x.shape[-1]
+        ffn = self._widths(profile, d)
+        hx = layer_norm_eval(x, _f32(self.ln.weight.data[:d]),
+                             _f32(self.ln.bias.data[:d]), self.ln.eps)
+        self.x = x
+        self.hx_flat = _f32(hx.reshape(-1, d))
+        self.hidden = self._hidden_cols(0, ffn, d)
+        self.raw = _cgemm(self.hidden, _f32(self.fc2.weight.data[:d, :ffn]))
+        y = self._finish(self.hidden, self.raw, d, x.shape)
+        self.y = y
+        self.d, self.f = d, ffn
+        rows = self.hx_flat.shape[0]
+        full = 2 * rows * ffn * d
+        return y, True, full, full
+
+    def widen(self, x, profile, changed_in, exact):
+        d_new = x.shape[-1]
+        ffn_new = self._widths(profile, d_new)
+        if ffn_new < self.f or d_new < self.d:
+            raise SliceRateError(
+                f"{self.name}: widen() target is narrower than cached")
+        rows = int(np.prod(x.shape[:-1]))
+        full = 2 * rows * ffn_new * d_new
+        clean = not changed_in and d_new == self.d
+        if clean and ffn_new == self.f:
+            return self.y, False, 0, full
+        if clean:
+            grown = self._hidden_cols(self.f, ffn_new, d_new)
+            hidden = np.concatenate([self.hidden, grown], axis=-1)
+            spent = rows * (ffn_new - self.f) * d_new
+            if exact:
+                raw = _cgemm(hidden, _f32(self.fc2.weight.data[:d_new,
+                                                               :ffn_new]))
+                spent += rows * d_new * ffn_new
+            else:
+                raw = self.raw + _cgemm(
+                    grown, _f32(self.fc2.weight.data[:d_new,
+                                                     self.f:ffn_new]))
+                spent += rows * d_new * (ffn_new - self.f)
+            self.hidden, self.raw = hidden, raw
+            y = self._finish(hidden, raw, d_new, x.shape)
+            self.y, self.f = y, ffn_new
+            return y, True, spent, full
+        y, _, spent, full = self.run(x, profile)
+        return y, True, spent, full
+
+
 # ----------------------------------------------------------------------
 # Model builders
 # ----------------------------------------------------------------------
@@ -633,9 +1017,43 @@ def _build_vgg(model) -> tuple[list[_Node], str]:
     return nodes, "chain"
 
 
+def _build_transformer_blocks(model) -> list[_Node]:
+    nodes: list[_Node] = []
+    for block in model.blocks:
+        nodes.append(_AttentionBlockNode(block.ln1, block.attn))
+        nodes.append(_FFNBlockNode(block.ln2, block.fc1, block.fc2))
+    return nodes
+
+
+def _build_transformer_encoder(model) -> tuple[list[_Node], str]:
+    nodes: list[_Node] = [
+        _LinearNode(model.patch_embed, relu=False),
+        _PosNode(model.pos),
+        *_build_transformer_blocks(model),
+        _LayerNormNode(model.ln_f),
+        _MeanPoolNode(axis=1),
+        _LinearNode(model.head, relu=False),
+        _LogSoftmaxNode(),
+    ]
+    return nodes, "tenc"
+
+
+def _build_transformer_lm(model) -> tuple[list[_Node], str]:
+    nodes: list[_Node] = [
+        _SlicedEmbeddingNode(model.embedding),
+        _PosNode(model.pos),
+        *_build_transformer_blocks(model),
+        _LayerNormNode(model.ln_f),
+        _LinearNode(model.decoder, relu=False),
+        _LogSoftmaxNode(),
+    ]
+    return nodes, "tlm"
+
+
 def _find_builder(model):
     from ..models.mlp import MLP
     from ..models.nnlm import NNLM
+    from ..models.transformer import TransformerEncoder, TransformerLM
     from ..models.vgg import SlicedVGG
 
     if isinstance(model, MLP):
@@ -644,6 +1062,10 @@ def _find_builder(model):
         return _build_nnlm
     if isinstance(model, SlicedVGG):
         return _build_vgg
+    if isinstance(model, TransformerEncoder):
+        return _build_transformer_encoder
+    if isinstance(model, TransformerLM):
+        return _build_transformer_lm
     return None
 
 
@@ -656,7 +1078,8 @@ class ResumablePlan:
     Parameters
     ----------
     model:
-        A supported sliced model (MLP, NNLM, SlicedVGG).
+        A supported sliced model (MLP, NNLM, SlicedVGG,
+        TransformerEncoder, TransformerLM).
     profile:
         The starting (narrow) slice profile; scalar rates coerce.
     exact:
@@ -768,10 +1191,11 @@ class ResumablePlan:
         """
         if self._inputs is None:
             raise PlanError("subset() before run(): nothing to restrict")
-        if self._kind == "nnlm":
+        if self._kind in ("nnlm", "tenc", "tlm"):
             raise PlanError(
-                "subset() is not supported for sequence models: the "
-                "decoder input flattens time and batch together")
+                "subset() is not supported for sequence and transformer "
+                "models: their decoders flatten time and batch together "
+                "(and attention mixes every position)")
         rows = np.asarray(rows)
         clone = ResumablePlan.__new__(ResumablePlan)
         clone.model = self.model
@@ -803,6 +1227,8 @@ class ResumablePlan:
         report: list[dict] = []
         if self._kind == "nnlm":
             return self._execute_nnlm(x, profile, from_scratch, exact)
+        if self._kind in ("tenc", "tlm"):
+            return self._execute_transformer(x, profile, from_scratch, exact)
         changed = False
         for node in self.nodes:
             if from_scratch:
@@ -837,6 +1263,51 @@ class ResumablePlan:
         flat = hidden.reshape(steps * batch, hidden.shape[-1])
         logits, changed = apply(decoder, flat, changed)
         out, _ = apply(softmax, logits, changed)
+        self._shape = (steps, batch)
+        return out.reshape(steps, batch, -1), report
+
+    def _execute_transformer(self, x, profile: SliceProfile,
+                             from_scratch: bool, exact: bool):
+        report: list[dict] = []
+
+        def apply(node, value, changed):
+            if from_scratch:
+                out, chg, spent, full = node.run(value, profile)
+            else:
+                out, chg, spent, full = node.widen(value, profile,
+                                                   changed, exact)
+            entry = {"name": node.name, "spent": spent, "full": full,
+                     "saved": full - spent, "reused": not chg}
+            note = getattr(node, "last_note", None)
+            if note:
+                entry["note"] = note
+            report.append(entry)
+            return out, chg
+
+        nodes = self.nodes
+        if self._kind == "tenc":
+            patches = self.model.patchify(x)
+            b, t, patch_dim = patches.shape
+            h, changed = apply(nodes[0], _f32(patches.reshape(b * t,
+                                                              patch_dim)),
+                               False)
+            h = h.reshape(b, t, -1)
+        else:
+            steps, batch = x.shape
+            h, changed = apply(nodes[0], x, False)
+        h, changed = apply(nodes[1], h, changed)
+        tail = 4 if self._kind == "tenc" else 3
+        for node in nodes[2:len(nodes) - tail]:
+            h, changed = apply(node, h, changed)
+        h, changed = apply(nodes[-tail], h, changed)  # final LayerNorm
+        if self._kind == "tenc":
+            h, changed = apply(nodes[-3], h, changed)  # mean pool
+            logits, changed = apply(nodes[-2], h, changed)
+            out, _ = apply(nodes[-1], logits, changed)
+            return out, report
+        flat = h.reshape(steps * batch, h.shape[-1])
+        logits, changed = apply(nodes[-2], flat, changed)
+        out, _ = apply(nodes[-1], logits, changed)
         self._shape = (steps, batch)
         return out.reshape(steps, batch, -1), report
 

@@ -23,6 +23,7 @@ import contextlib
 import numpy as np
 import pytest
 
+from repro.nn import LayerNorm, MultiHeadSelfAttention
 from repro.slicing import (
     SlicedConv2d,
     SlicedGroupNorm,
@@ -162,3 +163,85 @@ def test_sliced_groupnorm_gradients(index, channels, groups, rate, fused):
 
     with _kernel_ctx(fused):
         check_gradients(func, [x] + layer.parameters())
+
+
+def _layernorm_cases(count=15):
+    gen = np.random.default_rng(404)
+    cases = []
+    for i in range(count):
+        groups = int(gen.choice([2, 4]))
+        group_size = int(gen.integers(1, 4))
+        cases.append((
+            i,
+            groups * group_size,                 # num_features
+            groups,                              # num_groups
+            float(gen.choice(RATE_CHOICES)),     # rate
+        ))
+    return cases
+
+
+@pytest.mark.parametrize(
+    "index,features,groups,rate", _layernorm_cases(),
+    ids=lambda v: str(v) if isinstance(v, (int, float, bool)) else None)
+def test_layer_norm_gradients(index, features, groups, rate):
+    """The analytic LayerNorm backward, at every arriving slice width."""
+    rng = _case_rng(index, 4)
+    layer = LayerNorm(features, num_groups=groups)
+    # Randomized affine parameters, as in the groupnorm sweep: the
+    # default gamma=1 / beta=0 would leave scale paths untested.
+    layer.weight.data = rng.normal(size=features)
+    layer.bias.data = rng.normal(size=features)
+    _to_float64(layer)
+    snapped = max(1, min(round(rate * groups), groups))
+    width = round(features * snapped / groups)
+    x = Tensor(rng.normal(size=(2, 3, width)), requires_grad=True,
+               dtype=np.float64)
+
+    def func(inputs):
+        with slice_rate(rate):
+            return layer(inputs[0])
+
+    check_gradients(func, [x] + layer.parameters())
+
+
+def _attention_cases(count=14):
+    gen = np.random.default_rng(505)
+    cases = []
+    for i in range(count):
+        heads = int(gen.integers(2, 5))
+        head_dim = int(gen.integers(2, 4))
+        cases.append((
+            i,
+            heads * head_dim,                    # embed_dim
+            heads,                               # num_heads
+            head_dim,                            # head_dim
+            int(gen.choice([2, 4])),             # num_groups (embed axis)
+            float(gen.choice(RATE_CHOICES)),     # rate
+            bool(gen.integers(0, 2)),            # causal
+            bool(gen.integers(0, 2)),            # batch_first
+        ))
+    return cases
+
+
+@pytest.mark.parametrize(
+    "index,embed,heads,head_dim,groups,rate,causal,batch_first",
+    _attention_cases(),
+    ids=lambda v: str(v) if isinstance(v, (int, float, bool)) else None)
+def test_attention_gradients(index, embed, heads, head_dim, groups, rate,
+                             causal, batch_first):
+    """Packed-QKV attention under grouped head slicing (and the causal
+    mask path), gradchecked with the head-group prefix active."""
+    rng = _case_rng(index, 5)
+    layer = _to_float64(MultiHeadSelfAttention(
+        embed, heads, head_dim=head_dim, causal=causal,
+        batch_first=batch_first, num_groups=groups, rng=rng))
+    width = layer.embed_partition.width_for(rate)
+    shape = (2, 3, width) if batch_first else (3, 2, width)
+    x = Tensor(rng.normal(size=shape), requires_grad=True,
+               dtype=np.float64)
+
+    def func(inputs):
+        with slice_rate(rate):
+            return layer(inputs[0])
+
+    check_gradients(func, [x] + layer.parameters())
